@@ -1,0 +1,41 @@
+"""§5.1 runlevel-3 check — disabling the GUI reduces variability but
+does not change the trends (the paper's control experiment)."""
+
+from repro.harness import campaigns
+
+from conftest import once
+
+
+def test_ablation_runlevel3(benchmark, settings, publish):
+    result = once(benchmark, lambda: campaigns.runlevel3_study(settings))
+    publish("ablation_runlevel3", result.render())
+
+    # GUI-off should not be *more* variable than GUI-on
+    assert result.sd_runlevel3 <= result.sd_gui * 1.5
+
+
+def test_runlevel3_trends_unchanged(benchmark, settings, publish):
+    """Housekeeping still wins without the GUI (trends unchanged)."""
+    from repro.harness.experiment import ExperimentSpec
+
+    def run():
+        rows = {}
+        for strat in ("Rm", "RmHK2"):
+            spec = ExperimentSpec(
+                platform="intel-9700kf",
+                workload="nbody",
+                strategy=strat,
+                seed=settings.spec_seed("rl3-trend", strat),
+                runlevel3=True,
+                anomaly_prob=0.5,
+            )
+            rows[strat] = settings.cache.get_or_run(spec)
+        return rows
+
+    rows = once(benchmark, run)
+    publish(
+        "ablation_runlevel3_trends",
+        "Runlevel-3 trends: baseline cov per strategy (GUI off)\n"
+        + "\n".join(f"  {k}: cov={v.summary.cov * 100:.2f}%" for k, v in rows.items()),
+    )
+    assert rows["RmHK2"].summary.cov <= rows["Rm"].summary.cov * 1.2

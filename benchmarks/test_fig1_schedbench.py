@@ -1,0 +1,28 @@
+"""Figure 1 — schedbench variability: A64FX with vs without reserved
+OS cores, across schedule types and chunk sizes.
+
+Paper's motivation claim: without reserved cores the same system shows
+substantially higher execution-time variability.
+"""
+
+from repro.harness import campaigns
+
+from conftest import once
+
+
+def test_fig1_schedbench(benchmark, settings, publish):
+    result = once(
+        benchmark,
+        lambda: campaigns.figure1(
+            settings, schedules=("static", "dynamic", "guided"), chunks=(1, 8, 64)
+        ),
+    )
+    publish("fig1", result.render())
+
+    assert len(result.x_labels) == 9
+    # the unreserved system is the variable one
+    assert result.variability_ratio() > 2.0
+    # static schedules expose the most variability on the unreserved box
+    unres = dict(zip(result.x_labels, result.series["A64FX:w/o"]))
+    res = dict(zip(result.x_labels, result.series["A64FX:reserved"]))
+    assert unres["st:1"][1] > res["st:1"][1]

@@ -1,0 +1,27 @@
+"""Figure 2 — Babelstream *dot* kernel variability versus thread count.
+
+Paper's sharpest motivation point: variability explodes only when all
+48 cores are used on the unreserved A64FX ("no spare cores remain to
+absorb OS interference"), while the reserved system stays flat.
+"""
+
+from repro.harness import campaigns
+
+from conftest import once
+
+
+def test_fig2_babelstream_dot(benchmark, settings, publish):
+    result = once(
+        benchmark, lambda: campaigns.figure2(settings, thread_counts=(12, 24, 36, 48))
+    )
+    publish("fig2", result.render())
+
+    unres = dict(zip(result.x_labels, result.series["A64FX:w/o"]))
+    res = dict(zip(result.x_labels, result.series["A64FX:reserved"]))
+    # at full occupancy the unreserved system is far more variable
+    assert unres["48"][1] > 3.0 * res["48"][1]
+    # variability grows with occupancy on the unreserved system (fewer
+    # spare cores to absorb interference) ...
+    assert unres["48"][1] > 4.0 * unres["12"][1]
+    # ... while the reserved system stays flat at every thread count
+    assert max(p[1] for p in result.series["A64FX:reserved"]) < 2e-3

@@ -1,0 +1,21 @@
+"""Table 1 — tracing overhead (off vs on) for the three workloads.
+
+Paper's claim: below 1% for every workload, hence tracing can stay on
+for the whole evaluation.
+"""
+
+from repro.harness import campaigns
+
+from conftest import once
+
+
+def test_table1_tracing_overhead(benchmark, settings, publish):
+    result = once(benchmark, lambda: campaigns.table1(settings))
+    publish("table1", result.render())
+
+    for workload, (off, on, pct) in result.rows.items():
+        # tracing must cost something on compute-bound work but stay
+        # within the paper's sub-1% bound everywhere
+        assert on >= off, f"{workload}: tracing made the run faster?"
+        assert pct < 1.0, f"{workload}: overhead {pct:.2f}% exceeds the paper's <1% bound"
+    assert result.rows["nbody"][2] > 0.05, "compute-bound overhead should be measurable"

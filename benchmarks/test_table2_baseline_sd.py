@@ -1,0 +1,24 @@
+"""Table 2 — average baseline standard deviation per model × strategy.
+
+Paper's reading: OpenMP and SYCL exhibit *comparable* baseline
+variability (same order of magnitude), a few ms on second-scale runs.
+"""
+
+from repro.harness import campaigns
+from repro.mitigation.strategies import STRATEGY_NAMES
+
+from conftest import once
+
+
+def test_table2_baseline_sd(benchmark, settings, publish):
+    result = once(benchmark, lambda: campaigns.table2(settings))
+    publish("table2", result.render())
+
+    omp = result.sds["omp"]
+    sycl = result.sds["sycl"]
+    for strat in STRATEGY_NAMES:
+        assert omp[strat] >= 0 and sycl[strat] >= 0
+    # comparable variability: neither model an order of magnitude worse
+    omp_avg = sum(omp.values()) / len(omp)
+    sycl_avg = sum(sycl.values()) / len(sycl)
+    assert 0.1 < omp_avg / max(sycl_avg, 1e-9) < 10.0

@@ -1,0 +1,39 @@
+"""Table 3 — N-body under noise injection (Intel + AMD).
+
+Shapes that must hold (not absolute numbers):
+
+* housekeeping columns (RmHK/RmHK2) show smaller degradation than Rm;
+* SYCL rows degrade less than the matching OMP rows;
+* TP is comparable to (not better than) Rm.
+"""
+
+import numpy as np
+
+from repro.harness import campaigns
+
+from conftest import once
+
+
+def test_table3_nbody(benchmark, settings, publish):
+    result = once(benchmark, lambda: campaigns.table3(settings))
+    publish("table3", result.render())
+
+    for plat, rows in result.rows_by_platform.items():
+        by_label = {r.label: r for r in rows}
+        for row in rows:
+            # housekeeping mitigates relative to Rm
+            assert row.deltas["RmHK2"] <= row.deltas["Rm"] + 2.0, (
+                f"{plat}/{row.label}: RmHK2 did not mitigate"
+            )
+        # SYCL more resilient than OMP under the same config
+        for omp_label in [l for l in by_label if l.startswith("OMP")]:
+            sycl_label = omp_label.replace("OMP", "SYCL")
+            if sycl_label in by_label:
+                assert (
+                    by_label[sycl_label].deltas["Rm"]
+                    <= by_label[omp_label].deltas["Rm"] + 1.0
+                ), f"{plat}: {sycl_label} not more resilient than {omp_label}"
+    # at least one configuration shows a substantial (>10%) hit, or the
+    # injection would be trivial
+    all_rm = [r.deltas["Rm"] for rows in result.rows_by_platform.values() for r in rows]
+    assert max(all_rm) > 10.0

@@ -1,0 +1,33 @@
+"""Table 5 — MiniFE under noise injection (the barrier-heavy extreme).
+
+Shapes: MiniFE's OMP rows show the largest degradations of the three
+workloads; under heavy AMD noise, Rm beats TP for OMP (roaming threads
+escape pinned starvation, §5.2); SYCL remains the more resilient model.
+"""
+
+from repro.harness import campaigns
+
+from conftest import once
+
+
+def test_table5_minife(benchmark, settings, publish):
+    result = once(benchmark, lambda: campaigns.table5(settings))
+    publish("table5", result.render())
+
+    amd_rows = {r.label: r for r in result.rows_by_platform["amd-9950x3d"]}
+    assert len(amd_rows) == 8, "AMD MiniFE table has #1 and #2 config rows"
+
+    for plat, rows in result.rows_by_platform.items():
+        by_label = {r.label: r for r in rows}
+        for omp_label in [l for l in by_label if l.startswith("OMP")]:
+            sycl_label = omp_label.replace("OMP", "SYCL")
+            if sycl_label in by_label:
+                assert (
+                    by_label[sycl_label].deltas["Rm"]
+                    <= by_label[omp_label].deltas["Rm"] + 1.0
+                )
+
+    # §5.2: on AMD, Roam-omp decently outperforms TP-omp under injection
+    for label in ("OMP #1", "OMP #2"):
+        row = amd_rows[label]
+        assert row.deltas["Rm"] <= row.deltas["TP"] + 2.0

@@ -1,0 +1,31 @@
+"""Table 6 — average relative performance change under injection.
+
+The paper's headline comparison: SYCL averages substantially better
+resilience than OpenMP in every strategy column (16.82% mean gap), and
+housekeeping columns beat their non-housekeeping counterparts for both
+models.  This bench reuses the cached cells of Tables 3–5.
+"""
+
+from repro.harness import campaigns
+from repro.mitigation.strategies import STRATEGY_NAMES
+
+from conftest import once
+
+
+def test_table6_summary(benchmark, settings, publish):
+    result = once(benchmark, lambda: campaigns.table6(settings))
+    publish("table6", result.render())
+
+    omp = result.averages["omp"]
+    sycl = result.averages["sycl"]
+    for strat in STRATEGY_NAMES:
+        assert sycl[strat] <= omp[strat] + 1.0, (
+            f"SYCL should be at least as resilient as OMP in column {strat}"
+        )
+    # housekeeping beats no-housekeeping for both models
+    for model in ("omp", "sycl"):
+        avg = result.averages[model]
+        assert avg["RmHK2"] < avg["Rm"]
+        assert avg["TPHK2"] < avg["TP"]
+    # a real overall SYCL advantage, like the paper's 16.82 points
+    assert result.sycl_advantage() > 0.0

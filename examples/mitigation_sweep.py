@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mitigation sweep: which strategy tolerates worst-case noise best?
+
+Builds one worst-case noise configuration from an unmitigated (Rm)
+MiniFE collection, then replays it against all six mitigation
+strategies — a single row-group of the paper's Table 5, printed with
+baseline cost and injected degradation side by side.
+
+Run:  python examples/mitigation_sweep.py [platform]
+"""
+
+import sys
+
+from repro import ExperimentSpec, NoiseInjectionPipeline, STRATEGY_NAMES, run_experiment
+from repro.harness.report import TableBuilder
+
+platform = sys.argv[1] if len(sys.argv) > 1 else "intel-9700kf"
+
+spec = ExperimentSpec(
+    platform=platform,
+    workload="minife",
+    model="omp",
+    strategy="Rm",
+    seed=7,
+    anomaly_prob=0.2,  # denser anomaly lottery so a short demo finds one
+)
+
+print(f"collecting worst-case trace on {platform} (MiniFE, OpenMP, Rm)...")
+pipe = NoiseInjectionPipeline(spec, collect_reps=25, inject_reps=10)
+pipe.build_config()
+coll = pipe.collection
+print(
+    f"worst case: {coll.worst_exec_time:.4f}s "
+    f"(+{coll.worst_case_degradation() * 100:.1f}% over the {coll.mean_exec_time:.4f}s mean; "
+    f"anomaly: {coll.worst_trace.meta.get('anomaly')})\n"
+)
+
+table = TableBuilder(["strategy", "baseline (s)", "injected (s)", "delta", "baseline cost"])
+rm_baseline = None
+for strategy in STRATEGY_NAMES:
+    s = spec.with_(strategy=strategy, reps=10, anomaly_prob=0.0, seed=99)
+    baseline = run_experiment(s)
+    injected = pipe.inject(s)
+    if strategy == "Rm":
+        rm_baseline = baseline.mean
+    delta = (injected.mean / baseline.mean - 1.0) * 100.0
+    cost = (baseline.mean / rm_baseline - 1.0) * 100.0
+    table.add_row(
+        strategy,
+        f"{baseline.mean:.4f}",
+        f"{injected.mean:.4f}",
+        f"{delta:+.1f}%",
+        f"{cost:+.1f}%",
+    )
+
+print(table.render())
+print(
+    "\nReading: housekeeping (HK/HK2) absorbs most of the injected noise —"
+    "\nthe paper's §6 recommendation for high-noise environments — while its"
+    "\nbaseline cost depends on how compute-bound the workload is."
+)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""OpenMP vs SYCL: raw speed against noise resilience.
+
+For each workload, measures the baseline execution time of both
+programming models and their degradation under the same injected
+worst-case noise — the trade-off at the heart of the paper's Tables 3–6
+and its abstract: "OpenMP consistently achieves higher raw performance,
+SYCL tends to exhibit greater resilience in noisy environments."
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro import ExperimentSpec, NoiseInjectionPipeline, run_experiment
+from repro.harness.report import TableBuilder
+
+PLATFORM = "intel-9700kf"
+
+table = TableBuilder(
+    ["workload", "model", "baseline (s)", "injected (s)", "delta", "raw vs OMP"]
+)
+
+for workload in ("nbody", "babelstream", "minife"):
+    spec = ExperimentSpec(
+        platform=PLATFORM,
+        workload=workload,
+        model="omp",
+        strategy="Rm",
+        seed=11,
+        anomaly_prob=0.2,
+    )
+    pipe = NoiseInjectionPipeline(spec, collect_reps=25, inject_reps=10)
+    pipe.build_config()
+
+    omp_baseline = None
+    for model in ("omp", "sycl"):
+        s = spec.with_(model=model, reps=10, anomaly_prob=0.0, seed=77)
+        baseline = run_experiment(s)
+        injected = pipe.inject(s)
+        if model == "omp":
+            omp_baseline = baseline.mean
+        delta = (injected.mean / baseline.mean - 1.0) * 100.0
+        ratio = baseline.mean / omp_baseline
+        table.add_row(
+            workload,
+            model.upper(),
+            f"{baseline.mean:.4f}",
+            f"{injected.mean:.4f}",
+            f"{delta:+.1f}%",
+            f"{ratio:.2f}x",
+        )
+
+print(table.render())
+print(
+    "\nReading: SYCL pays a raw-performance premium (in-order queue"
+    "\nsubmissions, kernel efficiency) but its work-stealing execution"
+    "\nabsorbs preemption noise that stalls OpenMP's static regions."
+)

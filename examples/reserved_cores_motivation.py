@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The motivation study (paper §3): reserved OS cores on A64FX.
+
+Runs schedbench and the Babelstream *dot* kernel on the two A64FX
+configurations — with firmware-reserved OS cores and without — and
+shows how much run-to-run variability the reservation removes,
+especially when user threads occupy every core.
+
+Run:  python examples/reserved_cores_motivation.py
+"""
+
+from repro import ExperimentSpec, run_experiment
+from repro.harness.report import TableBuilder
+
+REPS = 25
+# densified anomaly lottery so a short demo reliably shows the contrast
+ANOMALY_PROB = 0.25
+
+# ----------------------------------------------------------- schedbench
+print(f"schedbench (static schedule, chunk 1), {REPS} runs per system:\n")
+table = TableBuilder(["system", "mean (ms)", "sd (ms)", "max (ms)"])
+for platform, label in (("a64fx", "A64FX:w/o"), ("a64fx-reserved", "A64FX:reserved")):
+    rs = run_experiment(
+        ExperimentSpec(
+            platform=platform,
+            workload="schedbench",
+            strategy="Rm",
+            reps=REPS,
+            seed=5,
+            anomaly_prob=ANOMALY_PROB,
+            workload_params={"schedule": "static", "chunk": 1},
+        )
+    )
+    s = rs.summary
+    table.add_row(label, f"{s.mean * 1e3:.2f}", f"{s.sd * 1e3:.3f}", f"{s.maximum * 1e3:.2f}")
+print(table.render())
+
+# ------------------------------------------------- babelstream dot sweep
+print("\nBabelstream dot kernel vs thread count (sd in ms):\n")
+table = TableBuilder(["threads", "A64FX:w/o", "A64FX:reserved"])
+for threads in (12, 24, 36, 48):
+    sds = {}
+    for platform in ("a64fx", "a64fx-reserved"):
+        rs = run_experiment(
+            ExperimentSpec(
+                platform=platform,
+                workload="babelstream",
+                strategy="Rm",
+                reps=REPS,
+                seed=5,
+                anomaly_prob=ANOMALY_PROB,
+                n_threads=threads,
+                workload_params={"kernels": ("dot",)},
+            )
+        )
+        sds[platform] = rs.sd * 1e3
+    table.add_row(threads, f"{sds['a64fx']:.3f}", f"{sds['a64fx-reserved']:.3f}")
+print(table.render())
+
+print(
+    "\nReading: with spare cores, OS activity is absorbed and both systems"
+    "\nlook alike; at full occupancy the unreserved system's variability"
+    "\nexplodes — the paper's motivation for studying software mitigations"
+    "\non systems without dedicated OS cores."
+)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Synthetic (HPAS-style) noise versus trace replay.
+
+The paper's core argument against prior injectors: synthetic generators
+like HPAS "fail to capture the complexity or variability of real-world
+system noise".  This example makes that concrete on the simulated
+substrate: both injectors are budgeted the *same total CPU busy time*,
+but the uniform synthetic hog and the replayed worst-case trace
+degrade the workload very differently — and only the replay tracks the
+recorded anomaly.
+
+Run:  python examples/synthetic_vs_replay.py
+"""
+
+from repro import ExperimentSpec, NoiseInjectionPipeline, run_experiment
+from repro.core.accuracy import replication_accuracy
+from repro.extensions import cpu_occupy
+from repro.harness.report import TableBuilder
+
+spec = ExperimentSpec(
+    platform="intel-9700kf",
+    workload="minife",
+    model="omp",
+    strategy="Rm",
+    seed=13,
+    anomaly_prob=0.25,
+)
+
+# --- trace replay: collect, refine, configure --------------------------
+pipe = NoiseInjectionPipeline(spec, collect_reps=30, inject_reps=10)
+replay_config = pipe.build_config()
+coll = pipe.collection
+budget = replay_config.total_busy_time()
+print(
+    f"worst case: {coll.worst_exec_time:.4f}s (+{coll.worst_case_degradation() * 100:.1f}%), "
+    f"replay budget {budget * 1e3:.1f}ms of CPU busy time\n"
+)
+
+# --- synthetic: same busy-time budget as one uniform HPAS hog ----------
+# Spread the identical budget evenly over the run on two CPUs.
+duration = budget / 2.0
+synthetic_config = cpu_occupy(start=0.05, duration=duration, cpus=(0, 1))
+
+# --- compare ------------------------------------------------------------
+baseline = run_experiment(spec.with_(reps=10, anomaly_prob=0.0, seed=77))
+table = TableBuilder(["injector", "injected (s)", "delta vs baseline", "vs anomaly"])
+for name, config in (("trace replay", replay_config), ("HPAS-style synthetic", synthetic_config)):
+    injected = run_experiment(
+        spec.with_(reps=10, anomaly_prob=0.0, seed=spec.seed + 1_000_003),
+        noise_config=config,
+    )
+    delta = (injected.mean / baseline.mean - 1.0) * 100.0
+    acc = replication_accuracy(injected.mean, coll.worst_exec_time)
+    table.add_row(name, f"{injected.mean:.4f}", f"{delta:+.1f}%", f"{acc * 100:.1f}% off")
+
+print(table.render())
+print(
+    "\nReading: with an identical CPU-time budget, the uniform synthetic"
+    "\nhog produces a different (usually milder, always shape-less)"
+    "\nslowdown, while the replayed trace reproduces the recorded anomaly"
+    "\n— the reason the paper replays real traces instead."
+)

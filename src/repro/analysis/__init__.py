@@ -1,0 +1,21 @@
+"""Trace analytics: understand what the tracer captured.
+
+Post-processing utilities over :class:`~repro.core.trace.Trace` —
+per-source breakdowns, timeline binning, gap statistics, and
+profile-vs-profile comparison — the exploratory layer an engineer uses
+between the paper's collection and configuration stages.
+"""
+
+from repro.analysis.breakdown import SourceBreakdown, source_breakdown, top_sources
+from repro.analysis.timeline import noise_timeline, busiest_window
+from repro.analysis.compare import profile_delta, ProfileDelta
+
+__all__ = [
+    "SourceBreakdown",
+    "source_breakdown",
+    "top_sources",
+    "noise_timeline",
+    "busiest_window",
+    "profile_delta",
+    "ProfileDelta",
+]

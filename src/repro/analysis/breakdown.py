@@ -1,0 +1,72 @@
+"""Per-source noise breakdowns of a single trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import EventType
+from repro.core.trace import Trace
+
+__all__ = ["SourceBreakdown", "source_breakdown", "top_sources"]
+
+
+@dataclass(frozen=True)
+class SourceBreakdown:
+    """Aggregate contribution of one source within one trace."""
+
+    source: str
+    etype: EventType
+    count: int
+    total_time: float
+    mean_duration: float
+    max_duration: float
+    share_of_noise: float    # fraction of the trace's total noise time
+    cpu_spread: int          # number of distinct CPUs the source hit
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source:<20} {self.etype.label:<14} n={self.count:<6} "
+            f"total={self.total_time * 1e3:8.3f}ms "
+            f"mean={self.mean_duration * 1e6:8.2f}us "
+            f"share={self.share_of_noise * 100:5.1f}% cpus={self.cpu_spread}"
+        )
+
+
+def source_breakdown(trace: Trace) -> list[SourceBreakdown]:
+    """Per-source aggregates, sorted by total noise time (descending)."""
+    out: list[SourceBreakdown] = []
+    if trace.n_events == 0:
+        return out
+    total_noise = trace.total_noise_time()
+    n_sources = len(trace.sources)
+    counts = np.bincount(trace.source_ids, minlength=n_sources)
+    sums = np.bincount(trace.source_ids, weights=trace.durations, minlength=n_sources)
+    for sid, name in enumerate(trace.sources):
+        if counts[sid] == 0:
+            continue
+        mask = trace.source_ids == sid
+        durs = trace.durations[mask]
+        etype = EventType(int(np.bincount(trace.etypes[mask]).argmax()))
+        out.append(
+            SourceBreakdown(
+                source=name,
+                etype=etype,
+                count=int(counts[sid]),
+                total_time=float(sums[sid]),
+                mean_duration=float(durs.mean()),
+                max_duration=float(durs.max()),
+                share_of_noise=float(sums[sid] / total_noise) if total_noise > 0 else 0.0,
+                cpu_spread=int(len(np.unique(trace.cpus[mask]))),
+            )
+        )
+    out.sort(key=lambda b: (-b.total_time, b.source))
+    return out
+
+
+def top_sources(trace: Trace, n: int = 5) -> list[SourceBreakdown]:
+    """The ``n`` heaviest noise sources of a trace."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return source_breakdown(trace)[:n]

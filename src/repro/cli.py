@@ -1,0 +1,317 @@
+"""Command-line interface: ``repro-noise`` / ``python -m repro``.
+
+Subcommands mirror the paper's workflow:
+
+* ``trace``     — stage 1: collect traces, report the worst case, save it;
+* ``configure`` — stage 2: build a noise config JSON from a saved trace
+  (or run collection implicitly);
+* ``inject``    — stage 3: replay a config against a workload spec;
+* ``baseline``  — run a baseline experiment and print statistics;
+* ``pipeline``  — all three stages end to end;
+* ``table``     — regenerate a paper table (1–7) or ablation;
+* ``figure``    — regenerate a paper figure (1–2);
+* ``platforms`` — list platform presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_spec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--platform", default="intel-9700kf", help="platform preset name")
+    p.add_argument("--workload", default="nbody", help="nbody | babelstream | minife | schedbench")
+    p.add_argument("--model", default="omp", help="programming model: omp | sycl")
+    p.add_argument("--strategy", default="Rm", help="Rm | RmHK | RmHK2 | TP | TPHK | TPHK2")
+    p.add_argument("--no-smt", action="store_true", help="one thread per physical core")
+    p.add_argument("--reps", type=int, default=0, help="repetitions (0 = environment default)")
+    p.add_argument("--seed", type=int, default=2025, help="campaign seed")
+    p.add_argument("--runlevel3", action="store_true", help="disable GUI noise sources")
+    p.add_argument(
+        "--anomaly-prob",
+        type=float,
+        default=None,
+        help="override the per-run anomaly probability (hunt accelerator)",
+    )
+
+
+def _spec_from(args) -> "ExperimentSpec":
+    from repro.harness.experiment import ExperimentSpec
+
+    return ExperimentSpec(
+        platform=args.platform,
+        workload=args.workload,
+        model=args.model,
+        strategy=args.strategy,
+        use_smt=not args.no_smt,
+        reps=args.reps,
+        seed=args.seed,
+        runlevel3=args.runlevel3,
+        anomaly_prob=args.anomaly_prob,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-noise argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-noise",
+        description="Reproducible performance evaluation under trace-replay noise injection",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("platforms", help="list platform presets")
+
+    p = sub.add_parser("baseline", help="run a baseline experiment")
+    _add_spec_args(p)
+    p.add_argument("--no-tracing", action="store_true", help="disable the OSnoise tracer")
+
+    p = sub.add_parser("trace", help="stage 1: collect traces, save the worst case")
+    _add_spec_args(p)
+    p.add_argument("--out", default="worst_case.json", help="path for the worst-case trace JSON")
+
+    p = sub.add_parser("configure", help="stage 2: generate a noise config")
+    _add_spec_args(p)
+    p.add_argument("--merge", choices=["improved", "naive"], default="improved")
+    p.add_argument("--out", default="noise_config.json", help="path for the config JSON")
+
+    p = sub.add_parser("inject", help="stage 3: replay a noise config")
+    _add_spec_args(p)
+    p.add_argument("--config", required=True, help="noise config JSON from `configure`")
+
+    p = sub.add_parser("pipeline", help="collect, configure, and inject end to end")
+    _add_spec_args(p)
+    p.add_argument("--merge", choices=["improved", "naive"], default="improved")
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", choices=["1", "2", "3", "4", "5", "6", "7", "ablation", "runlevel3"])
+    p.add_argument("--seed", type=int, default=2025)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", choices=["1", "2", "3", "4", "5", "6"])
+    p.add_argument("--seed", type=int, default=2025)
+
+    p = sub.add_parser("analyze", help="analyse a saved trace JSON")
+    p.add_argument("trace", help="trace JSON from `repro-noise trace`")
+    p.add_argument("--top", type=int, default=10, help="sources to show")
+    p.add_argument("--bins", type=int, default=20, help="timeline bins")
+
+    return parser
+
+
+def _cmd_platforms(args) -> int:
+    from repro.sim.platform import available_platforms, get_platform
+
+    for name in available_platforms():
+        p = get_platform(name)
+        topo = p.topology
+        reserved = f", {len(topo.reserved_cpus)} reserved OS cores" if topo.reserved_cpus else ""
+        print(
+            f"{name:16s} {topo.n_physical} cores x {topo.smt} SMT = "
+            f"{topo.n_logical} logical CPUs, {p.bandwidth_gbs:.0f} GB/s{reserved}"
+        )
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.harness.experiment import run_experiment
+
+    spec = _spec_from(args).with_(tracing=not args.no_tracing)
+    rs = run_experiment(spec)
+    print(f"{spec.label()}: {rs.summary}")
+    print(f"natural anomalies observed: {rs.anomaly_count()}/{len(rs.times)} runs")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.collection import collect_traces
+
+    coll = collect_traces(_spec_from(args))
+    worst = coll.worst_trace
+    print(
+        f"collected {len(coll.exec_times)} runs, mean {coll.mean_exec_time:.4f}s, "
+        f"worst case {coll.worst_exec_time:.4f}s "
+        f"(+{coll.worst_case_degradation() * 100:.1f}%, anomaly: {worst.meta.get('anomaly')})"
+    )
+    with open(args.out, "w") as fh:
+        fh.write(worst.to_json())
+    print(f"worst-case trace ({worst.n_events} events) written to {args.out}")
+    return 0
+
+
+def _cmd_configure(args) -> int:
+    from repro.core.collection import collect_traces
+    from repro.core.config import generate_config
+    from repro.core.merge import MergeStrategy
+
+    coll = collect_traces(_spec_from(args))
+    config = generate_config(
+        coll.worst_trace,
+        coll.profile,
+        merge=MergeStrategy(args.merge),
+        meta={"collected_from": _spec_from(args).label()},
+    )
+    config.save(args.out)
+    print(
+        f"config written to {args.out}: {config.n_events} events on "
+        f"{config.n_cpus} CPUs, {config.total_busy_time() * 1e3:.1f}ms busy"
+    )
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    from repro.core.config import NoiseConfig
+    from repro.harness.experiment import run_experiment
+
+    config = NoiseConfig.load(args.config)
+    spec = _spec_from(args)
+    baseline = run_experiment(spec)
+    injected = run_experiment(spec.with_(seed=spec.seed + 1_000_003), noise_config=config)
+    delta = (injected.mean / baseline.mean - 1.0) * 100.0
+    print(f"baseline: {baseline.summary}")
+    print(f"injected: {injected.summary}")
+    print(f"degradation: {delta:+.1f}%")
+    anomaly = config.meta.get("worst_case_exec_time")
+    if anomaly:
+        from repro.core.accuracy import replication_accuracy
+
+        print(f"replication accuracy: {replication_accuracy(injected.mean, anomaly) * 100:.2f}%")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.core.merge import MergeStrategy
+    from repro.core.pipeline import NoiseInjectionPipeline
+
+    pipe = NoiseInjectionPipeline(_spec_from(args), merge=MergeStrategy(args.merge))
+    result = pipe.run()
+    print(result.summary())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.harness import campaigns
+
+    settings = campaigns.default_settings(seed=args.seed)
+    dispatch = {
+        "1": campaigns.table1,
+        "2": campaigns.table2,
+        "3": campaigns.table3,
+        "4": campaigns.table4,
+        "5": campaigns.table5,
+        "6": campaigns.table6,
+        "7": campaigns.table7,
+        "ablation": campaigns.merge_ablation,
+        "runlevel3": campaigns.runlevel3_study,
+    }
+    result = dispatch[args.number](settings)
+    print(result.render())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.harness import campaigns
+
+    settings = campaigns.default_settings(seed=args.seed)
+    if args.number == "1":
+        print(campaigns.figure1(settings).render())
+    elif args.number == "2":
+        print(campaigns.figure2(settings).render())
+    else:
+        _demo_figure(int(args.number), args.seed)
+    return 0
+
+
+def _demo_figure(number: int, seed: int) -> None:
+    """Figures 3–6 are structural illustrations; render live examples."""
+    from repro.core.collection import collect_traces
+    from repro.core.config import generate_config
+    from repro.core.refine import refine_worst_case
+    from repro.harness.experiment import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", seed=seed, reps=10)
+    coll = collect_traces(spec, reps=10, min_degradation=0.0, max_batches=1)
+    if number == 3:
+        print("Figure 3: sample OSnoise trace records")
+        print(coll.worst_trace.to_osnoise_text(limit=12))
+        return
+    if number == 4:
+        refined = refine_worst_case(coll.worst_trace, coll.profile)
+        print("Figure 4: delta refinement of the worst-case trace")
+        print(f"  worst-case events : {coll.worst_trace.n_events}")
+        print(f"  refined (delta)   : {refined.n_events}")
+        print(
+            f"  noise time        : {coll.worst_trace.total_noise_time() * 1e3:.2f}ms -> "
+            f"{refined.total_noise_time() * 1e3:.2f}ms"
+        )
+        return
+    config = generate_config(coll.worst_trace, coll.profile)
+    if number == 5:
+        print("Figure 5: noise configuration structure")
+        print(config.to_json(indent=2)[:2000])
+        return
+    if number == 6:
+        print("Figure 6: injector processing overview")
+        injected = run_experiment(
+            spec.with_(seed=seed + 1_000_003, reps=5), noise_config=config
+        )
+        print(
+            f"  spawned {config.n_cpus} injector processes, "
+            f"{config.n_events} events, {config.total_busy_time() * 1e3:.1f}ms busy"
+        )
+        print(f"  baseline mean {coll.mean_exec_time:.4f}s -> injected mean {injected.mean:.4f}s")
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import busiest_window, noise_timeline, top_sources
+    from repro.core.trace import Trace
+
+    with open(args.trace) as fh:
+        trace = Trace.from_json(fh.read())
+    print(
+        f"trace: {trace.n_events} events, {len(trace.sources)} sources, "
+        f"exec {trace.exec_time:.4f}s, noise {trace.total_noise_time() * 1e3:.2f}ms"
+    )
+    print(f"\ntop {args.top} sources by noise time:")
+    for row in top_sources(trace, args.top):
+        print(f"  {row}")
+    edges, noise = noise_timeline(trace, bins=args.bins)
+    peak = noise.max() if len(noise) else 0.0
+    print(f"\nnoise timeline ({args.bins} bins over the run):")
+    for i, value in enumerate(noise):
+        bar = "#" * int(round(value / peak * 40)) if peak > 0 else ""
+        print(f"  {edges[i]:7.3f}s  {value * 1e3:8.3f}ms |{bar}")
+    start, amount = busiest_window(trace, width=trace.exec_time / 10.0)
+    print(
+        f"\nbusiest {trace.exec_time / 10.0:.3f}s window starts at "
+        f"{start:.3f}s with {amount * 1e3:.2f}ms of noise"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    dispatch = {
+        "platforms": _cmd_platforms,
+        "baseline": _cmd_baseline,
+        "trace": _cmd_trace,
+        "configure": _cmd_configure,
+        "inject": _cmd_inject,
+        "pipeline": _cmd_pipeline,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "analyze": _cmd_analyze,
+    }
+    return dispatch[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Noise-event vocabulary shared by tracer, pipeline, and injector.
+
+The OSnoise tracer distinguishes three event classes (paper Fig. 3).
+The configuration generator maps each class to the scheduling policy
+the injector must replay it under (paper §4.2): thread activity is
+ordinary ``SCHED_OTHER`` work, while interrupt-class noise preempts
+everything and is replayed as ``SCHED_FIFO``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["EventType", "POLICY_FOR_EVENT", "RT_PRIORITY_FOR_EVENT", "event_type_code"]
+
+
+class EventType(enum.IntEnum):
+    """OSnoise event classes; the integer codes index columnar traces."""
+
+    IRQ = 0        # "irq_noise"      — hardware interrupt handlers
+    SOFTIRQ = 1    # "softirq_noise"  — softirq bottom halves
+    THREAD = 2     # "thread_noise"   — other threads (kworkers, daemons)
+
+    @property
+    def label(self) -> str:
+        """The OSnoise trace label for this class."""
+        return _LABELS[self]
+
+    @classmethod
+    def from_label(cls, label: str) -> "EventType":
+        """Parse an OSnoise label (``irq_noise`` etc.)."""
+        try:
+            return _BY_LABEL[label]
+        except KeyError:
+            raise ValueError(f"unknown OSnoise event label: {label!r}") from None
+
+
+_LABELS = {
+    EventType.IRQ: "irq_noise",
+    EventType.SOFTIRQ: "softirq_noise",
+    EventType.THREAD: "thread_noise",
+}
+_BY_LABEL = {v: k for k, v in _LABELS.items()}
+
+#: Scheduling policy the injector uses for each event class (§4.2).
+POLICY_FOR_EVENT = {
+    EventType.IRQ: "SCHED_FIFO",
+    EventType.SOFTIRQ: "SCHED_FIFO",
+    EventType.THREAD: "SCHED_OTHER",
+}
+
+#: Real-time priority used when replaying under SCHED_FIFO.
+RT_PRIORITY_FOR_EVENT = {
+    EventType.IRQ: 90,
+    EventType.SOFTIRQ: 50,
+    EventType.THREAD: 0,
+}
+
+
+def event_type_code(label_or_type) -> int:
+    """Normalise a label / enum / int to the columnar integer code."""
+    if isinstance(label_or_type, EventType):
+        return int(label_or_type)
+    if isinstance(label_or_type, int):
+        return int(EventType(label_or_type))
+    return int(EventType.from_label(label_or_type))

@@ -1,0 +1,152 @@
+"""End-to-end noise-injection pipeline (paper §4).
+
+Wires the three stages together:
+
+1. :func:`~repro.core.collection.collect_traces` — trace N runs;
+2. :func:`~repro.core.config.generate_config` — refine the worst case
+   and build the per-CPU configuration;
+3. :func:`~repro.harness.experiment.run_experiment` with the
+   :class:`~repro.core.injector.NoiseInjector` — replay it.
+
+A configuration generated from one workload configuration can be (and
+in the paper's Tables 3–5 *is*) replayed against other configurations:
+use :meth:`NoiseInjectionPipeline.build_config` once, then
+:meth:`NoiseInjectionPipeline.inject` with any spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.accuracy import replication_accuracy
+from repro.core.collection import CollectionResult, collect_traces
+from repro.core.config import NoiseConfig, generate_config
+from repro.core.merge import MergeStrategy
+from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
+
+__all__ = ["PipelineResult", "NoiseInjectionPipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a full collect → configure → inject cycle."""
+
+    collection: CollectionResult
+    config: NoiseConfig
+    injected: ResultSet
+
+    @property
+    def baseline_mean(self) -> float:
+        """Mean execution time of the (traced) anomaly-free baseline
+        runs (collection may have run an accelerated anomaly hunt)."""
+        return self.collection.clean_mean_exec_time
+
+    @property
+    def injected_mean(self) -> float:
+        """Mean execution time under injection."""
+        return self.injected.mean
+
+    @property
+    def degradation_pct(self) -> float:
+        """Paper's Δ%: injected mean versus baseline mean."""
+        return (self.injected_mean / self.baseline_mean - 1.0) * 100.0
+
+    @property
+    def accuracy(self) -> float:
+        """Replication accuracy versus the recorded anomaly (Table 7)."""
+        return replication_accuracy(self.injected_mean, self.collection.worst_exec_time)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable result."""
+        c = self.collection
+        return (
+            f"{c.spec.label()}: baseline {self.baseline_mean:.4f}s "
+            f"(worst case {c.worst_exec_time:.4f}s, "
+            f"+{c.worst_case_degradation() * 100:.1f}%), "
+            f"injected {self.injected_mean:.4f}s "
+            f"({self.degradation_pct:+.1f}% vs baseline, "
+            f"replication accuracy {self.accuracy * 100:.2f}%), "
+            f"config: {self.config.n_events} events on {self.config.n_cpus} CPUs, "
+            f"{self.config.total_busy_time() * 1e3:.1f}ms busy"
+        )
+
+
+class NoiseInjectionPipeline:
+    """Reusable pipeline bound to one collection configuration."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        merge: MergeStrategy = MergeStrategy.IMPROVED,
+        collect_reps: Optional[int] = None,
+        inject_reps: Optional[int] = None,
+        collect_anomaly_prob: Optional[float] = 0.15,
+    ):
+        """``collect_anomaly_prob`` accelerates the worst-case hunt
+        during collection only (the paper brute-forced rare events over
+        1000 runs; scaled-down collections compress that search), while
+        baselines and injected runs keep the spec's natural noise.
+        Pass ``None`` to collect at the spec's own rate."""
+        self.spec = spec
+        self.merge = merge
+        self.collect_reps = collect_reps
+        self.inject_reps = inject_reps
+        self.collect_anomaly_prob = collect_anomaly_prob
+        self.collection: Optional[CollectionResult] = None
+        self.config: Optional[NoiseConfig] = None
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec, **kwargs) -> "NoiseInjectionPipeline":
+        """Alias constructor matching the README quickstart."""
+        return cls(spec, **kwargs)
+
+    # ------------------------------------------------------------------
+    def build_config(self) -> NoiseConfig:
+        """Stages 1–2: collect traces and generate the configuration."""
+        cspec = self.spec
+        accelerated = self.collect_anomaly_prob is not None
+        if accelerated:
+            cspec = cspec.with_(anomaly_prob=self.collect_anomaly_prob)
+        self.collection = collect_traces(
+            cspec,
+            reps=self.collect_reps,
+            profile_excludes_anomalies=accelerated,
+        )
+        self.config = generate_config(
+            self.collection.worst_trace,
+            self.collection.profile,
+            merge=self.merge,
+            meta={"collected_from": self.spec.label()},
+        )
+        return self.config
+
+    def inject(
+        self,
+        spec: Optional[ExperimentSpec] = None,
+        config: Optional[NoiseConfig] = None,
+    ) -> ResultSet:
+        """Stage 3: replay a configuration against a workload spec.
+
+        Defaults to this pipeline's own spec and config; pass another
+        spec to evaluate a different mitigation strategy or programming
+        model under the same noise (the cross-configuration studies of
+        Tables 3–5).
+        """
+        spec = spec if spec is not None else self.spec
+        config = config if config is not None else self.config
+        if config is None:
+            raise RuntimeError("build_config() must run before inject()")
+        if self.inject_reps is not None:
+            spec = spec.with_(reps=self.inject_reps)
+        # Different seed stream than collection, so injection runs see
+        # fresh inherent noise (the paper's uncontrollable residual).
+        spec = spec.with_(seed=spec.seed + 1_000_003)
+        return run_experiment(spec, noise_config=config)
+
+    def run(self) -> PipelineResult:
+        """Full cycle against the pipeline's own spec."""
+        self.build_config()
+        injected = self.inject()
+        assert self.collection is not None and self.config is not None
+        return PipelineResult(collection=self.collection, config=self.config, injected=injected)

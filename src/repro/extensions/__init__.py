@@ -1,0 +1,39 @@
+"""Extensions beyond the paper's evaluation (its §7 future work).
+
+* :mod:`repro.extensions.hpas` — synthetic anomaly generators in the
+  style of HPAS (Ates et al., ICPP'19), the baseline injector the paper
+  contrasts its trace-replay approach against: fixed-shape CPU
+  occupation and memory-bandwidth interference, no trace required.
+* :mod:`repro.extensions.memnoise` — memory-bandwidth noise injection,
+  the extension the paper names first among future directions ("noise
+  injection was restricted to CPU occupation noise").
+* :mod:`repro.extensions.ionoise` — I/O interference (completion
+  interrupt storms + writeback flusher bursts), the paper's other named
+  future-work direction.
+"""
+
+from repro.extensions.hpas import (
+    HPASAnomaly,
+    cpu_occupy,
+    memory_bandwidth,
+    cache_thrash,
+)
+from repro.extensions.memnoise import (
+    MemoryNoiseEvent,
+    MemoryNoiseConfig,
+    MemoryNoiseInjector,
+)
+from repro.extensions.ionoise import IoBurst, IoNoiseConfig, IoNoiseInjector
+
+__all__ = [
+    "HPASAnomaly",
+    "cpu_occupy",
+    "memory_bandwidth",
+    "cache_thrash",
+    "MemoryNoiseEvent",
+    "MemoryNoiseConfig",
+    "MemoryNoiseInjector",
+    "IoBurst",
+    "IoNoiseConfig",
+    "IoNoiseInjector",
+]

@@ -1,0 +1,131 @@
+"""HPAS-style synthetic anomaly generators.
+
+HPAS (Ates et al., *HPAS: An HPC Performance Anomaly Suite*, ICPP'19)
+injects *synthetic* anomalies with fixed shapes — a CPU hog, a memory
+bandwidth hog, a cache thrasher.  The paper argues such generators
+"fail to capture the complexity or variability of real-world system
+noise" and replaces them with trace replay; this module implements the
+synthetic baselines so the two approaches can be compared on the same
+substrate (see ``examples``/benchmarks).
+
+Each generator returns a :class:`~repro.core.config.NoiseConfig` (CPU
+occupation) or a
+:class:`~repro.extensions.memnoise.MemoryNoiseConfig` (bandwidth), so
+the regular injectors replay them unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import ConfigEvent, NoiseConfig
+from repro.core.events import EventType
+from repro.extensions.memnoise import MemoryNoiseConfig, MemoryNoiseEvent
+
+__all__ = ["HPASAnomaly", "cpu_occupy", "memory_bandwidth", "cache_thrash"]
+
+
+class HPASAnomaly(enum.Enum):
+    """The HPAS anomaly families reproduced here."""
+
+    CPU_OCCUPY = "cpuoccupy"
+    MEMORY_BANDWIDTH = "membw"
+    CACHE_THRASH = "cachecopy"
+
+
+def cpu_occupy(
+    start: float,
+    duration: float,
+    cpus: tuple[int, ...],
+    utilization: float = 1.0,
+    period: float = 10e-3,
+) -> NoiseConfig:
+    """HPAS ``cpuoccupy``: a synthetic hog on each listed CPU.
+
+    ``utilization`` < 1 produces a square-wave hog (busy for
+    ``utilization * period`` out of every ``period``), which is how the
+    HPAS tool implements partial occupation.  Events replay as
+    ``SCHED_OTHER`` thread noise — HPAS runs as an ordinary process.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization must be in (0, 1]: {utilization!r}")
+    if duration <= 0 or period <= 0:
+        raise ValueError("duration and period must be positive")
+    if not cpus:
+        raise ValueError("need at least one target cpu")
+    events_per_cpu: dict[int, list[ConfigEvent]] = {}
+    for cpu in cpus:
+        events = []
+        if utilization >= 1.0:
+            events.append(_hog_event(start, duration))
+        else:
+            busy = utilization * period
+            n_periods = max(1, round(duration / period))
+            for i in range(n_periods):
+                t = start + i * period
+                events.append(_hog_event(t, min(busy, start + duration - t)))
+        events_per_cpu[cpu] = events
+    return NoiseConfig(
+        events_per_cpu,
+        meta={"generator": HPASAnomaly.CPU_OCCUPY.value, "utilization": utilization},
+    )
+
+
+def _hog_event(start: float, duration: float) -> ConfigEvent:
+    return ConfigEvent(
+        start=start,
+        duration=duration,
+        policy="SCHED_OTHER",
+        rt_priority=0,
+        weight=1.0,
+        etype=EventType.THREAD,
+        source="hpas-cpuoccupy",
+    )
+
+
+def memory_bandwidth(
+    start: float,
+    duration: float,
+    bandwidth_gbs: float,
+    streams: int = 1,
+) -> MemoryNoiseConfig:
+    """HPAS ``membw``: synthetic streaming hogs saturating DRAM."""
+    if streams <= 0:
+        raise ValueError("streams must be positive")
+    events = [
+        MemoryNoiseEvent(
+            start=start,
+            duration=duration,
+            bandwidth_gbs=bandwidth_gbs / streams,
+            source=f"hpas-membw-{i}",
+        )
+        for i in range(streams)
+    ]
+    return MemoryNoiseConfig(
+        events, meta={"generator": HPASAnomaly.MEMORY_BANDWIDTH.value}
+    )
+
+
+def cache_thrash(
+    start: float,
+    duration: float,
+    cpus: tuple[int, ...],
+    bandwidth_gbs: float = 8.0,
+) -> MemoryNoiseConfig:
+    """HPAS ``cachecopy``: per-CPU copy loops that evict shared cache.
+
+    In this substrate cache pollution manifests as extra memory traffic
+    from the victims, modelled as a per-CPU bandwidth draw.
+    """
+    if not cpus:
+        raise ValueError("need at least one target cpu")
+    events = [
+        MemoryNoiseEvent(
+            start=start,
+            duration=duration,
+            bandwidth_gbs=bandwidth_gbs,
+            source=f"hpas-cachecopy-{cpu}",
+        )
+        for cpu in cpus
+    ]
+    return MemoryNoiseConfig(events, meta={"generator": HPASAnomaly.CACHE_THRASH.value})

@@ -1,0 +1,210 @@
+"""I/O-interference noise injection (paper §7 future work).
+
+The paper's injector covers CPU occupation and names "I/O-related
+interference" (with memory noise) as the extension needed next.  On a
+real machine heavy I/O disturbs compute through two channels:
+
+* **completion interrupts** — block-device IRQs and their softirq
+  bottom halves, firing at high rate on the CPUs that submitted the
+  I/O (irq-class: they preempt everything);
+* **writeback kworkers** — flusher threads draining the page cache
+  (thread-class: they timeshare, and idle housekeeping cores absorb
+  them).
+
+An :class:`IoNoiseConfig` describes a burst of both, and the injector
+replays it through the ordinary scheduler machinery, so every
+mitigation-strategy interaction (housekeeping absorption of flushers,
+RT stickiness of IRQs) applies automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.machine import Machine
+from repro.sim.task import SchedPolicy, Task, TaskKind
+
+__all__ = ["IoBurst", "IoNoiseConfig", "IoNoiseInjector"]
+
+
+@dataclass(frozen=True)
+class IoBurst:
+    """One I/O episode (e.g. a checkpoint write or log flush).
+
+    Parameters
+    ----------
+    start, duration:
+        The episode's window in seconds.
+    irq_rate:
+        Completion interrupts per second during the window.
+    irq_duration:
+        CPU time per completion interrupt (µs-scale).
+    irq_cpus:
+        CPUs receiving the completions (the submitting cores; block
+        IRQs are steered, so they stay put like the paper's irq noise).
+    flush_cpu_time:
+        Total kworker/flusher CPU-seconds spread over the window.
+    flush_segments:
+        Number of flusher wakeups the CPU time is split into.
+    """
+
+    start: float
+    duration: float
+    irq_rate: float = 2000.0
+    irq_duration: float = 8e-6
+    irq_cpus: tuple[int, ...] = (0,)
+    flush_cpu_time: float = 0.05
+    flush_segments: int = 20
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("burst needs start >= 0 and duration > 0")
+        if self.irq_rate < 0 or self.irq_duration < 0:
+            raise ValueError("irq parameters must be non-negative")
+        if self.flush_cpu_time < 0 or self.flush_segments <= 0:
+            raise ValueError("flush parameters invalid")
+        if not self.irq_cpus and self.irq_rate > 0:
+            raise ValueError("irq_rate > 0 needs target cpus")
+
+    def total_irq_busy(self) -> float:
+        """CPU-seconds consumed by completion interrupts."""
+        return self.irq_rate * self.duration * self.irq_duration * len(self.irq_cpus)
+
+
+class IoNoiseConfig:
+    """A replayable schedule of I/O bursts."""
+
+    def __init__(self, bursts: list[IoBurst], meta: Optional[dict] = None):
+        self.bursts = sorted(bursts, key=lambda b: b.start)
+        self.meta = dict(meta) if meta else {}
+
+    @property
+    def n_bursts(self) -> int:
+        """Number of I/O episodes."""
+        return len(self.bursts)
+
+    def total_busy_time(self) -> float:
+        """CPU-seconds of interference (interrupts + flushers)."""
+        return sum(b.total_irq_busy() + b.flush_cpu_time for b in self.bursts)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise schedule + metadata to JSON."""
+        return json.dumps(
+            {
+                "meta": self.meta,
+                "bursts": [
+                    {
+                        "start": b.start,
+                        "duration": b.duration,
+                        "irq_rate": b.irq_rate,
+                        "irq_duration": b.irq_duration,
+                        "irq_cpus": list(b.irq_cpus),
+                        "flush_cpu_time": b.flush_cpu_time,
+                        "flush_segments": b.flush_segments,
+                    }
+                    for b in self.bursts
+                ],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "IoNoiseConfig":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(
+            [
+                IoBurst(
+                    start=d["start"],
+                    duration=d["duration"],
+                    irq_rate=d["irq_rate"],
+                    irq_duration=d["irq_duration"],
+                    irq_cpus=tuple(d["irq_cpus"]),
+                    flush_cpu_time=d["flush_cpu_time"],
+                    flush_segments=d["flush_segments"],
+                )
+                for d in payload["bursts"]
+            ],
+            payload.get("meta"),
+        )
+
+
+class IoNoiseInjector:
+    """Replays an :class:`IoNoiseConfig` on a machine.
+
+    Interrupt aggregation: per-completion events at 2 kHz would swamp
+    the event loop, so completions are coalesced into millisecond-scale
+    irq-class slices per target CPU whose total busy time matches the
+    configured rate — the same fidelity/efficiency trade the simulator
+    makes for timer ticks.
+    """
+
+    #: coalescing quantum for completion interrupts
+    IRQ_SLICE = 1e-3
+
+    def __init__(self, config: IoNoiseConfig, seed: int = 0):
+        if config.n_bursts == 0:
+            raise ValueError("refusing to inject an empty I/O-noise configuration")
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.injected_events = 0
+        self._launched = False
+
+    def launch(self, machine: Machine) -> None:
+        """Arm every burst at the current (barrier) time."""
+        if self._launched:
+            raise RuntimeError("injector instances are single-use")
+        self._launched = True
+        for burst in self.config.bursts:
+            self._arm_burst(machine, burst)
+
+    # ------------------------------------------------------------------
+    def _arm_burst(self, machine: Machine, burst: IoBurst) -> None:
+        now = machine.engine.now
+        # irq-class completion slices, one stream per submitting CPU
+        if burst.irq_rate > 0 and burst.irq_duration > 0:
+            busy_per_slice = burst.irq_rate * self.IRQ_SLICE * burst.irq_duration
+            n_slices = max(1, int(round(burst.duration / self.IRQ_SLICE)))
+            for cpu in burst.irq_cpus:
+                for i in range(n_slices):
+                    t = max(now, burst.start + i * self.IRQ_SLICE)
+                    machine.engine.schedule(
+                        t, self._fire_irq_slice, machine, cpu, busy_per_slice
+                    )
+        # thread-class flusher segments, unbound (kworkers roam)
+        if burst.flush_cpu_time > 0:
+            parts = self.rng.exponential(1.0, size=burst.flush_segments)
+            parts = parts / parts.sum() * burst.flush_cpu_time
+            offsets = np.sort(self.rng.uniform(0.0, burst.duration, size=burst.flush_segments))
+            for dur, off in zip(parts, offsets):
+                machine.engine.schedule(
+                    max(now, burst.start + float(off)),
+                    self._fire_flush,
+                    machine,
+                    float(dur),
+                )
+
+    def _fire_irq_slice(self, machine: Machine, cpu: int, busy: float) -> None:
+        task = Task(
+            "inject:nvme-completion",
+            policy=SchedPolicy.FIFO,
+            rt_priority=90,
+            kind=TaskKind.IRQ_NOISE,
+            work=busy,
+        )
+        self.injected_events += 1
+        machine.scheduler.submit(task, hint=cpu)
+
+    def _fire_flush(self, machine: Machine, duration: float) -> None:
+        task = Task(
+            "inject:kworker-flush",
+            policy=SchedPolicy.OTHER,
+            kind=TaskKind.THREAD_NOISE,
+            work=duration,
+        )
+        self.injected_events += 1
+        machine.scheduler.submit(task)

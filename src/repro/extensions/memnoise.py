@@ -1,0 +1,128 @@
+"""Memory-bandwidth noise injection (paper §7 future work).
+
+The paper's injector replays *CPU occupation* noise only; its stated
+first extension is memory interference.  This module provides it: a
+memory-noise event occupies a CPU **and** pulls a configured DRAM
+bandwidth, so co-running streaming workloads slow down through the
+machine's saturating memory model while compute-bound workloads barely
+notice — exactly the asymmetry the paper's discussion predicts
+("given the consistent accuracy for memory-bound benchmarks, we infer
+that the tested worst-case noise contained minimal memory activity").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.machine import Machine
+from repro.sim.task import SchedPolicy, Task, TaskKind
+
+__all__ = ["MemoryNoiseEvent", "MemoryNoiseConfig", "MemoryNoiseInjector"]
+
+
+@dataclass(frozen=True)
+class MemoryNoiseEvent:
+    """One memory-hog burst."""
+
+    start: float
+    duration: float          # CPU-seconds the hog runs
+    bandwidth_gbs: float     # DRAM bandwidth it pulls at full speed
+    source: str = "membw-hog"
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("event needs start >= 0 and duration > 0")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth_gbs must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "start_time": self.start,
+            "duration": self.duration,
+            "bandwidth_gbs": self.bandwidth_gbs,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MemoryNoiseEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            start=d["start_time"],
+            duration=d["duration"],
+            bandwidth_gbs=d["bandwidth_gbs"],
+            source=d.get("source", "membw-hog"),
+        )
+
+
+class MemoryNoiseConfig:
+    """A replayable schedule of memory-hog bursts."""
+
+    def __init__(self, events: list[MemoryNoiseEvent], meta: Optional[dict] = None):
+        self.events = sorted(events, key=lambda e: e.start)
+        self.meta = dict(meta) if meta else {}
+
+    @property
+    def n_events(self) -> int:
+        """Number of bursts in the schedule."""
+        return len(self.events)
+
+    def total_traffic_gb(self) -> float:
+        """Upper bound on DRAM traffic the config would generate."""
+        return sum(e.duration * e.bandwidth_gbs for e in self.events)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise schedule + metadata to JSON."""
+        return json.dumps(
+            {"meta": self.meta, "events": [e.to_dict() for e in self.events]},
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MemoryNoiseConfig":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(
+            [MemoryNoiseEvent.from_dict(d) for d in payload["events"]],
+            payload.get("meta"),
+        )
+
+
+class MemoryNoiseInjector:
+    """Replays a :class:`MemoryNoiseConfig` on a machine.
+
+    Hog tasks run under ``SCHED_OTHER`` without affinity (like the
+    paper's injector processes) but carry a memory demand: on an
+    otherwise idle CPU they are invisible to compute-bound work yet
+    throttle bandwidth-bound threads machine-wide.
+    """
+
+    def __init__(self, config: MemoryNoiseConfig):
+        if config.n_events == 0:
+            raise ValueError("refusing to inject an empty memory-noise configuration")
+        self.config = config
+        self.injected_events = 0
+        self._launched = False
+
+    def launch(self, machine: Machine) -> None:
+        """Arm all bursts at the current (barrier) time."""
+        if self._launched:
+            raise RuntimeError("injector instances are single-use")
+        self._launched = True
+        for event in self.config.events:
+            machine.engine.schedule(
+                max(event.start, machine.engine.now), self._fire, machine, event
+            )
+
+    def _fire(self, machine: Machine, event: MemoryNoiseEvent) -> None:
+        task = Task(
+            f"inject:{event.source}",
+            policy=SchedPolicy.OTHER,
+            kind=TaskKind.THREAD_NOISE,
+            work=event.duration,
+            mem_demand=event.bandwidth_gbs,
+        )
+        self.injected_events += 1
+        machine.scheduler.submit(task)

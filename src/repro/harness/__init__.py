@@ -1,0 +1,6 @@
+"""Experiment harness: specs, runners, statistics, and paper tables."""
+
+from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment, run_once
+from repro.harness.stats import summarize, Summary
+
+__all__ = ["ExperimentSpec", "ResultSet", "run_experiment", "run_once", "summarize", "Summary"]

@@ -1,0 +1,94 @@
+"""Bootstrap confidence intervals for run-time comparisons.
+
+Comparing noisy run-time samples by their means alone invites
+false conclusions — precisely the failure mode the paper's controlled
+injection exists to avoid. These helpers quantify the uncertainty:
+percentile-bootstrap CIs for a sample mean and for the relative change
+between two samples (the Δ% the tables report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "mean_ci", "relative_change_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    @property
+    def significant(self) -> bool:
+        """For difference-type estimates: does the CI exclude zero?"""
+        return not self.contains(0.0)
+
+    def __str__(self) -> str:
+        pct = self.confidence * 100
+        return f"{self.estimate:.4g} [{self.low:.4g}, {self.high:.4g}] @{pct:.0f}%"
+
+
+def _check(samples: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError(f"{name} needs at least 2 samples, got {arr.size}")
+    return arr
+
+
+def mean_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for the sample mean."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1): {confidence!r}")
+    arr = _check(samples, "samples")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(float(arr.mean()), float(low), float(high), confidence)
+
+
+def relative_change_ci(
+    test: Sequence[float],
+    baseline: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Bootstrap CI for the Δ% of ``test`` over ``baseline`` means.
+
+    The two samples are resampled independently (they come from
+    independent runs), and the statistic is
+    ``(mean(test)/mean(baseline) - 1) * 100``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1): {confidence!r}")
+    t = _check(test, "test")
+    b = _check(baseline, "baseline")
+    if (b <= 0).any():
+        raise ValueError("baseline times must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    t_means = t[rng.integers(0, t.size, size=(n_boot, t.size))].mean(axis=1)
+    b_means = b[rng.integers(0, b.size, size=(n_boot, b.size))].mean(axis=1)
+    deltas = (t_means / b_means - 1.0) * 100.0
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(deltas, [alpha, 1.0 - alpha])
+    point = (t.mean() / b.mean() - 1.0) * 100.0
+    return BootstrapCI(float(point), float(low), float(high), confidence)

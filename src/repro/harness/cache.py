@@ -1,0 +1,127 @@
+"""On-disk result cache for experiment campaigns.
+
+Every run is a deterministic function of its spec (seeds included) and
+the injected noise configuration, so results can be cached and shared
+across table campaigns — Table 6 aggregates the same cells Tables 3–5
+report, and re-simulating them would double the benchmark wall-clock.
+
+The cache lives in ``$REPRO_CACHE_DIR`` (default ``.repro_cache/`` in
+the working directory); delete the directory to invalidate, or set
+``REPRO_NO_CACHE=1`` to bypass entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import NoiseConfig
+
+__all__ = ["ResultCache", "cached_experiment"]
+
+#: bump when simulator semantics change enough to invalidate old runs
+_CACHE_SCHEMA = 4
+
+
+class ResultCache:
+    """Content-addressed store of experiment execution times."""
+
+    def __init__(self, root: Optional[Path] = None):
+        if root is None:
+            root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+        self.root = Path(root)
+        self.enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(spec: ExperimentSpec, noise_config: Optional["NoiseConfig"], reps: int) -> str:
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "spec": {
+                "platform": spec.platform,
+                "workload": spec.workload,
+                "model": spec.model,
+                "strategy": spec.strategy,
+                "use_smt": spec.use_smt,
+                "seed": spec.seed,
+                "tracing": spec.tracing,
+                "runlevel3": spec.runlevel3,
+                "rt_throttle": spec.rt_throttle,
+                "anomaly_prob": spec.anomaly_prob,
+                "workload_params": spec.workload_params,
+            },
+            "reps": reps,
+            "config": noise_config.to_json() if noise_config is not None else None,
+        }
+        # Added after schema 4 shipped: only include when set, so the
+        # bulk of existing cache entries (no thread override) stay valid.
+        if spec.n_threads is not None:
+            payload["spec"]["n_threads"] = spec.n_threads
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get_or_run(
+        self, spec: ExperimentSpec, noise_config: Optional["NoiseConfig"] = None
+    ) -> ResultSet:
+        """Return cached results or run the experiment and store them."""
+        injecting = noise_config is not None
+        reps = spec.resolved_reps(injecting)
+        spec = spec.with_(reps=reps)
+        key = self._key(spec, noise_config, reps)
+        path = self._path(key)
+        if self.enabled and path.exists():
+            try:
+                data = json.loads(path.read_text())
+                self.hits += 1
+                return ResultSet(
+                    spec=spec,
+                    times=np.asarray(data["times"]),
+                    anomalies=data["anomalies"],
+                    injected=data["injected"],
+                )
+            except (json.JSONDecodeError, KeyError):
+                path.unlink(missing_ok=True)
+        self.misses += 1
+        rs = run_experiment(spec, noise_config=noise_config)
+        if self.enabled:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(
+                    {
+                        "times": rs.times.tolist(),
+                        "anomalies": rs.anomalies,
+                        "injected": rs.injected,
+                        "label": spec.label(),
+                    }
+                )
+            )
+            tmp.replace(path)
+        return rs
+
+
+_default_cache: Optional[ResultCache] = None
+
+
+def cached_experiment(
+    spec: ExperimentSpec, noise_config: Optional["NoiseConfig"] = None
+) -> ResultSet:
+    """Module-level convenience using a process-wide cache."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ResultCache()
+    return _default_cache.get_or_run(spec, noise_config)

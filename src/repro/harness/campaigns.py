@@ -1,0 +1,730 @@
+"""Pre-canned campaigns regenerating every table and figure.
+
+Each ``table*``/``figure*`` function reproduces one artefact of the
+paper's evaluation and returns a result object with the raw data plus a
+``render()`` method producing a paper-style text table.  All runs go
+through the on-disk :class:`~repro.harness.cache.ResultCache`, so
+campaigns that share cells (Table 6 aggregates Tables 3–5) cost nothing
+extra, and re-running a benchmark after an interrupted session resumes
+where it stopped.
+
+Noise configurations are also cached: collection is the expensive stage
+(the paper traced 1000 runs per configuration), and configs #1/#2 of a
+platform/workload pair are shared by every row of that pair's table.
+
+Repetition counts honour ``REPRO_BASELINE_REPS`` / ``REPRO_INJECT_REPS``
+/ ``REPRO_COLLECT_REPS``; see EXPERIMENTS.md for the scaled-down
+defaults used in CI versus the paper's 1000/200.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.accuracy import signed_replication_error
+from repro.core.collection import collect_traces
+from repro.core.config import NoiseConfig, generate_config
+from repro.core.merge import MergeStrategy
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import ExperimentSpec
+from repro.harness import paper_reference as paper
+from repro.harness.report import InjectionRow, TableBuilder, render_injection_table, render_series_figure
+from repro.harness.stats import summarize
+from repro.mitigation.strategies import STRATEGY_NAMES
+
+__all__ = [
+    "CampaignSettings",
+    "default_settings",
+    "table1",
+    "table2",
+    "injection_table",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "figure1",
+    "figure2",
+    "merge_ablation",
+    "runlevel3_study",
+]
+
+_WORKLOADS = ("nbody", "babelstream", "minife")
+
+
+def _stable_hash(*parts) -> int:
+    return zlib.crc32("|".join(str(p) for p in parts).encode()) & 0x7FFFFF
+
+
+@dataclass
+class CampaignSettings:
+    """Shared knobs for all campaigns."""
+
+    seed: int = 2025
+    collect_reps: int = 0          # per collection batch; 0 → env default
+    collect_batches: int = 5
+    cache: ResultCache = field(default_factory=ResultCache)
+
+    def resolved_collect_reps(self) -> int:
+        """Collection batch size with environment default applied."""
+        if self.collect_reps > 0:
+            return self.collect_reps
+        return int(os.environ.get("REPRO_COLLECT_REPS", "40"))
+
+    def spec_seed(self, *parts) -> int:
+        """Stable per-cell seed derived from the campaign seed."""
+        return self.seed + _stable_hash(*parts)
+
+
+def default_settings(**kwargs) -> CampaignSettings:
+    """Settings with environment-driven defaults."""
+    return CampaignSettings(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# noise-config store
+# ----------------------------------------------------------------------
+@dataclass
+class ConfigInfo:
+    """Provenance of a cached noise configuration."""
+
+    config: NoiseConfig
+    worst_exec_time: float
+    mean_exec_time: float
+    anomaly: Optional[str]
+    n_runs: int
+    source_label: str
+
+
+def build_noise_config(
+    settings: CampaignSettings,
+    platform: str,
+    workload: str,
+    source: tuple[str, str, bool],
+    idx: int,
+    merge: MergeStrategy = MergeStrategy.IMPROVED,
+    anomaly_prob: Optional[float] = 0.15,
+) -> ConfigInfo:
+    """Collect (or load) worst-case config ``idx`` for a platform/workload.
+
+    ``source`` is the ``(strategy, model, use_smt)`` configuration whose
+    trace collection produces the worst case — the paper's Table 7 names
+    these (e.g. ``Rm-OMP``, ``TPHK2-OMP``).
+
+    ``anomaly_prob`` defaults to an *accelerated* lottery: the paper
+    caught its rare heavy events by brute force over 1000 runs per
+    configuration; the scaled-down campaigns compress that hunt by
+    raising the per-run probability during collection only (baselines
+    and injected runs keep the natural rate).  Pass ``None`` to hunt at
+    the platform's natural rate.
+    """
+    strategy, model, use_smt = source
+    label = f"{strategy}-{model.upper()}{'' if use_smt else '-noSMT'}"
+    key_parts = ("cfg", platform, workload, label, idx, merge.value, anomaly_prob)
+    cache_path = settings.cache.root / f"cfg_{_stable_hash(*key_parts):07x}_{platform}_{workload}_{idx}.json"
+    if settings.cache.enabled and cache_path.exists():
+        import json
+
+        data = json.loads(cache_path.read_text())
+        return ConfigInfo(
+            config=NoiseConfig.from_json(data["config"]),
+            worst_exec_time=data["worst_exec_time"],
+            mean_exec_time=data["mean_exec_time"],
+            anomaly=data["anomaly"],
+            n_runs=data["n_runs"],
+            source_label=data["source_label"],
+        )
+    spec = ExperimentSpec(
+        platform=platform,
+        workload=workload,
+        model=model,
+        strategy=strategy,
+        use_smt=use_smt,
+        seed=settings.spec_seed("collect", platform, workload, label, idx),
+        anomaly_prob=anomaly_prob,
+    )
+    coll = collect_traces(
+        spec,
+        reps=settings.resolved_collect_reps(),
+        min_degradation=0.15,
+        max_batches=settings.collect_batches,
+        profile_excludes_anomalies=anomaly_prob is not None,
+    )
+    config = generate_config(
+        coll.worst_trace,
+        coll.profile,
+        merge=merge,
+        meta={"collected_from": label, "config_idx": idx},
+    )
+    info = ConfigInfo(
+        config=config,
+        worst_exec_time=coll.worst_exec_time,
+        mean_exec_time=coll.clean_mean_exec_time,
+        anomaly=coll.worst_trace.meta.get("anomaly"),
+        n_runs=len(coll.exec_times),
+        source_label=label,
+    )
+    if settings.cache.enabled:
+        import json
+
+        settings.cache.root.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(
+            json.dumps(
+                {
+                    "config": config.to_json(),
+                    "worst_exec_time": info.worst_exec_time,
+                    "mean_exec_time": info.mean_exec_time,
+                    "anomaly": info.anomaly,
+                    "n_runs": info.n_runs,
+                    "source_label": label,
+                }
+            )
+        )
+    return info
+
+
+# ----------------------------------------------------------------------
+# Table 1 — tracing overhead
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Result:
+    """Measured tracing overhead per workload."""
+
+    rows: dict[str, tuple[float, float, float]]  # workload -> (off, on, pct)
+
+    def render(self) -> str:
+        """Paper-style text table with reference rows."""
+        tb = TableBuilder(["workload", "tracing off (s)", "tracing on (s)", "increase", "paper"])
+        for wl, (off, on, pct) in self.rows.items():
+            ref = paper.TABLE1[wl][2]
+            tb.add_row(wl, f"{off:.6f}", f"{on:.6f}", f"{pct:.2f}%", f"{ref:.2f}%")
+        return "Table 1: tracing overhead\n" + tb.render()
+
+
+def table1(settings: Optional[CampaignSettings] = None, platform: str = "intel-9700kf") -> Table1Result:
+    """Average execution time with tracing off and on (Table 1)."""
+    settings = settings or default_settings()
+    rows = {}
+    for wl in _WORKLOADS:
+        seed = settings.spec_seed("table1", platform, wl)
+        spec = ExperimentSpec(platform=platform, workload=wl, model="omp", strategy="Rm", seed=seed)
+        off = settings.cache.get_or_run(spec.with_(tracing=False)).mean
+        on = settings.cache.get_or_run(spec.with_(tracing=True)).mean
+        rows[wl] = (off, on, (on / off - 1.0) * 100.0)
+    return Table1Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Table 2 — baseline variability
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Result:
+    """Average baseline s.d. (ms) per model and strategy."""
+
+    sds: dict[str, dict[str, float]]  # model -> strategy -> sd (ms)
+    platforms: tuple[str, ...]
+
+    def render(self) -> str:
+        """Paper-style text table with reference rows."""
+        tb = TableBuilder(["model", *STRATEGY_NAMES])
+        for model in ("omp", "sycl"):
+            tb.add_row(model.upper(), *(f"{self.sds[model][s]:.2f}" for s in STRATEGY_NAMES))
+            tb.add_row(
+                "  (paper)", *(f"{paper.TABLE2[model][s]:.2f}" for s in STRATEGY_NAMES)
+            )
+        return (
+            f"Table 2: average baseline s.d. (ms) over {', '.join(self.platforms)}\n"
+            + tb.render()
+        )
+
+
+def table2(
+    settings: Optional[CampaignSettings] = None,
+    platforms: Sequence[str] = ("intel-9700kf", "amd-9950x3d"),
+    workloads: Sequence[str] = _WORKLOADS,
+) -> Table2Result:
+    """Average s.d. of baseline executions (Table 2)."""
+    settings = settings or default_settings()
+    sds: dict[str, dict[str, float]] = {}
+    for model in ("omp", "sycl"):
+        sds[model] = {}
+        for strat in STRATEGY_NAMES:
+            values = []
+            for plat in platforms:
+                for wl in workloads:
+                    seed = settings.spec_seed("table2", plat, wl, model, strat)
+                    spec = ExperimentSpec(
+                        platform=plat, workload=wl, model=model, strategy=strat, seed=seed
+                    )
+                    rs = settings.cache.get_or_run(spec)
+                    values.append(rs.sd * 1e3)
+            sds[model][strat] = float(np.mean(values))
+    return Table2Result(sds, tuple(platforms))
+
+
+# ----------------------------------------------------------------------
+# Tables 3–5 — injection tables
+# ----------------------------------------------------------------------
+#: which traced configuration produces config #idx (paper Table 7 style)
+_CONFIG_SOURCES: dict[tuple[str, int, bool], tuple[str, str, bool]] = {
+    # (platform-kind, idx, smt_row) -> (strategy, model, use_smt)
+    ("intel", 1, True): ("Rm", "omp", True),
+    ("intel", 2, True): ("TP", "omp", True),
+    ("amd", 1, False): ("Rm", "omp", False),
+    ("amd", 1, True): ("Rm", "omp", True),
+    ("amd", 2, False): ("TPHK2", "omp", False),
+    ("amd", 2, True): ("TPHK", "omp", True),
+}
+
+#: row groups per (platform kind, workload): (label, model, use_smt, cfg idx)
+def _row_groups(platform: str, workload: str) -> list[tuple[str, str, bool, int]]:
+    if platform.startswith("intel"):
+        return [
+            ("OMP #1", "omp", True, 1),
+            ("SYCL #1", "sycl", True, 1),
+            ("OMP #2", "omp", True, 2),
+            ("SYCL #2", "sycl", True, 2),
+        ]
+    rows = [
+        ("OMP #1", "omp", False, 1),
+        ("OMP SMT #1", "omp", True, 1),
+        ("SYCL #1", "sycl", False, 1),
+        ("SYCL SMT #1", "sycl", True, 1),
+    ]
+    if workload == "minife":
+        rows += [
+            ("OMP #2", "omp", False, 2),
+            ("OMP SMT #2", "omp", True, 2),
+            ("SYCL #2", "sycl", False, 2),
+            ("SYCL SMT #2", "sycl", True, 2),
+        ]
+    return rows
+
+
+@dataclass
+class InjectionTableResult:
+    """One of Tables 3–5: per-platform row groups under injection."""
+
+    workload: str
+    rows_by_platform: dict[str, list[InjectionRow]]
+    configs: dict[tuple[str, int, bool], ConfigInfo] = field(default_factory=dict)
+
+    def render(self, with_paper: bool = True) -> str:
+        number = {"nbody": 3, "babelstream": 4, "minife": 5}[self.workload]
+        parts = []
+        for plat, rows in self.rows_by_platform.items():
+            parts.append(
+                render_injection_table(
+                    f"Table {number}: {self.workload} on {plat} (exec s / Δ% vs baseline)",
+                    rows,
+                    STRATEGY_NAMES,
+                    with_paper=with_paper,
+                )
+            )
+        return "\n\n".join(parts)
+
+    def deltas(self) -> dict[tuple[str, str, str], float]:
+        """(platform, row label, strategy) -> Δ% map (Table 6 input)."""
+        out = {}
+        for plat, rows in self.rows_by_platform.items():
+            for row in rows:
+                for strat, delta in row.deltas.items():
+                    out[(plat, row.label, strat)] = delta
+        return out
+
+
+def injection_table(
+    workload: str,
+    settings: Optional[CampaignSettings] = None,
+    platforms: Sequence[str] = ("intel-9700kf", "amd-9950x3d"),
+    strategies: Sequence[str] = STRATEGY_NAMES,
+) -> InjectionTableResult:
+    """Generic Tables 3–5 generator for one workload."""
+    settings = settings or default_settings()
+    paper_table = {
+        "nbody": paper.TABLE3,
+        "babelstream": paper.TABLE4,
+        "minife": paper.TABLE5,
+    }[workload]
+    rows_by_platform: dict[str, list[InjectionRow]] = {}
+    configs: dict[tuple[str, int, bool], ConfigInfo] = {}
+    for plat in platforms:
+        kind = "intel" if plat.startswith("intel") else "amd"
+        rows: list[InjectionRow] = []
+        for label, model, use_smt, idx in _row_groups(plat, workload):
+            cfg_key = (plat, idx, use_smt if kind == "amd" else True)
+            if cfg_key not in configs:
+                source = _CONFIG_SOURCES[(kind, idx, use_smt if kind == "amd" else True)]
+                configs[cfg_key] = build_noise_config(settings, plat, workload, source, idx)
+            info = configs[cfg_key]
+            exec_times: dict[str, float] = {}
+            deltas: dict[str, float] = {}
+            for strat in strategies:
+                seed = settings.spec_seed("inj", plat, workload, model, strat, use_smt)
+                spec = ExperimentSpec(
+                    platform=plat,
+                    workload=workload,
+                    model=model,
+                    strategy=strat,
+                    use_smt=use_smt,
+                    seed=seed,
+                )
+                base = settings.cache.get_or_run(spec)
+                inj = settings.cache.get_or_run(
+                    spec.with_(seed=seed + 1_000_003), noise_config=info.config
+                )
+                exec_times[strat] = inj.mean
+                deltas[strat] = (inj.mean / base.mean - 1.0) * 100.0
+            ref = paper_table.get(plat, {}).get(label, {})
+            rows.append(
+                InjectionRow(
+                    label=label,
+                    exec_times=exec_times,
+                    deltas=deltas,
+                    paper_exec=ref.get("exec", {}),
+                    paper_delta=ref.get("delta", {}),
+                )
+            )
+        rows_by_platform[plat] = rows
+    return InjectionTableResult(workload, rows_by_platform, configs)
+
+
+def table3(settings: Optional[CampaignSettings] = None, **kw) -> InjectionTableResult:
+    """N-body under injection (Table 3)."""
+    return injection_table("nbody", settings, **kw)
+
+
+def table4(settings: Optional[CampaignSettings] = None, **kw) -> InjectionTableResult:
+    """Babelstream under injection (Table 4)."""
+    return injection_table("babelstream", settings, **kw)
+
+
+def table5(settings: Optional[CampaignSettings] = None, **kw) -> InjectionTableResult:
+    """MiniFE under injection (Table 5)."""
+    return injection_table("minife", settings, **kw)
+
+
+# ----------------------------------------------------------------------
+# Table 6 — summary
+# ----------------------------------------------------------------------
+@dataclass
+class Table6Result:
+    """Average relative performance change per model and strategy."""
+
+    averages: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        """Paper-style text table with reference rows."""
+        tb = TableBuilder(["model", *STRATEGY_NAMES])
+        for model in ("omp", "sycl"):
+            tb.add_row(model.upper(), *(f"{self.averages[model][s]:.2f}" for s in STRATEGY_NAMES))
+            tb.add_row("  (paper)", *(f"{paper.TABLE6[model][s]:.2f}" for s in STRATEGY_NAMES))
+        return "Table 6: average relative performance change (%) under injection\n" + tb.render()
+
+    def sycl_advantage(self) -> float:
+        """Average OMP-minus-SYCL gap across strategies (paper: 16.82)."""
+        gaps = [
+            self.averages["omp"][s] - self.averages["sycl"][s] for s in STRATEGY_NAMES
+        ]
+        return float(np.mean(gaps))
+
+
+def table6(
+    settings: Optional[CampaignSettings] = None,
+    tables: Optional[Sequence[InjectionTableResult]] = None,
+) -> Table6Result:
+    """Summary of Tables 3–5 (Table 6); reuses their cached cells."""
+    settings = settings or default_settings()
+    if tables is None:
+        tables = [injection_table(wl, settings) for wl in _WORKLOADS]
+    sums: dict[str, dict[str, list[float]]] = {
+        "omp": {s: [] for s in STRATEGY_NAMES},
+        "sycl": {s: [] for s in STRATEGY_NAMES},
+    }
+    for result in tables:
+        for (plat, label, strat), delta in result.deltas().items():
+            model = "sycl" if "SYCL" in label else "omp"
+            sums[model][strat].append(delta)
+    averages = {
+        model: {s: float(np.mean(v)) if v else float("nan") for s, v in per.items()}
+        for model, per in sums.items()
+    }
+    return Table6Result(averages)
+
+
+# ----------------------------------------------------------------------
+# Table 7 — injector accuracy
+# ----------------------------------------------------------------------
+#: the ten worst-case traces of Table 7: (workload, label) -> (platform,
+#: strategy, model, use_smt)
+_TABLE7_CONFIGS: dict[tuple[str, str], tuple[str, str, str, bool]] = {
+    ("nbody", "Rm-OMP"): ("intel-9700kf", "Rm", "omp", True),
+    ("nbody", "TP-OMP"): ("intel-9700kf", "TP", "omp", True),
+    ("nbody", "Rm-SMT-OMP"): ("amd-9950x3d", "Rm", "omp", True),
+    ("babelstream", "Rm-OMP"): ("intel-9700kf", "Rm", "omp", True),
+    ("babelstream", "TP-OMP"): ("intel-9700kf", "TP", "omp", True),
+    ("babelstream", "TP-SYCL"): ("intel-9700kf", "TP", "sycl", True),
+    ("minife", "Rm-OMP"): ("intel-9700kf", "Rm", "omp", True),
+    ("minife", "TPHK2-OMP"): ("amd-9950x3d", "TPHK2", "omp", False),
+    ("minife", "TPHK-SMT-OMP"): ("amd-9950x3d", "TPHK", "omp", True),
+    ("minife", "RmHK2-SYCL"): ("amd-9950x3d", "RmHK2", "sycl", True),
+}
+
+
+@dataclass
+class Table7Result:
+    """Replication accuracy for each worst-case trace."""
+
+    rows: list[tuple[str, str, float, float]]  # workload, label, signed %, paper %
+
+    def render(self) -> str:
+        """Paper-style text table with reference rows."""
+        tb = TableBuilder(["benchmark", "config", "accuracy", "paper"])
+        for wl, label, acc, ref in self.rows:
+            tb.add_row(wl, label, f"{acc:+.2f}%", f"{ref:+.2f}%")
+        tb.add_row(
+            "mean |acc|",
+            "",
+            f"{np.mean([abs(a) for _, _, a, _ in self.rows]):.2f}%",
+            f"{paper.TABLE7_MEAN_ACCURACY:.2f}%",
+        )
+        return "Table 7: injector replication accuracy per worst-case trace\n" + tb.render()
+
+    def mean_abs_accuracy(self) -> float:
+        """Mean |accuracy| over the ten configs (paper: 8.57%)."""
+        return float(np.mean([abs(a) for _, _, a, _ in self.rows]))
+
+
+def table7(
+    settings: Optional[CampaignSettings] = None,
+    merge: MergeStrategy = MergeStrategy.IMPROVED,
+) -> Table7Result:
+    """Injector accuracy over the ten worst-case traces (Table 7)."""
+    settings = settings or default_settings()
+    rows = []
+    for (workload, label), (plat, strat, model, use_smt) in _TABLE7_CONFIGS.items():
+        info = build_noise_config(
+            settings, plat, workload, (strat, model, use_smt), idx=7, merge=merge
+        )
+        seed = settings.spec_seed("t7", plat, workload, label)
+        spec = ExperimentSpec(
+            platform=plat,
+            workload=workload,
+            model=model,
+            strategy=strat,
+            use_smt=use_smt,
+            seed=seed,
+        )
+        inj = settings.cache.get_or_run(spec, noise_config=info.config)
+        err = signed_replication_error(inj.mean, info.worst_exec_time) * 100.0
+        rows.append((workload, label, err, paper.TABLE7[(workload, label)]))
+    return Table7Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Figures 1–2 — A64FX motivation study
+# ----------------------------------------------------------------------
+@dataclass
+class FigureResult:
+    """Distribution series for a text-rendered figure."""
+
+    title: str
+    x_labels: list[str]
+    series: dict[str, list[tuple[float, float, float]]]  # (mean, sd, max)
+
+    def render(self) -> str:
+        """Text rendering of the figure's distribution series."""
+        return render_series_figure(self.title, self.x_labels, self.series)
+
+    def variability_ratio(self) -> float:
+        """Mean sd ratio of the unreserved system over the reserved one
+        (>1 means reserving OS cores reduced variability, the paper's
+        motivation claim)."""
+        keys = list(self.series)
+        if len(keys) != 2:
+            raise ValueError("variability_ratio needs exactly two series")
+        unres = [p[1] for p in self.series[keys[0]]]
+        res = [p[1] for p in self.series[keys[1]]]
+        res = [max(r, 1e-9) for r in res]
+        return float(np.mean([u / r for u, r in zip(unres, res)]))
+
+
+def figure1(
+    settings: Optional[CampaignSettings] = None,
+    schedules: Sequence[str] = ("static", "dynamic", "guided"),
+    chunks: Sequence[int] = (1, 8, 64),
+) -> FigureResult:
+    """schedbench variability with and without reserved OS cores (Fig. 1)."""
+    settings = settings or default_settings()
+    x_labels: list[str] = []
+    series: dict[str, list[tuple[float, float, float]]] = {"A64FX:w/o": [], "A64FX:reserved": []}
+    for sched in schedules:
+        for chunk in chunks:
+            prefix = {"static": "st", "dynamic": "dy", "guided": "gd"}[sched]
+            x_labels.append(f"{prefix}:{chunk}")
+            for plat, key in (("a64fx", "A64FX:w/o"), ("a64fx-reserved", "A64FX:reserved")):
+                seed = settings.spec_seed("fig1", plat, sched, chunk)
+                spec = ExperimentSpec(
+                    platform=plat,
+                    workload="schedbench",
+                    model="omp",
+                    strategy="Rm",
+                    seed=seed,
+                    anomaly_prob=0.15,
+                    workload_params={"schedule": sched, "chunk": chunk},
+                )
+                rs = settings.cache.get_or_run(spec)
+                s = summarize(rs.times)
+                series[key].append((s.mean, s.sd, s.maximum))
+    return FigureResult(
+        "Figure 1: schedbench execution-time variability (A64FX, reserved vs w/o)",
+        x_labels,
+        series,
+    )
+
+
+def figure2(
+    settings: Optional[CampaignSettings] = None,
+    thread_counts: Sequence[int] = (12, 24, 36, 48),
+) -> FigureResult:
+    """Babelstream *dot* variability versus thread count (Fig. 2)."""
+    settings = settings or default_settings()
+    x_labels = [str(t) for t in thread_counts]
+    series: dict[str, list[tuple[float, float, float]]] = {"A64FX:w/o": [], "A64FX:reserved": []}
+    for plat, key in (("a64fx", "A64FX:w/o"), ("a64fx-reserved", "A64FX:reserved")):
+        for t in thread_counts:
+            seed = settings.spec_seed("fig2", plat, t)
+            spec = ExperimentSpec(
+                platform=plat,
+                workload="babelstream",
+                model="omp",
+                strategy="Rm",
+                seed=seed,
+                anomaly_prob=0.15,
+                n_threads=t,
+                workload_params={"kernels": ("dot",)},
+            )
+            rs = settings.cache.get_or_run(spec)
+            s = summarize(rs.times)
+            series[key].append((s.mean, s.sd, s.maximum))
+    return FigureResult(
+        "Figure 2: Babelstream dot kernel variability vs thread count (A64FX)",
+        x_labels,
+        series,
+    )
+
+
+# ----------------------------------------------------------------------
+# §5.2 ablation — naive vs improved merging
+# ----------------------------------------------------------------------
+@dataclass
+class MergeAblationResult:
+    """Replay accuracy of the naive versus the improved injector."""
+
+    naive_accuracy: float
+    improved_accuracy: float
+    naive_fifo_busy: float
+    improved_fifo_busy: float
+
+    def render(self) -> str:
+        """Paper-style text table with reference rows."""
+        tb = TableBuilder(["injector variant", "replication accuracy", "FIFO busy (ms)"])
+        tb.add_row("naive merge", f"{self.naive_accuracy * 100:.2f}%", f"{self.naive_fifo_busy * 1e3:.1f}")
+        tb.add_row("improved merge", f"{self.improved_accuracy * 100:.2f}%", f"{self.improved_fifo_busy * 1e3:.1f}")
+        ref_n, ref_i = paper.MERGE_ABLATION["compromised_trace"]
+        tb.add_row("paper (compromised trace)", f"{ref_n:.2f}% -> {ref_i:.2f}%", "-")
+        return "Merge ablation (§5.2): naive vs improved overlap merging\n" + tb.render()
+
+
+def _fifo_busy(config: NoiseConfig) -> float:
+    return sum(
+        e.duration
+        for evts in config.events_per_cpu.values()
+        for e in evts
+        if e.policy == "SCHED_FIFO"
+    )
+
+
+def merge_ablation(
+    settings: Optional[CampaignSettings] = None,
+    platform: str = "amd-9950x3d",
+    workload: str = "minife",
+) -> MergeAblationResult:
+    """Reproduce the compromised-run study (§5.2).
+
+    The problem surfaced on a worst-case trace with densely overlapping
+    events: the naive rule merges thread- and interrupt-class overlaps
+    into pessimistic ``SCHED_FIFO`` envelopes, distorting the replay
+    relative to the improved class-separating rule.  A 32-CPU machine
+    with a guaranteed anomaly reliably produces such dense traces — the
+    same worst case is converted with both rules and replayed.
+    """
+    settings = settings or default_settings()
+    spec = ExperimentSpec(
+        platform=platform,
+        workload=workload,
+        model="omp",
+        strategy="Rm",
+        seed=settings.spec_seed("ablate-collect", platform, workload),
+        anomaly_prob=1.0,
+    )
+    coll = collect_traces(
+        spec, reps=settings.resolved_collect_reps(), max_batches=1, min_degradation=0.0
+    )
+    accuracies = {}
+    fifo = {}
+    for merge in (MergeStrategy.NAIVE, MergeStrategy.IMPROVED):
+        config = generate_config(
+            coll.worst_trace, coll.profile, merge=merge, meta={"ablation": "merge"}
+        )
+        seed = settings.spec_seed("ablate", platform, workload, merge.value)
+        inj_spec = spec.with_(seed=seed, anomaly_prob=None)
+        inj = settings.cache.get_or_run(inj_spec, noise_config=config)
+        accuracies[merge] = abs(signed_replication_error(inj.mean, coll.worst_exec_time))
+        fifo[merge] = _fifo_busy(config)
+    return MergeAblationResult(
+        naive_accuracy=accuracies[MergeStrategy.NAIVE],
+        improved_accuracy=accuracies[MergeStrategy.IMPROVED],
+        naive_fifo_busy=fifo[MergeStrategy.NAIVE],
+        improved_fifo_busy=fifo[MergeStrategy.IMPROVED],
+    )
+
+
+# ----------------------------------------------------------------------
+# §5.1 runlevel-3 check
+# ----------------------------------------------------------------------
+@dataclass
+class Runlevel3Result:
+    """Baseline variability with and without the GUI (runlevel 3)."""
+
+    sd_gui: float
+    sd_runlevel3: float
+
+    def render(self) -> str:
+        """Paper-style text table with reference rows."""
+        tb = TableBuilder(["mode", "baseline sd (ms)"])
+        tb.add_row("default (GUI)", f"{self.sd_gui * 1e3:.2f}")
+        tb.add_row("runlevel 3", f"{self.sd_runlevel3 * 1e3:.2f}")
+        return (
+            "Runlevel-3 check (§5.1): GUI off reduces variability, trends unchanged\n"
+            + tb.render()
+        )
+
+
+def runlevel3_study(
+    settings: Optional[CampaignSettings] = None,
+    platform: str = "intel-9700kf",
+    workload: str = "nbody",
+) -> Runlevel3Result:
+    """The paper's sanity check that GUI noise was not driving results."""
+    settings = settings or default_settings()
+    seed = settings.spec_seed("rl3", platform, workload)
+    spec = ExperimentSpec(platform=platform, workload=workload, model="omp", strategy="Rm", seed=seed)
+    gui = settings.cache.get_or_run(spec)
+    rl3 = settings.cache.get_or_run(spec.with_(runlevel3=True))
+    return Runlevel3Result(sd_gui=gui.sd, sd_runlevel3=rl3.sd)

@@ -1,0 +1,220 @@
+"""Experiment specification and runner.
+
+An :class:`ExperimentSpec` is everything needed to reproduce one cell
+of the paper's tables: platform, workload, programming model,
+mitigation strategy, SMT use, repetition count, and a seed.  The same
+spec with ``noise_config`` set becomes an injection experiment
+(stage 3 of the pipeline).
+
+Repetition counts default to the environment variables
+``REPRO_BASELINE_REPS`` / ``REPRO_INJECT_REPS`` so the full-paper
+counts (1000 / 200) can be restored without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.harness.stats import Summary, summarize
+from repro.mitigation.strategies import get_strategy
+from repro.runtimes import get_runtime
+from repro.runtimes.base import Placement
+from repro.sim.machine import Machine, RunResult
+from repro.sim.noise import runlevel3 as _runlevel3
+from repro.sim.platform import PlatformSpec, get_platform
+from repro.workloads.base import Workload, get_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import NoiseConfig
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultSet",
+    "run_experiment",
+    "run_once",
+    "default_baseline_reps",
+    "default_inject_reps",
+]
+
+
+def default_baseline_reps() -> int:
+    """Baseline repetitions (paper: 1000; default here: 60)."""
+    return int(os.environ.get("REPRO_BASELINE_REPS", "60"))
+
+
+def default_inject_reps() -> int:
+    """Injection repetitions (paper: 200; default here: 30)."""
+    return int(os.environ.get("REPRO_INJECT_REPS", "30"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment configuration (a table cell)."""
+
+    platform: str
+    workload: str
+    model: str = "omp"
+    strategy: str = "Rm"
+    use_smt: bool = True
+    reps: int = 0                      # 0 → environment default
+    seed: int = 2025
+    tracing: bool = True
+    runlevel3: bool = False
+    rt_throttle: bool = True
+    anomaly_prob: Optional[float] = None
+    #: override the thread count (default: one per CPU in the strategy's
+    #: mask); used by the Fig.-2 thread-scaling sweep
+    n_threads: Optional[int] = None
+    workload_params: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        """Human-readable configuration label (paper row style)."""
+        smt = "-SMT" if self.use_smt and "amd" in self.platform else ""
+        return f"{self.strategy}-{self.model.upper()}{smt}/{self.workload}@{self.platform}"
+
+    def resolved_reps(self, injecting: bool = False) -> int:
+        """Repetition count with environment defaults applied."""
+        if self.reps > 0:
+            return self.reps
+        return default_inject_reps() if injecting else default_baseline_reps()
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """Functional update."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ResultSet:
+    """Execution times and metadata of one experiment."""
+
+    spec: ExperimentSpec
+    times: np.ndarray
+    anomalies: list[Optional[str]]
+    injected: bool = False
+
+    @property
+    def summary(self) -> Summary:
+        """Descriptive statistics of the execution times."""
+        return summarize(self.times)
+
+    @property
+    def mean(self) -> float:
+        """Mean execution time in seconds."""
+        return float(self.times.mean())
+
+    @property
+    def sd(self) -> float:
+        """Sample standard deviation in seconds."""
+        return float(self.times.std(ddof=1)) if len(self.times) > 1 else 0.0
+
+    def anomaly_count(self) -> int:
+        """Runs in which a natural anomaly fired."""
+        return sum(1 for a in self.anomalies if a)
+
+
+# ----------------------------------------------------------------------
+def _build_context(spec: ExperimentSpec):
+    """Resolve names to concrete platform / workload / placement."""
+    platform = get_platform(spec.platform)
+    noise_env = platform.noise
+    if spec.runlevel3:
+        noise_env = _runlevel3(noise_env)
+    if spec.anomaly_prob is not None:
+        from dataclasses import replace as _dc_replace
+
+        noise_env = _dc_replace(
+            noise_env, anomalies=_dc_replace(noise_env.anomalies, prob=spec.anomaly_prob)
+        )
+    platform = platform.with_noise(noise_env)
+    workload = get_workload(spec.workload, platform, **spec.workload_params)
+    placement = get_strategy(spec.strategy).placement(platform, use_smt=spec.use_smt)
+    if spec.n_threads is not None:
+        from dataclasses import replace as _dc_replace
+
+        if spec.n_threads > len(placement.cpus):
+            raise ValueError(
+                f"n_threads={spec.n_threads} exceeds the strategy's "
+                f"{len(placement.cpus)}-CPU mask"
+            )
+        placement = _dc_replace(placement, n_threads=spec.n_threads)
+    return platform, workload, placement
+
+
+def run_once(
+    platform: PlatformSpec,
+    workload: Workload,
+    placement: Placement,
+    model: str,
+    rng: np.random.Generator,
+    *,
+    tracing: bool = True,
+    rt_throttle: bool = True,
+    noise_config: Optional["NoiseConfig"] = None,
+    meta: Optional[dict] = None,
+) -> RunResult:
+    """Execute a single simulated run and return its result."""
+    machine = Machine(
+        platform,
+        rng,
+        tracing=tracing,
+        rt_throttle=rt_throttle,
+    )
+    runtime = get_runtime(model)
+    expected = workload.estimate_duration(platform, placement.n_threads)
+
+    def start(m: Machine) -> None:
+        """Launch runtime (and injector) on the fresh machine."""
+        runtime.launch(m, workload.regions(platform, placement.n_threads), placement)
+        if noise_config is not None:
+            from repro.core.injector import NoiseInjector
+
+            NoiseInjector(noise_config).launch(m)
+
+    return machine.run(start, expected_duration=expected, meta=meta)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    noise_config: Optional["NoiseConfig"] = None,
+    on_run: Optional[Callable[[int, RunResult], None]] = None,
+) -> ResultSet:
+    """Run a full experiment (``reps`` independent machines).
+
+    Parameters
+    ----------
+    noise_config:
+        When given, every run replays this configuration through the
+        injector (with RT throttling disabled, as in the paper).
+    on_run:
+        Optional consumer called per run — e.g. the trace collector.
+        Traces are not retained by the ResultSet (a thousand desktop
+        traces would be gigabytes); consume them here.
+    """
+    platform, workload, placement = _build_context(spec)
+    injecting = noise_config is not None
+    reps = spec.resolved_reps(injecting)
+    seeds = np.random.SeedSequence(spec.seed).spawn(reps)
+    times = np.empty(reps)
+    anomalies: list[Optional[str]] = []
+    for i in range(reps):
+        rng = np.random.default_rng(seeds[i])
+        result = run_once(
+            platform,
+            workload,
+            placement,
+            spec.model,
+            rng,
+            tracing=spec.tracing,
+            rt_throttle=spec.rt_throttle and not injecting,
+            noise_config=noise_config,
+            meta={"run": i, "spec": spec.label()},
+        )
+        times[i] = result.exec_time
+        anomalies.append(result.anomaly)
+        if on_run is not None:
+            on_run(i, result)
+    return ResultSet(spec=spec, times=times, anomalies=anomalies, injected=injecting)

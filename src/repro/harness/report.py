@@ -1,0 +1,124 @@
+"""Paper-style table and figure rendering.
+
+The campaign modules produce structured results; this module turns
+them into the ASCII layouts the paper's tables use — one row per
+workload configuration, one column per mitigation strategy, execution
+time over percentage change — plus simple text "figures" (per-series
+distribution summaries) for the motivation plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["TableBuilder", "InjectionRow", "render_injection_table", "render_series_figure"]
+
+
+class TableBuilder:
+    """Minimal fixed-width table renderer."""
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append a row (cells are str()-ed; must match header count)."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Fixed-width render with a separator under the header."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        lines = [fmt(self.headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(r) for r in self.rows)
+        return "\n".join(lines)
+
+
+@dataclass
+class InjectionRow:
+    """One row-group of Tables 3–5: a workload configuration under all
+    strategies, as (exec seconds, Δ% vs baseline) pairs."""
+
+    label: str                         # e.g. "OMP #1" or "SYCL SMT #2"
+    exec_times: dict[str, float]       # strategy -> injected mean (s)
+    deltas: dict[str, float]           # strategy -> % change vs baseline
+    paper_exec: dict[str, float] = field(default_factory=dict)
+    paper_delta: dict[str, float] = field(default_factory=dict)
+
+
+def render_injection_table(
+    title: str,
+    rows: Sequence[InjectionRow],
+    strategies: Sequence[str],
+    with_paper: bool = False,
+) -> str:
+    """Render rows in the two-line-per-config layout of Tables 3–5."""
+    tb = TableBuilder(["config", *strategies])
+    for row in rows:
+        tb.add_row(
+            row.label,
+            *(f"{row.exec_times.get(s, float('nan')):.3f}" for s in strategies),
+        )
+        tb.add_row(
+            "",
+            *(f"{row.deltas.get(s, float('nan')):+.1f}%" for s in strategies),
+        )
+        if with_paper and row.paper_exec:
+            tb.add_row(
+                "  (paper)",
+                *(
+                    f"{row.paper_exec[s]:.3f}" if s in row.paper_exec else "-"
+                    for s in strategies
+                ),
+            )
+            tb.add_row(
+                "",
+                *(
+                    f"{row.paper_delta[s]:+.1f}%" if s in row.paper_delta else "-"
+                    for s in strategies
+                ),
+            )
+    return f"{title}\n{tb.render()}"
+
+
+def render_series_figure(
+    title: str,
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[tuple[float, float, float]]],
+    unit: str = "ms",
+    scale: float = 1e3,
+    bar_width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Text rendering of a grouped distribution figure (Figs. 1–2).
+
+    ``series`` maps a system label to per-x ``(mean, sd, max)`` tuples
+    in seconds; each becomes a line with an sd bar so the
+    reserved-vs-unreserved variability contrast is visible in a
+    terminal.
+    """
+    lines = [title]
+    all_sd = [t[1] for pts in series.values() for t in pts]
+    top = max_value if max_value is not None else (max(all_sd) * scale if all_sd else 1.0)
+    top = max(top, 1e-9)
+    for name, points in series.items():
+        lines.append(f"  {name}:")
+        for label, (mean, sd, worst) in zip(x_labels, points):
+            bar = "#" * max(1, int(round(sd * scale / top * bar_width))) if sd > 0 else ""
+            lines.append(
+                f"    {label:>8}  mean={mean * scale:9.3f}{unit}  "
+                f"sd={sd * scale:8.3f}{unit}  max={worst * scale:9.3f}{unit}  |{bar}"
+            )
+    return "\n".join(lines)

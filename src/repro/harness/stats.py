@@ -1,0 +1,68 @@
+"""Run-to-run statistics used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "relative_change", "outlier_mask"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one experiment's execution times."""
+
+    n: int
+    mean: float
+    sd: float
+    cov: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    p99: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.6f}s sd={self.sd * 1e3:.3f}ms "
+            f"cov={self.cov * 100:.2f}% max={self.maximum:.6f}s"
+        )
+
+
+def summarize(times: Sequence[float]) -> Summary:
+    """Summary statistics; sd is the sample standard deviation."""
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize zero runs")
+    if (arr <= 0).any():
+        raise ValueError("non-positive execution time in sample")
+    mean = float(arr.mean())
+    sd = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=mean,
+        sd=sd,
+        cov=sd / mean if mean > 0 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+    )
+
+
+def relative_change(value: float, baseline: float) -> float:
+    """Percentage change relative to a baseline (paper's Δ% columns)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive: {baseline!r}")
+    return (value - baseline) / baseline * 100.0
+
+
+def outlier_mask(times: Sequence[float], k: float = 3.0) -> np.ndarray:
+    """Boolean mask of runs more than ``k`` sample-sd above the mean."""
+    arr = np.asarray(times, dtype=np.float64)
+    if arr.size < 2:
+        return np.zeros(arr.size, dtype=bool)
+    return arr > arr.mean() + k * arr.std(ddof=1)

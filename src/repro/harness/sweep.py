@@ -1,0 +1,93 @@
+"""Parameter sweeps over experiment specs.
+
+A small grid-runner for exploratory studies beyond the pre-canned
+campaigns: vary any subset of :class:`ExperimentSpec` fields, run each
+combination (cached), and collect a tidy result table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import ExperimentSpec, ResultSet
+from repro.harness.report import TableBuilder
+from repro.harness.stats import Summary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import NoiseConfig
+
+__all__ = ["SweepResult", "sweep"]
+
+_SWEEPABLE = {
+    "platform",
+    "workload",
+    "model",
+    "strategy",
+    "use_smt",
+    "seed",
+    "runlevel3",
+    "anomaly_prob",
+    "n_threads",
+}
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one grid: axis names, points, and per-point results."""
+
+    axes: tuple[str, ...]
+    points: list[tuple]
+    results: list[ResultSet]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def summaries(self) -> list[Summary]:
+        """Per-point statistical summaries."""
+        return [r.summary for r in self.results]
+
+    def best(self, key: str = "mean") -> tuple[tuple, ResultSet]:
+        """The point minimising ``key`` ('mean', 'sd', 'cov', 'maximum')."""
+        idx = min(
+            range(len(self.results)), key=lambda i: getattr(self.results[i].summary, key)
+        )
+        return self.points[idx], self.results[idx]
+
+    def render(self, title: str = "sweep") -> str:
+        """Tidy table: one row per grid point."""
+        tb = TableBuilder([*self.axes, "mean (s)", "sd (ms)", "max (s)"])
+        for point, rs in zip(self.points, self.results):
+            s = rs.summary
+            tb.add_row(*point, f"{s.mean:.4f}", f"{s.sd * 1e3:.2f}", f"{s.maximum:.4f}")
+        return f"{title}\n{tb.render()}"
+
+
+def sweep(
+    base: ExperimentSpec,
+    noise_config: Optional["NoiseConfig"] = None,
+    cache: Optional[ResultCache] = None,
+    **axes: Sequence,
+) -> SweepResult:
+    """Run the cartesian grid of ``axes`` values over ``base``.
+
+    Example::
+
+        sweep(base, strategy=("Rm", "TP"), model=("omp", "sycl"))
+    """
+    if not axes:
+        raise ValueError("sweep needs at least one axis")
+    unknown = set(axes) - _SWEEPABLE
+    if unknown:
+        raise ValueError(f"cannot sweep over: {sorted(unknown)} (allowed: {sorted(_SWEEPABLE)})")
+    cache = cache if cache is not None else ResultCache()
+    names = tuple(axes)
+    points: list[tuple] = []
+    results: list[ResultSet] = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        spec = base.with_(**dict(zip(names, combo)))
+        points.append(combo)
+        results.append(cache.get_or_run(spec, noise_config=noise_config))
+    return SweepResult(axes=names, points=points, results=results)

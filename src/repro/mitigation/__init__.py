@@ -1,0 +1,9 @@
+"""Mitigation strategies evaluated by the paper (§5's column labels)."""
+
+from repro.mitigation.strategies import (
+    STRATEGY_NAMES,
+    MitigationStrategy,
+    get_strategy,
+)
+
+__all__ = ["MitigationStrategy", "get_strategy", "STRATEGY_NAMES"]

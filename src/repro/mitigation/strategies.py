@@ -1,0 +1,110 @@
+"""Mitigation strategies: thread placement and housekeeping cores.
+
+The paper's configuration labels (§5):
+
+* ``Rm`` — roam: threads schedule freely over the allowed CPUs;
+* ``TP`` — thread pinning: thread *i* fixed to CPU *i*;
+* ``HK`` / ``HK2`` — housekeeping: 12.5% / 25% of the CPUs are left to
+  background system tasks and excluded from the workload;
+* ``RmHK``/``RmHK2``/``TPHK``/``TPHK2`` — the combinations.
+
+SMT toggling is orthogonal (the AMD rows marked "SMT" in Tables 3–5):
+``use_smt=False`` runs one thread per physical core, leaving the
+sibling hardware threads to absorb OS activity (León et al.'s
+SMT-reservation idea).
+
+A strategy turns a :class:`~repro.sim.platform.PlatformSpec` into a
+:class:`~repro.runtimes.base.Placement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtimes.base import Placement
+from repro.sim.platform import PlatformSpec
+
+__all__ = ["MitigationStrategy", "get_strategy", "STRATEGY_NAMES"]
+
+
+@dataclass(frozen=True)
+class MitigationStrategy:
+    """One of the paper's six placement/housekeeping configurations."""
+
+    name: str
+    pinned: bool
+    hk_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hk_fraction < 0.5:
+            raise ValueError(f"hk_fraction out of range: {self.hk_fraction!r}")
+
+    # ------------------------------------------------------------------
+    def placement(self, platform: PlatformSpec, use_smt: bool = True) -> Placement:
+        """Compute the workload's CPU mask and thread count.
+
+        Housekeeping CPUs are taken from the top of the CPU range
+        (whole physical cores on SMT machines, so a reserved core's
+        sibling is not left inside the workload mask).
+        """
+        topo = platform.topology
+        if use_smt or topo.smt == 1:
+            base = [c for c in platform.user_cpus()]
+        else:
+            user = set(platform.user_cpus())
+            base = [c for c in topo.primary_cpus() if c in user]
+        n_hk = int(round(self.hk_fraction * len(base)))
+        if self.hk_fraction > 0.0:
+            n_hk = max(1, n_hk)
+        if n_hk >= len(base):
+            raise ValueError(
+                f"housekeeping would consume all CPUs ({n_hk} of {len(base)})"
+            )
+        if n_hk and topo.smt == 2 and use_smt:
+            # Remove whole physical cores: highest cores, both siblings.
+            n_cores = max(1, n_hk // 2)
+            drop: set[int] = set()
+            for core in range(topo.n_physical - 1, -1, -1):
+                if len(drop) >= 2 * n_cores:
+                    break
+                drop.add(core)
+                sib = topo.sibling(core)
+                if sib is not None:
+                    drop.add(sib)
+            cpus = tuple(c for c in base if c not in drop)
+        else:
+            cpus = tuple(base[: len(base) - n_hk]) if n_hk else tuple(base)
+        return Placement(
+            cpus=cpus,
+            n_threads=len(cpus),
+            pinned=self.pinned,
+            label=self.name + ("" if use_smt else "-noSMT"),
+        )
+
+    def housekeeping_cpus(self, platform: PlatformSpec, use_smt: bool = True) -> tuple[int, ...]:
+        """CPUs left for background tasks under this strategy."""
+        mask = set(self.placement(platform, use_smt).cpus)
+        return tuple(c for c in platform.user_cpus() if c not in mask)
+
+
+_STRATEGIES = {
+    "Rm": MitigationStrategy("Rm", pinned=False, hk_fraction=0.0),
+    "RmHK": MitigationStrategy("RmHK", pinned=False, hk_fraction=0.125),
+    "RmHK2": MitigationStrategy("RmHK2", pinned=False, hk_fraction=0.25),
+    "TP": MitigationStrategy("TP", pinned=True, hk_fraction=0.0),
+    "TPHK": MitigationStrategy("TPHK", pinned=True, hk_fraction=0.125),
+    "TPHK2": MitigationStrategy("TPHK2", pinned=True, hk_fraction=0.25),
+}
+
+#: column order used throughout the paper's tables
+STRATEGY_NAMES = ("Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2")
+
+
+def get_strategy(name: str) -> MitigationStrategy:
+    """Look up a strategy by its paper label (case-sensitive)."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {', '.join(STRATEGY_NAMES)}"
+        ) from None

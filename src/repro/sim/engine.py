@@ -1,0 +1,190 @@
+"""Discrete-event simulation engine with a virtual clock.
+
+The engine is deliberately minimal: a binary heap of timestamped
+callbacks with stable FIFO ordering for ties and O(1) lazy
+cancellation.  All higher-level semantics (CPU rates, scheduling,
+noise) live in other modules and interact with the engine only through
+:meth:`Engine.schedule` / :meth:`Engine.cancel`.
+
+Determinism contract
+--------------------
+Two runs that schedule the same callbacks at the same times in the same
+order execute identically: ties are broken by a monotonically increasing
+sequence number, never by object identity or hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback.
+
+    Cancellation is *lazy*: the heap entry stays in place and is skipped
+    when popped.  This keeps cancellation O(1), which matters because
+    the scheduler reschedules task-completion events on every rate
+    change.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; it will be skipped when due."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled handles do not keep big
+        # object graphs (tasks, pools) alive inside the heap.
+        self.fn = None  # type: ignore[assignment]
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
+
+
+class Engine:
+    """Virtual-time event loop.
+
+    Parameters
+    ----------
+    time_epsilon:
+        Events scheduled within ``time_epsilon`` seconds in the past are
+        clamped to *now* rather than rejected; this absorbs floating
+        point round-off from rate integration.
+    """
+
+    def __init__(self, time_epsilon: float = 1e-12):
+        self.now: float = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._time_epsilon = float(time_epsilon)
+        #: number of callbacks actually executed (cancelled ones excluded)
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Returns a handle that may be cancelled until the callback runs.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time: {time!r}")
+        if time < self.now:
+            if self.now - time > self._time_epsilon + 1e-9 * abs(self.now):
+                raise SimulationError(
+                    f"cannot schedule event at t={time!r} before now={self.now!r}"
+                )
+            time = self.now
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule(self.now + delay, fn, *args)
+
+    @staticmethod
+    def cancel(handle: Optional[EventHandle]) -> None:
+        """Cancel a pending event; ``None`` and already-run handles are no-ops."""
+        if handle is not None:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to exit after the current callback."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would be strictly later
+            than ``until`` and advance the clock to ``until``.
+        max_events:
+            Safety valve for tests; raises :class:`SimulationError` when
+            exceeded (runaway event loops are bugs, not workloads).
+
+        Returns the virtual time at exit.
+        """
+        if self._running:
+            raise SimulationError("engine is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            heap = self._heap
+            while heap and not self._stopped:
+                handle = heap[0]
+                if handle.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and handle.time > until:
+                    break
+                heapq.heappop(heap)
+                if handle.time > self.now:
+                    self.now = handle.time
+                fn, args = handle.fn, handle.args
+                # Free the handle's references before invoking, so a
+                # callback rescheduling itself does not chain handles.
+                handle.fn = None  # type: ignore[assignment]
+                handle.args = ()
+                fn(*args)
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+            return self.now
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if queue is empty."""
+        for h in self._heap:
+            if not h.cancelled:
+                break
+        else:
+            return None
+        # The heap head may be cancelled; scan lazily without mutating.
+        live = [h for h in self._heap if not h.cancelled]
+        return min(live).time if live else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self.now:.9f} pending={len(self._heap)}>"

@@ -1,0 +1,53 @@
+"""Shared memory-bandwidth model.
+
+A platform exposes a single DRAM bandwidth pool (per-socket; all three
+paper machines are single-socket).  Tasks declare the bandwidth they
+*would* consume at full speed (``Task.mem_demand``); when aggregate
+demand exceeds the pool, every memory-bound task is slowed by the same
+factor.
+
+This first-order model is what makes Babelstream behave correctly:
+
+* with all cores active the kernels are bandwidth-saturated, so giving
+  up cores to housekeeping costs almost nothing (paper §6, rec. 2);
+* noise that blocks one thread frees bandwidth the others soak up,
+  dampening the region-level impact relative to compute-bound N-body.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem:
+    """A saturating bandwidth pool.
+
+    Parameters
+    ----------
+    bandwidth:
+        Sustained bandwidth in GB/s.  ``float("inf")`` disables the
+        model (pure compute platform).
+    """
+
+    def __init__(self, bandwidth: float):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth!r}")
+        self.bandwidth = float(bandwidth)
+
+    def scale_for(self, total_demand: float) -> float:
+        """Slow-down factor applied to memory-bound tasks.
+
+        Returns 1.0 when demand fits; ``bandwidth / demand`` otherwise.
+        """
+        if total_demand < 0:
+            raise ValueError(f"negative demand: {total_demand!r}")
+        if total_demand <= self.bandwidth:
+            return 1.0
+        return self.bandwidth / total_demand
+
+    def saturated(self, total_demand: float) -> bool:
+        """True when ``total_demand`` exceeds the pool."""
+        return total_demand > self.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemorySystem bw={self.bandwidth} GB/s>"

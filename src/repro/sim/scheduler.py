@@ -1,0 +1,722 @@
+"""Linux-like two-class CPU scheduler over the event engine.
+
+Semantics modelled (each is load-bearing for the paper's findings):
+
+* ``SCHED_FIFO`` strictly preempts ``SCHED_OTHER`` on the same CPU;
+  among FIFO tasks the highest ``rt_priority`` runs.  This is how the
+  injector guarantees exact replay timing of interrupt-class noise.
+* ``SCHED_OTHER`` tasks on one CPU share it proportionally to their
+  weights (a piecewise-constant-rate approximation of CFS).
+* RT throttling: with the fail-safe enabled (Linux default), the FIFO
+  class is capped at ``rt_throttle_share`` (95%) of a CPU and OTHER
+  tasks retain the rest; the injector disables this to occupy 100%.
+* Wake placement prefers an *idle* allowed CPU.  Injected noise has no
+  affinity, so with housekeeping cores left free the noise lands there
+  instead of preempting the workload — the mechanism behind the paper's
+  HK/HK2 results.
+* Non-pinned OTHER tasks starved by FIFO noise migrate away after a
+  starvation delay plus a migration cost; pinned tasks must wait.  This
+  is the Rm-vs-TP distinction under injection.
+* SMT siblings share a physical core: when both are busy each runs at
+  ``smt_factor`` speed.
+* A per-CPU *steal fraction* models aggregated micro-noise (timer
+  ticks, softirqs) without per-tick events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.cpu import Topology
+from repro.sim.engine import Engine
+from repro.sim.memory import MemorySystem
+from repro.sim.task import SchedPolicy, Task, WorkPool
+
+__all__ = ["Scheduler", "SchedParams"]
+
+_DONE_EPS = 1e-12
+
+
+class SchedParams:
+    """Tunable scheduler constants (all in seconds unless noted)."""
+
+    __slots__ = (
+        "smt_factor",
+        "migration_cost",
+        "starvation_delay",
+        "min_migration_interval",
+        "rt_throttle_share",
+        "context_switch_cost",
+        "mem_rescale_tolerance",
+        "mem_rescale_delay",
+        "shared_migration_delay",
+        "numa_migration_cost",
+        "post_migration_speed",
+        "numa_remote_speed",
+    )
+
+    def __init__(
+        self,
+        smt_factor: float = 0.65,
+        migration_cost: float = 25e-6,
+        numa_migration_cost: float = 300e-6,
+        post_migration_speed: float = 0.97,
+        numa_remote_speed: float = 0.62,
+        starvation_delay: float = 200e-6,
+        shared_migration_delay: float = 8e-3,
+        min_migration_interval: float = 1e-3,
+        rt_throttle_share: float = 0.95,
+        context_switch_cost: float = 2e-6,
+        mem_rescale_tolerance: float = 0.01,
+        mem_rescale_delay: float = 20e-6,
+    ):
+        if not 0.5 <= smt_factor <= 1.0:
+            raise ValueError("smt_factor must be in [0.5, 1.0]")
+        if not 0.0 < rt_throttle_share <= 1.0:
+            raise ValueError("rt_throttle_share must be in (0, 1]")
+        self.smt_factor = smt_factor
+        self.migration_cost = migration_cost
+        # Crossing a NUMA boundary costs an order of magnitude more
+        # (cache refill from remote memory, page locality loss) — the
+        # effect the paper credits for thread pinning's advantage on
+        # large multi-socket systems (§5.1, §6).
+        self.numa_migration_cost = numa_migration_cost
+        # Post-migration speed factors (until the task's current work
+        # completes): a same-node hop costs a cache refill; a cross-node
+        # hop leaves the working set in remote memory.
+        self.post_migration_speed = post_migration_speed
+        self.numa_remote_speed = numa_remote_speed
+        self.starvation_delay = starvation_delay
+        # An idle CPU is found within starvation_delay (wake/newidle
+        # balancing); migrating onto a *busy* CPU only happens on the
+        # slow periodic balance path.
+        self.shared_migration_delay = shared_migration_delay
+        self.min_migration_interval = min_migration_interval
+        self.rt_throttle_share = rt_throttle_share
+        self.context_switch_cost = context_switch_cost
+        self.mem_rescale_tolerance = mem_rescale_tolerance
+        self.mem_rescale_delay = mem_rescale_delay
+
+
+class _CpuState:
+    __slots__ = ("fifo", "other", "steal")
+
+    def __init__(self) -> None:
+        self.fifo: list[Task] = []   # sorted: highest rt_priority first, FIFO arrival within
+        self.other: list[Task] = []  # arrival order; shares by weight
+        self.steal: float = 0.0      # fraction of capacity lost to micro-noise
+
+    def busy(self) -> bool:
+        return bool(self.fifo or self.other)
+
+    def tasks(self) -> list[Task]:
+        return self.fifo + self.other
+
+
+class Scheduler:
+    """Places tasks on logical CPUs and integrates their progress."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        memory: Optional[MemorySystem] = None,
+        params: Optional[SchedParams] = None,
+        rt_throttle: bool = True,
+        on_noise_interval: Optional[Callable[[Task, int, float, float], None]] = None,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.memory = memory if memory is not None else MemorySystem(bandwidth=float("inf"))
+        self.params = params if params is not None else SchedParams()
+        self.rt_throttle = rt_throttle
+        #: callback(task, cpu, start, cpu_time) fired when a noise task leaves
+        self.on_noise_interval = on_noise_interval
+        self._cpus = [_CpuState() for _ in range(topology.n_logical)]
+        self._mem_running: dict[int, Task] = {}  # tid -> task with demand & share > 0
+        self._mem_scale = 1.0
+        self._mem_rescale_pending = False
+        self._starvation_pending: set[int] = set()
+        self._starved_since: dict[int, float] = {}
+        self._last_migration: dict[int, float] = {}
+        self._migration_origin: dict[int, int] = {}
+        # Wake-placement LRU stamps: ties between equally-loaded CPUs go
+        # to the least-recently-chosen one, spreading background noise
+        # across the machine the way the kernel's wake balancing does.
+        self._placed_stamp = [0] * topology.n_logical
+        self._placed_seq = 0
+        self._last_busy = [False] * topology.n_logical
+        self.migrations = 0
+        self.preemptions = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, task: Task, cpu: Optional[int] = None, hint: Optional[int] = None) -> int:
+        """Make ``task`` runnable; returns the chosen logical CPU."""
+        if task.cpu is not None:
+            raise ValueError(f"task already placed: {task!r}")
+        if not task.alive:
+            raise ValueError(f"task is dead: {task!r}")
+        if cpu is None:
+            cpu = self._pick_cpu(task, hint)
+        elif task.affinity is not None and cpu not in task.affinity:
+            raise ValueError(f"cpu {cpu} not in affinity of {task!r}")
+        state = self._cpus[cpu]
+        task.cpu = cpu
+        task._last_update = self.engine.now
+        if task.policy is SchedPolicy.FIFO:
+            self._insert_fifo(state.fifo, task)
+            if state.other:
+                self.preemptions += 1
+        else:
+            state.other.append(task)
+        self._update({cpu})
+        return cpu
+
+    def remove(self, task: Task) -> None:
+        """Take a runnable task off its CPU (sleep or exit)."""
+        cpu = task.cpu
+        if cpu is None:
+            return
+        task.advance(self.engine.now)
+        self._emit_noise_interval(task)
+        state = self._cpus[cpu]
+        if task.policy is SchedPolicy.FIFO:
+            state.fifo.remove(task)
+        else:
+            state.other.remove(task)
+        task.cpu = None
+        task.rate = 0.0
+        self._cancel_completion(task)
+        self._update({cpu})
+
+    def refresh(self, task: Task) -> None:
+        """Re-evaluate a task after its work / memory demand changed."""
+        if task.cpu is None:
+            raise ValueError(f"task not placed: {task!r}")
+        self._update({task.cpu})
+
+    def assign_work(self, task: Task, work: float, mem_demand: float = 0.0) -> None:
+        """Give a team thread new work, settling its clock first.
+
+        Must be used instead of :meth:`Task.assign_work` for placed
+        tasks: the task may have been spinning since its last
+        integration, and advancing it after the new work is attached
+        would wrongly consume the spin gap.  Follow with
+        :meth:`refresh` / :meth:`refresh_many`.
+        """
+        task.advance(self.engine.now)
+        task.assign_work(work, mem_demand)
+
+    def join_pool(self, task: Task, pool: WorkPool, mem_demand: float = 0.0) -> None:
+        """Pool-membership analogue of :meth:`assign_work`."""
+        task.advance(self.engine.now)
+        self._cancel_completion(task)
+        task.join_pool(pool, mem_demand)
+
+    def refresh_many(self, tasks: list[Task]) -> None:
+        """Batch form of :meth:`refresh` — one rate recomputation for a
+        whole team (used at parallel-region start)."""
+        cpus = {t.cpu for t in tasks if t.cpu is not None}
+        if cpus:
+            self._update(cpus)
+
+    def detach_pool(self, pool: WorkPool) -> None:
+        """Drop all members from a drained pool back to spinning."""
+        if pool._completion_event is not None:
+            pool._completion_event.cancel()
+            pool._completion_event = None
+        members = list(pool.members)
+        pool.members.clear()
+        cpus = set()
+        for t in members:
+            t.to_spin()
+            if t.cpu is not None:
+                cpus.add(t.cpu)
+        if cpus:
+            self._update(cpus)
+
+    def set_steal(self, cpu: int, fraction: float) -> None:
+        """Set the micro-noise steal fraction of a CPU (0 ≤ f < 1)."""
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"steal fraction out of range: {fraction!r}")
+        self._cpus[cpu].steal = fraction
+        self._update({cpu})
+
+    def idle_cpus(self) -> list[int]:
+        """Logical CPUs with no runnable task."""
+        return [i for i, s in enumerate(self._cpus) if not s.busy()]
+
+    def tasks_on(self, cpu: int) -> list[Task]:
+        """All runnable tasks currently assigned to ``cpu``."""
+        return self._cpus[cpu].tasks()
+
+    def register_pool(self, pool: WorkPool) -> None:
+        """Start tracking a pool's drain-completion event."""
+        self._reschedule_pool(pool)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _allowed(self, task: Task) -> list[int]:
+        if task.affinity is None:
+            return list(range(self.topology.n_logical))
+        return sorted(task.affinity)
+
+    def _pick_cpu(self, task: Task, hint: Optional[int]) -> int:
+        allowed = self._allowed(task)
+        if len(allowed) == 1:
+            chosen = allowed[0]
+        else:
+            chosen = self._pick_cpu_multi(task, hint, allowed)
+        self._placed_seq += 1
+        self._placed_stamp[chosen] = self._placed_seq
+        return chosen
+
+    def _pick_cpu_multi(self, task: Task, hint: Optional[int], allowed: list[int]) -> int:
+        stamp = self._placed_stamp
+        if task.policy is SchedPolicy.FIFO and hint is not None and hint in allowed:
+            # RT wake placement is sticky: the task runs on its previous
+            # CPU unless that CPU already runs another RT task (Linux
+            # select_task_rq_rt).  This is why per-CPU irq-class noise
+            # hits the workload even when housekeeping cores are free.
+            if not self._cpus[hint].fifo:
+                return hint
+        idle = [c for c in allowed if not self._cpus[c].busy()]
+        if idle:
+            if hint is not None and hint in idle:
+                return hint
+            # Prefer an idle CPU whose sibling is also idle (full-speed),
+            # least-recently-used among equals.
+            def idle_key(c: int) -> tuple:
+                sib = self.topology.sibling(c)
+                sib_busy = sib is not None and self._cpus[sib].busy()
+                return (sib_busy, stamp[c], c)
+
+            return min(idle, key=idle_key)
+        # No idle CPU: least-loaded for the task's class.
+        if task.policy is SchedPolicy.FIFO:
+            def fifo_key(c: int) -> tuple:
+                s = self._cpus[c]
+                return (len(s.fifo), len(s.other), c != hint, stamp[c], c)
+
+            return min(allowed, key=fifo_key)
+
+        def other_key(c: int) -> tuple:
+            s = self._cpus[c]
+            return (bool(s.fifo), sum(t.weight for t in s.other), c != hint, stamp[c], c)
+
+        return min(allowed, key=other_key)
+
+    @staticmethod
+    def _insert_fifo(queue: list[Task], task: Task) -> None:
+        # Highest priority first; FIFO order within equal priority.
+        lo = 0
+        for i, t in enumerate(queue):
+            if t.rt_priority < task.rt_priority:
+                lo = i
+                break
+            lo = i + 1
+        queue.insert(lo, task)
+
+    # ------------------------------------------------------------------
+    # rate computation
+    # ------------------------------------------------------------------
+    def _update(self, cpus: set[int]) -> None:
+        """Advance + recompute rates for ``cpus`` (and coupled CPUs)."""
+        now = self.engine.now
+        # Sibling speeds depend only on our busy-ness: pull a sibling
+        # into the recompute set only when that flipped.
+        affected = set()
+        for c in cpus:
+            affected.add(c)
+            sib = self.topology.sibling(c)
+            if sib is not None:
+                busy = self._cpus[c].busy()
+                if busy != self._last_busy[c]:
+                    self._last_busy[c] = busy
+                    affected.add(sib)
+
+        # Phase 1: integrate progress at old rates.
+        touched: list[Task] = []
+        for c in sorted(affected):
+            for t in self._cpus[c].tasks():
+                t.advance(now)
+                touched.append(t)
+
+        # Phase 2: compute new raw CPU shares.
+        shares: dict[int, float] = {}
+        for c in sorted(affected):
+            self._compute_shares(c, shares)
+
+        # Phase 3: memory bandwidth rescale.  Demand is weighted by CPU
+        # share: a task holding 65% of an SMT sibling (or starved by
+        # FIFO noise) only pulls that fraction of its bandwidth, so the
+        # freed bandwidth flows to the other streaming threads.
+        for t in touched:
+            share = shares.get(t.tid, t.cpu_share)
+            if t.mem_demand > 0.0 and share > 0.0:
+                self._mem_running[t.tid] = t
+            else:
+                self._mem_running.pop(t.tid, None)
+        # Drop dead/sleeping stragglers.
+        for tid in [tid for tid, t in self._mem_running.items() if t.cpu is None or not t.alive]:
+            del self._mem_running[tid]
+        total_demand = 0.0
+        for t in self._mem_running.values():
+            total_demand += t.mem_demand * shares.get(t.tid, t.cpu_share)
+        new_scale = self.memory.scale_for(total_demand)
+        # Propagating a rescale costs O(all streaming tasks).  Large
+        # jumps (a region starting or draining) apply immediately; the
+        # small per-completion cascade at a region's tail is coalesced
+        # into one deferred rescale so it stays O(n log n) per region.
+        drift = abs(new_scale - self._mem_scale) / self._mem_scale
+        scale_changed = drift > 0.25 or (drift > 1e-12 and len(self._mem_running) <= 4)
+        if drift > self.params.mem_rescale_tolerance and not scale_changed:
+            self._arm_mem_rescale()
+        if scale_changed:
+            # Advance mem tasks outside the affected set at their old rates
+            # before applying the new scale.
+            for t in sorted(self._mem_running.values(), key=lambda t: t.tid):
+                if t.tid not in shares:
+                    t.advance(now)
+                    touched.append(t)
+                    shares[t.tid] = t.cpu_share
+            self._mem_scale = new_scale
+
+        # Phase 4: assign effective rates and reschedule completions.
+        # A completion event stays valid while the rate is unchanged
+        # (it was computed from the same constant-rate trajectory), so
+        # only genuinely re-rated tasks pay the heap churn.
+        pools: dict[int, WorkPool] = {}
+        seen: set[int] = set()
+        for t in touched:
+            if t.tid in seen:
+                continue
+            seen.add(t.tid)
+            share = shares.get(t.tid, 0.0)
+            eff = share * (self._mem_scale if t.mem_demand > 0.0 else 1.0)
+            if t.speed_penalty != 1.0:
+                eff *= t.speed_penalty
+            rate_changed = eff != t.rate
+            t.cpu_share = share
+            t.rate = eff
+            if t._run_started is None and eff > 0.0:
+                t._run_started = now
+            if t.pool is not None:
+                if rate_changed:
+                    pools[id(t.pool)] = t.pool
+            elif rate_changed or (t._completion_event is None and t.work_remaining is not None):
+                self._reschedule_task(t)
+            if (
+                eff == 0.0
+                and t.cpu is not None
+                and t.policy is SchedPolicy.OTHER
+                and not t.pinned
+                and not t.spin
+                and self._cpus[t.cpu].fifo
+            ):
+                self._arm_starvation_check(t)
+        for pool in pools.values():
+            self._reschedule_pool(pool)
+
+        # Phase 5: idle CPUs may pull starved/shared work.
+        for c in sorted(affected):
+            if not self._cpus[c].busy():
+                self._try_pull(c)
+
+    def _arm_mem_rescale(self) -> None:
+        if self._mem_rescale_pending:
+            return
+        self._mem_rescale_pending = True
+        self.engine.schedule_after(self.params.mem_rescale_delay, self._apply_mem_rescale)
+
+    def _apply_mem_rescale(self) -> None:
+        self._mem_rescale_pending = False
+        now = self.engine.now
+        live = [
+            t
+            for t in sorted(self._mem_running.values(), key=lambda t: t.tid)
+            if t.alive and t.cpu is not None
+        ]
+        total = sum(t.mem_demand * t.cpu_share for t in live)
+        new_scale = self.memory.scale_for(total)
+        if abs(new_scale - self._mem_scale) / self._mem_scale <= 1e-12:
+            return
+        self._mem_scale = new_scale
+        pools: dict[int, WorkPool] = {}
+        for t in live:
+            t.advance(now)
+            t.rate = t.cpu_share * new_scale
+            if t.pool is not None:
+                pools[id(t.pool)] = t.pool
+            else:
+                self._reschedule_task(t)
+        for pool in pools.values():
+            self._reschedule_pool(pool)
+
+    def _raw_share(self, task: Task) -> float:
+        cpu = task.cpu
+        if cpu is None:
+            return 0.0
+        shares: dict[int, float] = {}
+        self._compute_shares(cpu, shares)
+        return shares.get(task.tid, 0.0)
+
+    def _cpu_speed(self, cpu: int) -> float:
+        state = self._cpus[cpu]
+        speed = 1.0 - state.steal
+        sib = self.topology.sibling(cpu)
+        if sib is not None and self._cpus[sib].busy() and state.busy():
+            speed *= self.params.smt_factor
+        return speed
+
+    def _compute_shares(self, cpu: int, out: dict[int, float]) -> None:
+        state = self._cpus[cpu]
+        speed = self._cpu_speed(cpu)
+        if state.fifo:
+            head = state.fifo[0]
+            fifo_share = self.params.rt_throttle_share if self.rt_throttle else 1.0
+            out[head.tid] = speed * fifo_share
+            for t in state.fifo[1:]:
+                out[t.tid] = 0.0
+            leftover = speed * (1.0 - fifo_share)
+            total_w = sum(t.weight for t in state.other)
+            for t in state.other:
+                out[t.tid] = leftover * t.weight / total_w if total_w > 0 else 0.0
+        else:
+            total_w = sum(t.weight for t in state.other)
+            for t in state.other:
+                out[t.tid] = speed * t.weight / total_w if total_w > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # completion events
+    # ------------------------------------------------------------------
+    def _cancel_completion(self, task: Task) -> None:
+        if task._completion_event is not None:
+            task._completion_event.cancel()
+            task._completion_event = None
+
+    def _reschedule_task(self, task: Task) -> None:
+        self._cancel_completion(task)
+        ttc = task.time_to_completion()
+        if ttc is None:
+            return
+        task._completion_event = self.engine.schedule_after(ttc, self._task_done, task)
+
+    def _task_done(self, task: Task) -> None:
+        task._completion_event = None
+        if not task.alive or task.cpu is None:
+            return
+        task.advance(self.engine.now)
+        if task.work_remaining is not None and task.work_remaining > _DONE_EPS:
+            self._reschedule_task(task)
+            return
+        if task.persistent:
+            # Team threads stay on their CPU, busy-waiting at the
+            # barrier (OMP_WAIT_POLICY=active behaviour).
+            task.to_spin()
+            self._update({task.cpu})
+            if task.on_complete is not None:
+                task.on_complete(task)
+            return
+        task.alive = False
+        self.remove(task)
+        if task.on_complete is not None:
+            task.on_complete(task)
+
+    def _reschedule_pool(self, pool: WorkPool) -> None:
+        if pool._completion_event is not None:
+            pool._completion_event.cancel()
+            pool._completion_event = None
+        # Bring the pool's consumed-work accounting up to date: members
+        # on unchanged CPUs have run at constant rates since their last
+        # integration, so advancing them here is exact.
+        now = self.engine.now
+        for t in pool.members:
+            t.advance(now)
+        if pool.work_remaining <= _DONE_EPS and pool.members:
+            pool.work_remaining = 0.0
+            if pool.on_drained is not None:
+                self.engine.schedule(now, self._pool_done, pool)
+            return
+        ttd = pool.time_to_drain()
+        if ttd is None:
+            return
+        pool._completion_event = self.engine.schedule_after(ttd, self._pool_done, pool)
+
+    def _pool_done(self, pool: WorkPool) -> None:
+        pool._completion_event = None
+        now = self.engine.now
+        for t in pool.members:
+            t.advance(now)
+        if pool.work_remaining > _DONE_EPS:
+            self._reschedule_pool(pool)
+            return
+        pool.work_remaining = 0.0
+        if pool.on_drained is not None:
+            cb = pool.on_drained
+            pool.on_drained = None  # fire exactly once
+            cb(pool)
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def _arm_starvation_check(self, task: Task) -> None:
+        if task.tid in self._starvation_pending:
+            return
+        last = self._last_migration.get(task.tid, -1e18)
+        if self.engine.now - last < self.params.min_migration_interval:
+            return
+        self._starvation_pending.add(task.tid)
+        self.engine.schedule_after(self.params.starvation_delay, self._starvation_check, task)
+
+    def _starvation_check(self, task: Task) -> None:
+        self._starvation_pending.discard(task.tid)
+        if not task.alive or task.cpu is None or task.rate > 0.0 or task.pinned:
+            self._starved_since.pop(task.tid, None)
+            return
+        now = self.engine.now
+        started = self._starved_since.setdefault(task.tid, now - self.params.starvation_delay)
+        idle_targets = [
+            c
+            for c in self._allowed(task)
+            if c != task.cpu and not self._cpus[c].busy()
+        ]
+        if idle_targets:
+            # Fast path: wake/newidle balancing finds idle CPUs quickly.
+            target: Optional[int] = min(
+                idle_targets, key=lambda c: (self._placed_stamp[c], c)
+            )
+        elif now - started >= self.params.shared_migration_delay:
+            # Slow path: periodic balance shoves the starved task onto a
+            # busy CPU to timeshare.
+            target = self._best_migration_target(task)
+        else:
+            target = None
+        if target is None:
+            # Still starved and nowhere to go yet: keep checking.
+            self._arm_starvation_check(task)
+            return
+        self._starved_since.pop(task.tid, None)
+        self._migrate(task, target)
+
+    def _best_migration_target(self, task: Task) -> Optional[int]:
+        cur = task.cpu
+        home_node = self.topology.numa_node(cur) if cur is not None else 0
+        best: Optional[int] = None
+        best_key: Optional[tuple] = None
+        for c in self._allowed(task):
+            if c == cur:
+                continue
+            state = self._cpus[c]
+            if state.fifo:
+                continue
+            speed = self._cpu_speed_if_joined(c)
+            total_w = sum(t.weight for t in state.other) + task.weight
+            share = speed * task.weight / total_w
+            # Prefer staying in the home NUMA node unless a remote CPU
+            # offers a substantially better share (CFS's NUMA-aware
+            # balancing reluctance).
+            remote = self.topology.numa_node(c) != home_node
+            key = (-(share * (0.7 if remote else 1.0)), c)
+            if share > 1e-12 and (best_key is None or key < best_key):
+                best_key = key
+                best = c
+        return best
+
+    def _cpu_speed_if_joined(self, cpu: int) -> float:
+        state = self._cpus[cpu]
+        speed = 1.0 - state.steal
+        sib = self.topology.sibling(cpu)
+        if sib is not None and self._cpus[sib].busy():
+            speed *= self.params.smt_factor
+        return speed
+
+    def _migrate(self, task: Task, target: int) -> None:
+        now = self.engine.now
+        self.migrations += 1
+        self._last_migration[task.tid] = now
+        src = task.cpu
+        assert src is not None
+        task.advance(now)
+        state = self._cpus[src]
+        if task.policy is SchedPolicy.FIFO:
+            state.fifo.remove(task)
+        else:
+            state.other.remove(task)
+        task.cpu = None
+        task.rate = 0.0
+        self._cancel_completion(task)
+        self._update({src})
+        # The migration cost is paid as off-CPU latency (cache refill,
+        # runqueue hop); crossing NUMA nodes costs far more.
+        cost = (
+            self.params.numa_migration_cost
+            if self.topology.numa_node(src) != self.topology.numa_node(target)
+            else self.params.migration_cost
+        )
+        self._migration_origin[task.tid] = src
+        self.engine.schedule_after(cost, self._finish_migration, task, target)
+
+    def _finish_migration(self, task: Task, target: int) -> None:
+        if not task.alive or task.cpu is not None:
+            return
+        # Target may have changed state during the hop; re-pick if it
+        # now runs FIFO noise.
+        if self._cpus[target].fifo:
+            retarget = self._best_migration_target(task)
+            if retarget is not None:
+                target = retarget
+        # Cold caches after the hop; crossing a NUMA boundary leaves
+        # the task's working set in remote memory for the rest of its
+        # current work — the persistent cost that makes thread pinning
+        # pay off on large multi-socket systems (§6).
+        origin = self._migration_origin.pop(task.tid, None)
+        if origin is not None and task.cpu is None:
+            if self.topology.numa_node(origin) != self.topology.numa_node(target):
+                task.speed_penalty = min(task.speed_penalty, self.params.numa_remote_speed)
+            else:
+                task.speed_penalty = min(task.speed_penalty, self.params.post_migration_speed)
+        self.submit(task, cpu=target)
+
+    def _try_pull(self, cpu: int) -> None:
+        """An idle CPU pulls the neediest migratable OTHER task."""
+        best: Optional[Task] = None
+        best_key: Optional[tuple] = None
+        now = self.engine.now
+        for c in range(self.topology.n_logical):
+            if c == cpu:
+                continue
+            state = self._cpus[c]
+            crowded = bool(state.fifo) or len(state.other) > 1
+            if not crowded:
+                continue
+            for t in state.other:
+                if t.pinned or t.spin:
+                    continue
+                if t.affinity is not None and cpu not in t.affinity:
+                    continue
+                if now - self._last_migration.get(t.tid, -1e18) < self.params.min_migration_interval:
+                    continue
+                key = (t.rate, t.tid)  # most starved first
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = t
+        if best is not None:
+            self._migrate(best, cpu)
+
+    # ------------------------------------------------------------------
+    # tracing hook
+    # ------------------------------------------------------------------
+    def _emit_noise_interval(self, task: Task) -> None:
+        if self.on_noise_interval is None or not task.is_noise():
+            return
+        if task._run_started is None or task.total_cpu_time <= 0.0:
+            return
+        if task.cpu is None:
+            return
+        self.on_noise_interval(task, task.cpu, task._run_started, task.total_cpu_time)
+        task._run_started = None
+        task.total_cpu_time = 0.0

@@ -1,0 +1,30 @@
+"""Workload models: N-body, Babelstream, MiniFE, schedbench.
+
+Each workload is a phase-accurate model of the corresponding HeCBench
+benchmark / mini-app: the sequence of parallel regions and serial
+sections, each with its compute cost (flops), memory traffic, loop
+schedule, and imbalance.  The numerics themselves are not executed —
+the paper's conclusions depend on the workloads' *resource signatures*
+(compute-bound N-body, bandwidth-bound Babelstream, barrier-heavy CG in
+MiniFE), which these models carry.
+"""
+
+from repro.workloads.base import Workload, WORKLOAD_NAMES, get_workload
+from repro.workloads.nbody import NBody
+from repro.workloads.babelstream import Babelstream
+from repro.workloads.minife import MiniFE
+from repro.workloads.schedbench import SchedBench
+from repro.workloads.heat import Heat2D
+from repro.workloads.montecarlo import MonteCarlo
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "NBody",
+    "Babelstream",
+    "MiniFE",
+    "SchedBench",
+    "Heat2D",
+    "MonteCarlo",
+]

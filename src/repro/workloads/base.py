@@ -1,0 +1,90 @@
+"""Workload protocol and registry.
+
+A workload turns *problem parameters* plus a
+:class:`~repro.sim.platform.PlatformSpec` into a stream of
+:class:`~repro.runtimes.base.Region` descriptors.  Compute costs are
+converted from flops via ``platform.core_gflops``; streaming phases
+carry per-thread bandwidth demand so the
+:class:`~repro.sim.memory.MemorySystem` saturates realistically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.runtimes.base import Region
+from repro.sim.platform import PlatformSpec
+
+__all__ = ["Workload", "WORKLOAD_NAMES", "get_workload"]
+
+
+class Workload(abc.ABC):
+    """Abstract workload: a named generator of regions."""
+
+    #: registry key, e.g. "nbody"
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def regions(self, platform: PlatformSpec, n_threads: int) -> Iterator[Region]:
+        """Yield the run's regions in execution order."""
+
+    @abc.abstractmethod
+    def total_work(self, platform: PlatformSpec) -> float:
+        """Approximate total CPU-seconds (for duration estimates)."""
+
+    def estimate_duration(self, platform: PlatformSpec, n_threads: int) -> float:
+        """A-priori wall-clock estimate (used to place anomaly windows
+        and bound event loops, not for results)."""
+        if n_threads <= 0:
+            raise ValueError("n_threads must be positive")
+        return self.total_work(platform) / n_threads
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def compute_seconds(flops: float, platform: PlatformSpec) -> float:
+        """Convert a flop count into CPU-seconds on this platform."""
+        if flops < 0:
+            raise ValueError(f"negative flops: {flops!r}")
+        return flops / (platform.core_gflops * 1e9)
+
+    @staticmethod
+    def stream_seconds(traffic_gb: float, platform: PlatformSpec) -> float:
+        """CPU-seconds one core needs to move ``traffic_gb`` of data."""
+        if traffic_gb < 0:
+            raise ValueError(f"negative traffic: {traffic_gb!r}")
+        return traffic_gb / platform.core_stream_gbs
+
+
+def get_workload(name: str, platform: PlatformSpec, **kwargs) -> Workload:
+    """Build a workload by name with per-platform calibrated defaults.
+
+    The paper sized each benchmark per machine (its two platforms show
+    different absolute baselines); the calibration table lives with the
+    workload classes.
+    """
+    from repro.workloads.babelstream import Babelstream
+    from repro.workloads.heat import Heat2D
+    from repro.workloads.minife import MiniFE
+    from repro.workloads.montecarlo import MonteCarlo
+    from repro.workloads.nbody import NBody
+    from repro.workloads.schedbench import SchedBench
+
+    classes = {
+        "nbody": NBody,
+        "babelstream": Babelstream,
+        "minife": MiniFE,
+        "schedbench": SchedBench,
+        "heat": Heat2D,
+        "montecarlo": MonteCarlo,
+    }
+    try:
+        cls = classes[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(classes))}"
+        ) from None
+    return cls.for_platform(platform, **kwargs)
+
+
+WORKLOAD_NAMES = ("nbody", "babelstream", "minife", "schedbench", "heat", "montecarlo")

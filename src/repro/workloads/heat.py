@@ -1,0 +1,90 @@
+"""Heat-diffusion stencil (HeCBench ``heat2d``-style).
+
+A 5-point Jacobi sweep over a 2-D grid, iterated many times: moderately
+bandwidth-bound with a barrier per sweep and a small serial residual
+check every ``check_every`` iterations.  Sits between Babelstream and
+MiniFE on the compute/memory spectrum — useful for probing where the
+paper's workload-dependent recommendations flip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtimes.base import Region
+from repro.sim.platform import PlatformSpec
+from repro.workloads.base import Workload
+
+__all__ = ["Heat2D"]
+
+_PLATFORM_N = {
+    "intel-9700kf": 4096,
+    "amd-9950x3d": 5120,
+    "a64fx": 8192,
+    "a64fx-reserved": 8192,
+    "hpc-2s64": 8192,
+}
+
+
+class Heat2D(Workload):
+    """Jacobi heat diffusion on an ``n x n`` grid.
+
+    Parameters
+    ----------
+    n:
+        Grid points per dimension.
+    sweeps:
+        Jacobi iterations.
+    check_every:
+        A serial residual reduction runs after every this many sweeps.
+    """
+
+    name = "heat"
+
+    def __init__(self, n: int = 4096, sweeps: int = 200, check_every: int = 25):
+        if n < 16 or sweeps <= 0 or check_every <= 0:
+            raise ValueError("need n >= 16 and positive sweeps/check_every")
+        self.n = n
+        self.sweeps = sweeps
+        self.check_every = check_every
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **kwargs) -> "Heat2D":
+        """Calibrated instance for a platform preset."""
+        kwargs.setdefault("n", _PLATFORM_N.get(platform.name, 4096))
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def _sweep_work(self, platform: PlatformSpec) -> float:
+        cells = float(self.n) ** 2
+        # 5-point stencil: ~6 flops and ~2 doubles of traffic per cell;
+        # the binding constraint on modern cores is the traffic.
+        traffic_gb = 16.0 * cells / 1e9
+        return self.stream_seconds(traffic_gb, platform)
+
+    def _check_work(self, platform: PlatformSpec) -> float:
+        return self.compute_seconds(2.0 * self.n**2 / self.check_every, platform)
+
+    def regions(self, platform: PlatformSpec, n_threads: int) -> Iterator[Region]:
+        sweep = self._sweep_work(platform)
+        check = self._check_work(platform)
+        for it in range(self.sweeps):
+            yield Region(
+                name=f"heat-sweep-{it}",
+                total_work=sweep,
+                mem_demand=platform.core_stream_gbs * 0.7,
+                schedule="static",
+                imbalance=0.02,   # boundary rows
+                sycl_efficiency=0.80,
+            )
+            if (it + 1) % self.check_every == 0:
+                yield Region(
+                    name=f"heat-check-{it}",
+                    total_work=check,
+                    serial=True,
+                    sycl_efficiency=0.9,
+                )
+
+    def total_work(self, platform: PlatformSpec) -> float:
+        checks = self.sweeps // self.check_every
+        return self.sweeps * self._sweep_work(platform) + checks * self._check_work(platform)

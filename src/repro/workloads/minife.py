@@ -1,0 +1,165 @@
+"""MiniFE mini-application model (implicit finite elements, CG solve).
+
+Structure mirrors the real mini-app: a setup phase (serial mesh/graph
+construction plus a parallel matrix assembly), then a conjugate-gradient
+loop where every iteration runs
+
+* one SpMV over a 27-point stencil (the bandwidth-heavy bulk),
+* two dot products (tiny regions ending in serial reductions),
+* three axpy/waxpy vector updates (streaming, medium).
+
+The many small barrier-separated regions per iteration are what make
+MiniFE the paper's most noise-sensitive OpenMP workload (Table 5's
++100% rows): any preemption inside a region stalls the iteration, and
+there are thousands of regions.  The HeCBench SYCL port also submits a
+kernel per region, which is why its raw SYCL times are ~2x OpenMP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtimes.base import Region
+from repro.sim.platform import PlatformSpec
+from repro.workloads.base import Workload
+
+__all__ = ["MiniFE"]
+
+#: cube dimensions per platform (nx = ny = nz)
+_PLATFORM_NX = {
+    "intel-9700kf": 72,
+    "amd-9950x3d": 84,
+    "a64fx": 128,
+    "a64fx-reserved": 128,
+}
+
+_BYTES_PER_NNZ = 12.0   # value + column index, streamed
+_BYTES_PER_ROW = 24.0   # x gather + y store (amortised)
+
+
+class MiniFE(Workload):
+    """CG solve on an ``nx**3`` hexahedral mesh.
+
+    Parameters
+    ----------
+    nx:
+        Mesh points per dimension.
+    cg_iters:
+        Conjugate-gradient iterations (MiniFE default caps at 200).
+    """
+
+    name = "minife"
+
+    def __init__(self, nx: int = 72, cg_iters: int = 150):
+        if nx < 4 or cg_iters <= 0:
+            raise ValueError("nx must be >= 4 and cg_iters positive")
+        self.nx = nx
+        self.cg_iters = cg_iters
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **kwargs) -> "MiniFE":
+        """Calibrated instance for a platform preset."""
+        kwargs.setdefault("nx", _PLATFORM_NX.get(platform.name, 72))
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Matrix rows (mesh nodes)."""
+        return self.nx**3
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros of the 27-point stencil matrix (interior estimate)."""
+        return 27 * self.n_rows
+
+    def _spmv_work(self, platform: PlatformSpec) -> float:
+        traffic_gb = (self.nnz * _BYTES_PER_NNZ + self.n_rows * _BYTES_PER_ROW) / 1e9
+        return self.stream_seconds(traffic_gb, platform)
+
+    def _vector_work(self, platform: PlatformSpec) -> float:
+        # axpy: 3 streams of n_rows doubles
+        traffic_gb = 3.0 * 8.0 * self.n_rows / 1e9
+        return self.stream_seconds(traffic_gb, platform)
+
+    def _dot_work(self, platform: PlatformSpec) -> float:
+        traffic_gb = 2.0 * 8.0 * self.n_rows / 1e9
+        return self.stream_seconds(traffic_gb, platform)
+
+    def _assembly_work(self, platform: PlatformSpec) -> float:
+        # FE operator assembly: ~400 flops per element
+        elements = (self.nx - 1) ** 3
+        return self.compute_seconds(400.0 * elements, platform)
+
+    def _setup_serial_work(self, platform: PlatformSpec) -> float:
+        # Mesh generation and CSR graph construction, ~150 ops per row
+        return self.compute_seconds(150.0 * self.n_rows, platform)
+
+    # ------------------------------------------------------------------
+    def regions(self, platform: PlatformSpec, n_threads: int) -> Iterator[Region]:
+        yield Region(
+            name="minife-setup",
+            total_work=self._setup_serial_work(platform),
+            serial=True,
+            sycl_efficiency=0.95,
+        )
+        yield Region(
+            name="minife-assembly",
+            total_work=self._assembly_work(platform),
+            mem_demand=2.0,
+            schedule="static",
+            imbalance=0.05,   # boundary elements are cheaper
+            sycl_efficiency=0.60,
+        )
+        spmv = self._spmv_work(platform)
+        dot = self._dot_work(platform)
+        axpy = self._vector_work(platform)
+        for it in range(self.cg_iters):
+            yield Region(
+                name=f"cg-spmv-{it}",
+                total_work=spmv,
+                mem_demand=platform.core_stream_gbs,
+                schedule="static",
+                imbalance=0.03,  # stencil boundary rows
+                sycl_efficiency=0.52,
+            )
+            for d in range(2):
+                yield Region(
+                    name=f"cg-dot{d}-{it}",
+                    total_work=dot,
+                    mem_demand=platform.core_stream_gbs,
+                    schedule="static",
+                    imbalance=0.01,
+                    reduction=True,
+                    sycl_efficiency=0.62,
+                )
+            for a in range(3):
+                yield Region(
+                    name=f"cg-axpy{a}-{it}",
+                    total_work=axpy,
+                    mem_demand=platform.core_stream_gbs,
+                    schedule="static",
+                    imbalance=0.01,
+                    sycl_efficiency=0.62,
+                )
+
+    def total_work(self, platform: PlatformSpec) -> float:
+        per_iter = (
+            self._spmv_work(platform)
+            + 2.0 * self._dot_work(platform)
+            + 3.0 * self._vector_work(platform)
+        )
+        return (
+            self._setup_serial_work(platform)
+            + self._assembly_work(platform)
+            + self.cg_iters * per_iter
+        )
+
+    def estimate_duration(self, platform: PlatformSpec, n_threads: int) -> float:
+        agg_bw_scale = min(
+            1.0, platform.bandwidth_gbs / (n_threads * platform.core_stream_gbs)
+        )
+        parallel = (self.total_work(platform) - self._setup_serial_work(platform)) / (
+            n_threads * agg_bw_scale
+        )
+        return self._setup_serial_work(platform) + parallel

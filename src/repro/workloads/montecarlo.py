@@ -1,0 +1,90 @@
+"""Monte-Carlo option pricing (HeCBench ``blackScholes``/``mc`` style).
+
+Embarrassingly parallel path simulation with *inherently imbalanced*
+work items (paths terminate early at barriers), run under a dynamic
+schedule by default — the workload class for which the paper's
+recommendation 3 ("compute-bound: skip housekeeping, prefer pinning…
+or just let dynamic scheduling absorb the noise") is most visible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtimes.base import Region
+from repro.sim.platform import PlatformSpec
+from repro.workloads.base import Workload
+
+__all__ = ["MonteCarlo"]
+
+_PLATFORM_PATHS = {
+    "intel-9700kf": 6_000_000,
+    "amd-9950x3d": 10_000_000,
+    "a64fx": 12_000_000,
+    "a64fx-reserved": 12_000_000,
+    "hpc-2s64": 16_000_000,
+}
+
+
+class MonteCarlo(Workload):
+    """Batched Monte-Carlo simulation.
+
+    Parameters
+    ----------
+    paths:
+        Simulated paths per batch.
+    batches:
+        Independent batches (each ends in a reduction).
+    flops_per_path:
+        Average cost per path; actual path costs vary (early exercise),
+        which is what the imbalance models.
+    schedule:
+        Loop schedule; Monte-Carlo codes typically run dynamic.
+    """
+
+    name = "montecarlo"
+
+    def __init__(
+        self,
+        paths: int = 6_000_000,
+        batches: int = 8,
+        flops_per_path: float = 2000.0,
+        schedule: str = "dynamic",
+    ):
+        if paths <= 0 or batches <= 0 or flops_per_path <= 0:
+            raise ValueError("paths, batches, flops_per_path must be positive")
+        if schedule not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self.paths = paths
+        self.batches = batches
+        self.flops_per_path = flops_per_path
+        self.schedule = schedule
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **kwargs) -> "MonteCarlo":
+        """Calibrated instance for a platform preset."""
+        kwargs.setdefault("paths", _PLATFORM_PATHS.get(platform.name, 6_000_000))
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def _batch_work(self, platform: PlatformSpec) -> float:
+        return self.compute_seconds(self.paths * self.flops_per_path, platform)
+
+    def regions(self, platform: PlatformSpec, n_threads: int) -> Iterator[Region]:
+        work = self._batch_work(platform)
+        # ~1000 paths per chunk keeps stealing fine-grained
+        chunk = self.compute_seconds(1000.0 * self.flops_per_path, platform)
+        for b in range(self.batches):
+            yield Region(
+                name=f"mc-batch-{b}",
+                total_work=work,
+                mem_demand=0.8,
+                schedule=self.schedule,
+                chunk_work=chunk,
+                imbalance=0.25,   # early-terminating paths
+                reduction=True,
+                sycl_efficiency=0.85,
+            )
+
+    def total_work(self, platform: PlatformSpec) -> float:
+        return self.batches * self._batch_work(platform)

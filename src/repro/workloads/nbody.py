@@ -1,0 +1,87 @@
+"""N-body benchmark model (HeCBench ``nbody``).
+
+An all-pairs gravitational step: for each of ``steps`` iterations one
+large compute-bound parallel region evaluates ~20 flops per body pair,
+followed by a tiny serial integration/bookkeeping section.  This is the
+paper's compute-bound pole: almost no memory traffic, so housekeeping
+cores cost it real throughput (Table 3 baselines) while static
+scheduling makes it highly exposed to preemption noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtimes.base import Region
+from repro.sim.platform import PlatformSpec
+from repro.workloads.base import Workload
+
+__all__ = ["NBody"]
+
+#: flops per body-pair interaction (force kernel, rsqrt included)
+_FLOPS_PER_PAIR = 20.0
+
+#: problem sizes per platform, sized to land near the paper's baselines
+_PLATFORM_BODIES = {
+    "intel-9700kf": 24000,
+    "amd-9950x3d": 38000,
+    "a64fx": 44000,
+    "a64fx-reserved": 44000,
+}
+
+
+class NBody(Workload):
+    """All-pairs N-body with ``steps`` time steps.
+
+    Parameters
+    ----------
+    n_bodies:
+        Number of bodies (flops scale with the square).
+    steps:
+        Time steps; each is one parallel force region plus a serial
+        integration.
+    """
+
+    name = "nbody"
+
+    def __init__(self, n_bodies: int = 24000, steps: int = 10):
+        if n_bodies <= 0 or steps <= 0:
+            raise ValueError("n_bodies and steps must be positive")
+        self.n_bodies = n_bodies
+        self.steps = steps
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **kwargs) -> "NBody":
+        """Calibrated instance for a platform preset."""
+        kwargs.setdefault("n_bodies", _PLATFORM_BODIES.get(platform.name, 24000))
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def _force_work(self, platform: PlatformSpec) -> float:
+        flops = _FLOPS_PER_PAIR * float(self.n_bodies) ** 2
+        return self.compute_seconds(flops, platform)
+
+    def _integrate_work(self, platform: PlatformSpec) -> float:
+        return self.compute_seconds(12.0 * self.n_bodies, platform)
+
+    def regions(self, platform: PlatformSpec, n_threads: int) -> Iterator[Region]:
+        force = self._force_work(platform)
+        integrate = self._integrate_work(platform)
+        for step in range(self.steps):
+            yield Region(
+                name=f"nbody-forces-{step}",
+                total_work=force,
+                mem_demand=0.4,        # positions fit in LLC, trickle traffic
+                schedule="static",
+                imbalance=0.015,       # cache / SMT co-location jitter
+                sycl_efficiency=0.74,  # HeCBench SYCL kernel vs OpenMP
+            )
+            yield Region(
+                name=f"nbody-integrate-{step}",
+                total_work=integrate,
+                serial=True,
+                sycl_efficiency=0.9,
+            )
+
+    def total_work(self, platform: PlatformSpec) -> float:
+        return self.steps * (self._force_work(platform) + self._integrate_work(platform))

@@ -1,0 +1,102 @@
+"""schedbench: the OpenMP loop-scheduling microbenchmark of Fig. 1.
+
+A deliberately imbalanced loop executed repeatedly under a chosen
+schedule (``static`` / ``dynamic`` / ``guided``) and chunk size — the
+x-axis of the paper's motivation figure (``st:1``, ``dy:64``, …).  On
+the A64FX systems it exposes how much run-to-run variability the
+reserved OS cores remove.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtimes.base import Region
+from repro.sim.platform import PlatformSpec
+from repro.workloads.base import Workload
+
+__all__ = ["SchedBench"]
+
+
+class SchedBench(Workload):
+    """Imbalanced parallel loop under a configurable schedule.
+
+    Parameters
+    ----------
+    schedule, chunk:
+        Loop schedule and chunk size in iterations (the figure's
+        ``xy:number`` labels).
+    n_iterations:
+        Loop trip count.
+    iter_cost_us:
+        Mean cost of one iteration in microseconds (on the reference
+        core).
+    repeats:
+        Times the whole loop is re-run inside one execution.
+    imbalance:
+        Fractional cost spread across the iteration space.
+    """
+
+    name = "schedbench"
+
+    def __init__(
+        self,
+        schedule: str = "static",
+        chunk: int = 0,
+        n_iterations: int = 100000,
+        iter_cost_us: float = 2.0,
+        repeats: int = 15,
+        imbalance: float = 0.30,
+    ):
+        if schedule not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        if chunk < 0 or n_iterations <= 0 or repeats <= 0:
+            raise ValueError("chunk must be >= 0; n_iterations/repeats positive")
+        if iter_cost_us <= 0:
+            raise ValueError("iter_cost_us must be positive")
+        self.schedule = schedule
+        self.chunk = chunk
+        self.n_iterations = n_iterations
+        self.iter_cost_us = iter_cost_us
+        self.repeats = repeats
+        self.imbalance = imbalance
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **kwargs) -> "SchedBench":
+        """schedbench needs no per-platform sizing; scale via flops."""
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def _loop_work(self, platform: PlatformSpec) -> float:
+        # iter_cost is defined on a 30 GFLOP/s reference core.
+        ref_scale = 30.0 / platform.core_gflops
+        return self.n_iterations * self.iter_cost_us * 1e-6 * ref_scale
+
+    def _chunk_work(self, platform: PlatformSpec) -> float:
+        if self.chunk == 0:
+            return 0.0
+        ref_scale = 30.0 / platform.core_gflops
+        return self.chunk * self.iter_cost_us * 1e-6 * ref_scale
+
+    def regions(self, platform: PlatformSpec, n_threads: int) -> Iterator[Region]:
+        work = self._loop_work(platform)
+        chunk_work = self._chunk_work(platform)
+        for rep in range(self.repeats):
+            yield Region(
+                name=f"schedbench-{self.schedule}-{self.chunk}-{rep}",
+                total_work=work,
+                mem_demand=0.5,
+                schedule=self.schedule,
+                chunk_work=chunk_work,
+                imbalance=self.imbalance,
+                sycl_efficiency=0.85,
+            )
+
+    def total_work(self, platform: PlatformSpec) -> float:
+        return self.repeats * self._loop_work(platform)
+
+    @property
+    def label(self) -> str:
+        """Fig.-1 style x-axis label, e.g. ``st:1`` or ``dy:64``."""
+        prefix = {"static": "st", "dynamic": "dy", "guided": "gd"}[self.schedule]
+        return f"{prefix}:{self.chunk}"

@@ -1,0 +1,92 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.harness.bootstrap import BootstrapCI, mean_ci, relative_change_ci
+
+
+class TestMeanCI:
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(1)
+        ci = mean_ci(rng.normal(1.0, 0.05, 50))
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_tight_sample_tight_interval(self):
+        wide = mean_ci(np.random.default_rng(1).normal(1.0, 0.2, 30))
+        narrow = mean_ci(np.random.default_rng(1).normal(1.0, 0.01, 30))
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_more_samples_tighter(self):
+        rng = np.random.default_rng(2)
+        small = mean_ci(rng.normal(1.0, 0.1, 10))
+        big = mean_ci(rng.normal(1.0, 0.1, 200))
+        assert (big.high - big.low) < (small.high - small.low)
+
+    def test_deterministic_default_rng(self):
+        data = [1.0, 1.1, 0.9, 1.05]
+        assert mean_ci(data) == mean_ci(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0])
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_contains(self):
+        ci = BootstrapCI(1.0, 0.9, 1.1, 0.95)
+        assert ci.contains(1.0)
+        assert not ci.contains(2.0)
+
+
+class TestRelativeChangeCI:
+    def test_real_difference_is_significant(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(1.0, 0.02, 40)
+        test = rng.normal(1.3, 0.02, 40)
+        ci = relative_change_ci(test, base)
+        assert ci.significant
+        assert ci.estimate == pytest.approx(30.0, abs=3.0)
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(1.0, 0.05, 40)
+        test = rng.normal(1.0, 0.05, 40)
+        ci = relative_change_ci(test, base)
+        assert not ci.significant
+
+    def test_negative_changes_supported(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(1.0, 0.01, 40)
+        test = rng.normal(0.8, 0.01, 40)
+        ci = relative_change_ci(test, base)
+        assert ci.estimate < 0
+        assert ci.high < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_change_ci([1.0, 1.1], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            relative_change_ci([1.0], [1.0, 1.1])
+
+    def test_str_render(self):
+        ci = BootstrapCI(12.34, 10.0, 15.0, 0.95)
+        assert "@95%" in str(ci)
+
+
+class TestOnSimulatorData:
+    def test_injection_effect_is_significant(self):
+        """The Δ% the tables report survives a CI check."""
+        from repro.core.pipeline import NoiseInjectionPipeline
+        from repro.harness.experiment import ExperimentSpec, run_experiment
+
+        spec = ExperimentSpec(
+            platform="intel-9700kf", workload="nbody", seed=42, anomaly_prob=0.25
+        )
+        pipe = NoiseInjectionPipeline(spec, collect_reps=15, inject_reps=8)
+        pipe.build_config()
+        base = run_experiment(spec.with_(reps=8, anomaly_prob=0.0, seed=77))
+        inj = pipe.inject(spec.with_(reps=8, anomaly_prob=0.0))
+        ci = relative_change_ci(inj.times, base.times)
+        assert ci.significant
+        assert ci.estimate > 0

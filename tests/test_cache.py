@@ -1,0 +1,92 @@
+"""Unit tests for the on-disk result cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConfigEvent, NoiseConfig
+from repro.core.events import EventType
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import ExperimentSpec
+
+
+def spec(**kw):
+    defaults = dict(
+        platform="intel-9700kf", workload="nbody", model="omp", strategy="Rm", reps=2, seed=9
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+def tiny_config():
+    return NoiseConfig(
+        {
+            0: [
+                ConfigEvent(
+                    start=0.1,
+                    duration=1e-3,
+                    policy="SCHED_FIFO",
+                    rt_priority=90,
+                    weight=1.0,
+                    etype=EventType.IRQ,
+                    source="x",
+                )
+            ]
+        }
+    )
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = cache.get_or_run(spec())
+        assert cache.misses == 1 and cache.hits == 0
+        b = cache.get_or_run(spec())
+        assert cache.hits == 1
+        np.testing.assert_array_equal(a.times, b.times)
+
+    def test_different_specs_different_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec())
+        cache.get_or_run(spec(strategy="TP"))
+        assert cache.misses == 2
+
+    def test_seed_changes_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec())
+        cache.get_or_run(spec(seed=10))
+        assert cache.misses == 2
+
+    def test_noise_config_part_of_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec())
+        cache.get_or_run(spec(), noise_config=tiny_config())
+        assert cache.misses == 2
+
+    def test_injected_flag_persisted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec(), noise_config=tiny_config())
+        rs = cache.get_or_run(spec(), noise_config=tiny_config())
+        assert cache.hits == 1
+        assert rs.injected
+
+    def test_corrupt_entry_recovered(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec())
+        for f in tmp_path.glob("*.json"):
+            f.write_text("not json")
+        rs = cache.get_or_run(spec())
+        assert cache.misses == 2
+        assert len(rs.times) == 2
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec())
+        cache.get_or_run(spec())
+        assert cache.misses == 2
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_cache_dir_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "alt"

@@ -1,0 +1,160 @@
+"""Campaign smoke tests at tiny repetition counts.
+
+These validate wiring and shape invariants, not the paper's numbers —
+the benchmarks regenerate those at realistic scale.
+"""
+
+import pytest
+
+from repro.harness import campaigns
+from repro.harness.cache import ResultCache
+from repro.mitigation.strategies import STRATEGY_NAMES
+
+
+@pytest.fixture
+def settings(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BASELINE_REPS", "4")
+    monkeypatch.setenv("REPRO_INJECT_REPS", "3")
+    return campaigns.default_settings(
+        seed=2025, collect_reps=6, collect_batches=2, cache=ResultCache(tmp_path)
+    )
+
+
+class TestTable1:
+    def test_shape_and_render(self, settings):
+        r = campaigns.table1(settings)
+        assert set(r.rows) == {"nbody", "babelstream", "minife"}
+        for off, on, pct in r.rows.values():
+            assert on >= off > 0
+            assert pct < 1.0  # sub-1% like the paper
+        assert "Table 1" in r.render()
+
+
+class TestTable2:
+    def test_all_cells_present(self, settings):
+        r = campaigns.table2(settings, platforms=("intel-9700kf",), workloads=("nbody",))
+        assert set(r.sds) == {"omp", "sycl"}
+        for model in ("omp", "sycl"):
+            assert set(r.sds[model]) == set(STRATEGY_NAMES)
+            assert all(v >= 0 for v in r.sds[model].values())
+        assert "(paper)" in r.render()
+
+
+class TestInjectionTables:
+    def test_intel_rows(self, settings):
+        r = campaigns.injection_table(
+            "nbody", settings, platforms=("intel-9700kf",), strategies=("Rm", "RmHK2")
+        )
+        rows = r.rows_by_platform["intel-9700kf"]
+        assert [row.label for row in rows] == ["OMP #1", "SYCL #1", "OMP #2", "SYCL #2"]
+        for row in rows:
+            assert set(row.deltas) == {"Rm", "RmHK2"}
+        assert "Table 3" in r.render()
+
+    def test_amd_minife_has_eight_rows(self, settings):
+        groups = campaigns._row_groups("amd-9950x3d", "minife")
+        assert len(groups) == 8
+        assert ("SYCL SMT #2", "sycl", True, 2) in groups
+
+    def test_amd_nbody_has_four_rows(self, settings):
+        assert len(campaigns._row_groups("amd-9950x3d", "nbody")) == 4
+
+    def test_deltas_export(self, settings):
+        r = campaigns.injection_table(
+            "nbody", settings, platforms=("intel-9700kf",), strategies=("Rm",)
+        )
+        deltas = r.deltas()
+        assert ("intel-9700kf", "OMP #1", "Rm") in deltas
+
+
+class TestTable6:
+    def test_aggregates_models(self, settings):
+        t3 = campaigns.injection_table(
+            "nbody", settings, platforms=("intel-9700kf",), strategies=("Rm",)
+        )
+        r = campaigns.table6(settings, tables=[t3])
+        assert "omp" in r.averages and "sycl" in r.averages
+        assert isinstance(r.sycl_advantage(), float)
+        assert "Table 6" in r.render()
+
+
+class TestConfigStore:
+    def test_config_cached_on_disk(self, settings):
+        info1 = campaigns.build_noise_config(
+            settings, "intel-9700kf", "nbody", ("Rm", "omp", True), idx=1
+        )
+        info2 = campaigns.build_noise_config(
+            settings, "intel-9700kf", "nbody", ("Rm", "omp", True), idx=1
+        )
+        assert info1.worst_exec_time == info2.worst_exec_time
+        assert info1.config.n_events == info2.config.n_events
+
+    def test_distinct_indices_distinct_configs(self, settings):
+        a = campaigns.build_noise_config(
+            settings, "intel-9700kf", "nbody", ("Rm", "omp", True), idx=1
+        )
+        b = campaigns.build_noise_config(
+            settings, "intel-9700kf", "nbody", ("Rm", "omp", True), idx=2
+        )
+        assert a.worst_exec_time != b.worst_exec_time
+
+    def test_source_label_recorded(self, settings):
+        info = campaigns.build_noise_config(
+            settings, "intel-9700kf", "nbody", ("TP", "omp", True), idx=1
+        )
+        assert info.source_label == "TP-OMP"
+
+
+class TestFigures:
+    def test_figure1_series(self, settings):
+        r = campaigns.figure1(settings, schedules=("static",), chunks=(1,))
+        assert set(r.series) == {"A64FX:w/o", "A64FX:reserved"}
+        assert r.x_labels == ["st:1"]
+        assert "Figure 1" in r.render()
+
+    def test_figure2_series(self, settings):
+        r = campaigns.figure2(settings, thread_counts=(8,))
+        assert r.x_labels == ["8"]
+        assert all(len(pts) == 1 for pts in r.series.values())
+
+    def test_variability_ratio_positive(self, settings):
+        r = campaigns.figure1(settings, schedules=("static",), chunks=(1,))
+        assert r.variability_ratio() > 0
+
+
+class TestPaperReference:
+    def test_table7_configs_cover_paper_rows(self):
+        from repro.harness import paper_reference as paper
+
+        assert set(campaigns._TABLE7_CONFIGS) == set(paper.TABLE7)
+
+    def test_table7_platform_split_matches_paper(self):
+        # six Intel configs, four AMD (paper §5.2)
+        plats = [v[0] for v in campaigns._TABLE7_CONFIGS.values()]
+        assert plats.count("intel-9700kf") == 6
+        assert plats.count("amd-9950x3d") == 4
+
+    def test_reference_tables_have_all_strategy_columns(self):
+        from repro.harness import paper_reference as paper
+        from repro.mitigation.strategies import STRATEGY_NAMES
+
+        for table in (paper.TABLE3, paper.TABLE4, paper.TABLE5):
+            for plat, rows in table.items():
+                for label, cells in rows.items():
+                    assert set(cells["exec"]) == set(STRATEGY_NAMES)
+                    assert set(cells["delta"]) == set(STRATEGY_NAMES)
+
+    def test_row_groups_match_reference_labels(self):
+        from repro.harness import paper_reference as paper
+
+        for wl, table in (("nbody", paper.TABLE3), ("babelstream", paper.TABLE4), ("minife", paper.TABLE5)):
+            for plat, rows in table.items():
+                labels = [g[0] for g in campaigns._row_groups(plat, wl)]
+                assert set(labels) == set(rows), (wl, plat)
+
+
+class TestStudies:
+    def test_runlevel3(self, settings):
+        r = campaigns.runlevel3_study(settings)
+        assert r.sd_gui >= 0 and r.sd_runlevel3 >= 0
+        assert "Runlevel-3" in r.render()

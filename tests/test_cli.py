@@ -1,0 +1,107 @@
+"""CLI tests (argument wiring and command execution)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def small_reps(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BASELINE_REPS", "3")
+    monkeypatch.setenv("REPRO_INJECT_REPS", "2")
+    monkeypatch.setenv("REPRO_COLLECT_REPS", "4")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.chdir(tmp_path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_spec_defaults(self):
+        args = build_parser().parse_args(["baseline"])
+        assert args.platform == "intel-9700kf"
+        assert args.model == "omp"
+
+
+class TestCommands:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "intel-9700kf" in out and "a64fx-reserved" in out
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "--reps", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mean=" in out
+
+    def test_trace_writes_worst_case(self, tmp_path, capsys):
+        out_file = tmp_path / "worst.json"
+        assert main(["trace", "--reps", "3", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert "exec_time" in data and "sources" in data
+
+    def test_configure_writes_config(self, tmp_path, capsys):
+        out_file = tmp_path / "cfg.json"
+        assert main(["configure", "--reps", "3", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert "threads" in data
+
+    def test_inject_roundtrip(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        main(["configure", "--reps", "3", "--seed", "42", "--out", str(cfg)])
+        assert main(["inject", "--reps", "2", "--config", str(cfg)]) == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+
+    def test_pipeline(self, capsys):
+        assert main(["pipeline", "--reps", "2", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "replication accuracy" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "paper" in out
+
+    def test_figure3_demo(self, capsys):
+        assert main(["figure", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "local_timer" in out or "Event Type" in out
+
+    def test_figure4_demo(self, capsys):
+        assert main(["figure", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "refined" in out
+
+    def test_figure5_demo(self, capsys):
+        assert main(["figure", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "noise_events" in out
+
+    def test_figure6_demo(self, capsys):
+        assert main(["figure", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "injector processes" in out
+
+    def test_analyze(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.json"
+        main(["trace", "--reps", "3", "--seed", "4", "--out", str(trace_file)])
+        capsys.readouterr()
+        assert main(["analyze", str(trace_file), "--top", "3", "--bins", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 sources" in out
+        assert "noise timeline" in out
+        assert "busiest" in out
+
+    def test_anomaly_prob_flag(self, capsys):
+        assert main(["baseline", "--reps", "3", "--anomaly-prob", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "anomalies observed: 3/3" in out

@@ -1,0 +1,58 @@
+"""Unit tests for trace collection (stage 1)."""
+
+import pytest
+
+from repro.core.collection import collect_traces
+from repro.harness.experiment import ExperimentSpec
+
+
+def spec(**kw):
+    defaults = dict(platform="intel-9700kf", workload="nbody", model="omp", strategy="Rm", seed=21)
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+class TestCollection:
+    def test_basic_collection(self):
+        coll = collect_traces(spec(), reps=5, min_degradation=0.0, max_batches=1)
+        assert len(coll.exec_times) == 5
+        assert coll.worst_trace is not None
+        assert coll.worst_exec_time == coll.exec_times.max()
+        assert len(coll.profile) > 0
+
+    def test_worst_case_has_meta(self):
+        coll = collect_traces(spec(), reps=5, min_degradation=0.0, max_batches=1)
+        assert "run" in coll.worst_trace.meta
+
+    def test_degradation_consistent(self):
+        coll = collect_traces(spec(), reps=5, min_degradation=0.0, max_batches=1)
+        expected = coll.worst_exec_time / coll.mean_exec_time - 1.0
+        assert coll.worst_case_degradation() == pytest.approx(expected)
+
+    def test_tracing_forced_on(self):
+        coll = collect_traces(spec(tracing=False), reps=3, min_degradation=0.0, max_batches=1)
+        assert coll.worst_trace is not None
+
+    def test_profile_contains_timer_source(self):
+        coll = collect_traces(spec(), reps=3, min_degradation=0.0, max_batches=1)
+        assert "local_timer:236" in coll.profile
+
+    def test_outlier_hunt_adds_batches(self):
+        # With a silent anomaly lottery the hunt must exhaust batches.
+        coll = collect_traces(
+            spec(anomaly_prob=0.0), reps=3, min_degradation=0.5, max_batches=3
+        )
+        assert len(coll.exec_times) == 9
+
+    def test_hunt_stops_when_outlier_found(self):
+        # Guaranteed anomaly: a single batch should satisfy the hunt.
+        coll = collect_traces(
+            spec(anomaly_prob=1.0), reps=4, min_degradation=0.02, max_batches=5
+        )
+        assert len(coll.exec_times) == 4
+
+    def test_deterministic(self):
+        a = collect_traces(spec(), reps=4, min_degradation=0.0, max_batches=1)
+        b = collect_traces(spec(), reps=4, min_degradation=0.0, max_batches=1)
+        assert a.worst_exec_time == b.worst_exec_time
+        assert list(a.exec_times) == list(b.exec_times)

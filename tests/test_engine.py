@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_runs_callbacks_in_time_order(self, engine):
+        order = []
+        engine.schedule(2.0, order.append, "b")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(3.0, order.append, "c")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self, engine):
+        order = []
+        for tag in "abc":
+            engine.schedule(1.0, order.append, tag)
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, engine):
+        seen = []
+        engine.schedule(5.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.5]
+        assert engine.now == 5.5
+
+    def test_schedule_after_relative(self, engine):
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule_after(0.5, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [1.5]
+
+    def test_rejects_past_events(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(0.5, lambda: None)
+
+    def test_rejects_nonfinite_time(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(float("inf"), lambda: None)
+
+    def test_rejects_negative_delay(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_tiny_past_clamped_to_now(self, engine):
+        # Round-off from rate integration must not crash the engine.
+        engine.schedule(1.0, lambda: engine.schedule(engine.now - 1e-15, lambda: None))
+        engine.run()  # no exception
+
+
+class TestCancellation:
+    def test_cancelled_event_not_run(self, engine):
+        seen = []
+        h = engine.schedule(1.0, seen.append, "x")
+        h.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, engine):
+        h = engine.schedule(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        engine.run()
+
+    def test_cancel_none_is_noop(self, engine):
+        Engine.cancel(None)
+
+    def test_cancel_releases_references(self, engine):
+        payload = object()
+        h = engine.schedule(1.0, lambda x: None, payload)
+        h.cancel()
+        assert h.args == ()
+
+    def test_pending_count_excludes_cancelled(self, engine):
+        h1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert engine.pending_count() == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, engine):
+        seen = []
+        engine.schedule(1.0, seen.append, "a")
+        engine.schedule(5.0, seen.append, "b")
+        engine.run(until=2.0)
+        assert seen == ["a"]
+        assert engine.now == 2.0
+
+    def test_run_until_resumable(self, engine):
+        seen = []
+        engine.schedule(1.0, seen.append, "a")
+        engine.schedule(5.0, seen.append, "b")
+        engine.run(until=2.0)
+        engine.run()
+        assert seen == ["a", "b"]
+
+    def test_stop_exits_loop(self, engine):
+        seen = []
+        engine.schedule(1.0, lambda: (seen.append("a"), engine.stop()))
+        engine.schedule(2.0, seen.append, "b")
+        engine.run()
+        assert seen == [("a", None)] or seen == ["a"] or len(seen) == 1
+
+    def test_max_events_guard(self, engine):
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_not_reentrant(self, engine):
+        def nested():
+            engine.run()
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_executed_counter(self, engine):
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.events_executed == 3
+
+    def test_empty_run_returns_now(self, engine):
+        assert engine.run() == 0.0
+
+    def test_next_event_time(self, engine):
+        assert engine.next_event_time() is None
+        h = engine.schedule(3.0, lambda: None)
+        engine.schedule(5.0, lambda: None)
+        assert engine.next_event_time() == 3.0
+        h.cancel()
+        assert engine.next_event_time() == 5.0

@@ -1,0 +1,56 @@
+"""Unit tests for the noise-event vocabulary."""
+
+import pytest
+
+from repro.core.events import (
+    POLICY_FOR_EVENT,
+    RT_PRIORITY_FOR_EVENT,
+    EventType,
+    event_type_code,
+)
+
+
+class TestEventType:
+    def test_labels_match_osnoise(self):
+        assert EventType.IRQ.label == "irq_noise"
+        assert EventType.SOFTIRQ.label == "softirq_noise"
+        assert EventType.THREAD.label == "thread_noise"
+
+    def test_from_label_roundtrip(self):
+        for et in EventType:
+            assert EventType.from_label(et.label) is et
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            EventType.from_label("dma_noise")
+
+    def test_codes_are_stable(self):
+        # columnar traces persist these integers
+        assert int(EventType.IRQ) == 0
+        assert int(EventType.SOFTIRQ) == 1
+        assert int(EventType.THREAD) == 2
+
+
+class TestPolicyMapping:
+    def test_paper_section_4_2_mapping(self):
+        assert POLICY_FOR_EVENT[EventType.THREAD] == "SCHED_OTHER"
+        assert POLICY_FOR_EVENT[EventType.IRQ] == "SCHED_FIFO"
+        assert POLICY_FOR_EVENT[EventType.SOFTIRQ] == "SCHED_FIFO"
+
+    def test_irq_outranks_softirq(self):
+        assert RT_PRIORITY_FOR_EVENT[EventType.IRQ] > RT_PRIORITY_FOR_EVENT[EventType.SOFTIRQ]
+
+
+class TestCodeNormalisation:
+    def test_accepts_enum(self):
+        assert event_type_code(EventType.THREAD) == 2
+
+    def test_accepts_int(self):
+        assert event_type_code(1) == 1
+
+    def test_accepts_label(self):
+        assert event_type_code("irq_noise") == 0
+
+    def test_invalid_int(self):
+        with pytest.raises(ValueError):
+            event_type_code(7)

@@ -1,0 +1,42 @@
+"""Example scripts: syntax-check always, execute when opted in.
+
+Running every example takes minutes (they are small studies, not unit
+tests); set ``REPRO_RUN_EXAMPLES=1`` to execute them end to end.
+"""
+
+import os
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_EXAMPLES") != "1",
+    reason="set REPRO_RUN_EXAMPLES=1 to execute the example studies",
+)
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their findings"

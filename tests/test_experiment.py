@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiment import (
+    ExperimentSpec,
+    default_baseline_reps,
+    default_inject_reps,
+    run_experiment,
+)
+
+
+class TestSpec:
+    def test_label(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", model="omp", strategy="Rm")
+        assert "Rm-OMP" in spec.label()
+        assert "nbody" in spec.label()
+
+    def test_with_updates(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody")
+        other = spec.with_(strategy="TPHK2")
+        assert other.strategy == "TPHK2"
+        assert spec.strategy == "Rm"
+
+    def test_resolved_reps_explicit(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=17)
+        assert spec.resolved_reps() == 17
+        assert spec.resolved_reps(injecting=True) == 17
+
+    def test_resolved_reps_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BASELINE_REPS", "9")
+        monkeypatch.setenv("REPRO_INJECT_REPS", "4")
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody")
+        assert spec.resolved_reps() == 9
+        assert spec.resolved_reps(injecting=True) == 4
+        assert default_baseline_reps() == 9
+        assert default_inject_reps() == 4
+
+
+class TestRun:
+    def test_reps_and_positive_times(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=3, seed=1)
+        rs = run_experiment(spec)
+        assert len(rs.times) == 3
+        assert (rs.times > 0).all()
+
+    def test_deterministic_given_seed(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=3, seed=5)
+        a = run_experiment(spec)
+        b = run_experiment(spec)
+        np.testing.assert_array_equal(a.times, b.times)
+
+    def test_different_seeds_differ(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=3, seed=5)
+        a = run_experiment(spec)
+        b = run_experiment(spec.with_(seed=6))
+        assert not np.array_equal(a.times, b.times)
+
+    def test_on_run_sees_traces(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=2, seed=1)
+        seen = []
+        run_experiment(spec, on_run=lambda i, r: seen.append((i, r.trace is not None)))
+        assert seen == [(0, True), (1, True)]
+
+    def test_tracing_off_no_traces(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf", workload="nbody", reps=1, seed=1, tracing=False
+        )
+        seen = []
+        run_experiment(spec, on_run=lambda i, r: seen.append(r.trace))
+        assert seen == [None]
+
+    def test_n_threads_override(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf", workload="nbody", reps=1, seed=1, n_threads=4
+        )
+        rs4 = run_experiment(spec)
+        rs8 = run_experiment(spec.with_(n_threads=None))
+        assert rs4.mean > rs8.mean * 1.5
+
+    def test_n_threads_over_mask_rejected(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf", workload="nbody", reps=1, seed=1, n_threads=9
+        )
+        with pytest.raises(ValueError):
+            run_experiment(spec)
+
+    def test_workload_params_forwarded(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf",
+            workload="babelstream",
+            reps=1,
+            seed=1,
+            workload_params={"iters": 2, "array_mb": 10},
+        )
+        rs = run_experiment(spec)
+        assert rs.mean < 0.1
+
+    def test_runlevel3_reduces_variability(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf", workload="nbody", reps=12, seed=3, anomaly_prob=0.0
+        )
+        gui = run_experiment(spec)
+        quiet = run_experiment(spec.with_(runlevel3=True))
+        # GUI sources add macro noise; without them the floor is lower.
+        assert quiet.mean <= gui.mean
+
+    def test_anomaly_prob_override(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf", workload="nbody", reps=4, seed=3, anomaly_prob=1.0
+        )
+        rs = run_experiment(spec)
+        assert rs.anomaly_count() == 4
+
+    def test_result_properties(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=3, seed=1)
+        rs = run_experiment(spec)
+        assert rs.summary.n == 3
+        assert rs.sd >= 0.0
+        assert not rs.injected

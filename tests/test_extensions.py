@@ -1,0 +1,157 @@
+"""Unit tests for HPAS-style generators and memory-noise injection."""
+
+import pytest
+
+from repro.extensions import (
+    MemoryNoiseConfig,
+    MemoryNoiseEvent,
+    MemoryNoiseInjector,
+    cache_thrash,
+    cpu_occupy,
+    memory_bandwidth,
+)
+from repro.sim.task import Task
+
+from conftest import make_machine
+
+
+class TestMemoryNoiseEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryNoiseEvent(start=-1, duration=0.1, bandwidth_gbs=10)
+        with pytest.raises(ValueError):
+            MemoryNoiseEvent(start=0, duration=0, bandwidth_gbs=10)
+        with pytest.raises(ValueError):
+            MemoryNoiseEvent(start=0, duration=0.1, bandwidth_gbs=0)
+
+    def test_json_roundtrip(self):
+        cfg = MemoryNoiseConfig(
+            [MemoryNoiseEvent(0.1, 0.2, 15.0, source="hog")],
+            meta={"generator": "membw"},
+        )
+        back = MemoryNoiseConfig.from_json(cfg.to_json())
+        assert back.n_events == 1
+        assert back.events[0].bandwidth_gbs == 15.0
+        assert back.meta["generator"] == "membw"
+
+    def test_traffic_accounting(self):
+        cfg = MemoryNoiseConfig(
+            [MemoryNoiseEvent(0.0, 0.5, 20.0), MemoryNoiseEvent(0.5, 0.5, 10.0)]
+        )
+        assert cfg.total_traffic_gb() == pytest.approx(15.0)
+
+    def test_events_sorted(self):
+        cfg = MemoryNoiseConfig(
+            [MemoryNoiseEvent(0.5, 0.1, 1.0), MemoryNoiseEvent(0.1, 0.1, 1.0)]
+        )
+        assert cfg.events[0].start == 0.1
+
+
+class TestMemoryNoiseInjection:
+    def _run(self, config, mem_demand):
+        """One streaming worker on cpu 0 (Intel quiet machine)."""
+        m = make_machine(tracing=False)
+
+        def start(mm):
+            w = Task("w", work=1.0, mem_demand=mem_demand, affinity=frozenset({0}), pinned=True)
+            w.on_complete = lambda t: mm.workload_done()
+            mm.scheduler.submit(w, cpu=0)
+            MemoryNoiseInjector(config).launch(mm)
+
+        return m.run(start, expected_duration=1.5).exec_time
+
+    def test_membw_noise_slows_streaming_workload(self):
+        # workload pulls 30 GB/s on a 38 GB/s machine; a 20 GB/s hog on
+        # another (idle) cpu saturates the bus
+        quiet = self._run(
+            MemoryNoiseConfig([MemoryNoiseEvent(5.0, 0.1, 20.0)]), mem_demand=30.0
+        )
+        noisy = self._run(
+            MemoryNoiseConfig([MemoryNoiseEvent(0.0, 2.0, 20.0)]), mem_demand=30.0
+        )
+        assert noisy > quiet * 1.15
+
+    def test_membw_noise_invisible_to_compute_workload(self):
+        # the paper's asymmetry: CPU-idle memory hogs do not disturb
+        # compute-bound threads
+        quiet = self._run(
+            MemoryNoiseConfig([MemoryNoiseEvent(5.0, 0.1, 20.0)]), mem_demand=0.0
+        )
+        noisy = self._run(
+            MemoryNoiseConfig([MemoryNoiseEvent(0.0, 2.0, 20.0)]), mem_demand=0.0
+        )
+        assert noisy == pytest.approx(quiet, rel=1e-6)
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryNoiseInjector(MemoryNoiseConfig([]))
+
+    def test_single_use(self):
+        cfg = MemoryNoiseConfig([MemoryNoiseEvent(0.0, 0.1, 5.0)])
+        inj = MemoryNoiseInjector(cfg)
+        m = make_machine()
+
+        def start(mm):
+            w = Task("w", work=0.2, affinity=frozenset({0}), pinned=True)
+            w.on_complete = lambda t: mm.workload_done()
+            mm.scheduler.submit(w, cpu=0)
+            inj.launch(mm)
+
+        m.run(start, expected_duration=0.2)
+        with pytest.raises(RuntimeError):
+            inj.launch(m)
+
+
+class TestHPASGenerators:
+    def test_cpu_occupy_full(self):
+        cfg = cpu_occupy(start=0.0, duration=0.5, cpus=(0, 1))
+        assert cfg.n_cpus == 2
+        assert cfg.n_events == 2
+        assert cfg.total_busy_time() == pytest.approx(1.0)
+
+    def test_cpu_occupy_square_wave(self):
+        cfg = cpu_occupy(start=0.0, duration=0.1, cpus=(0,), utilization=0.5, period=10e-3)
+        events = cfg.events_per_cpu[0]
+        assert len(events) == 10
+        assert sum(e.duration for e in events) == pytest.approx(0.05)
+
+    def test_cpu_occupy_runs_as_other(self):
+        cfg = cpu_occupy(start=0.0, duration=0.1, cpus=(0,))
+        assert cfg.events_per_cpu[0][0].policy == "SCHED_OTHER"
+
+    def test_cpu_occupy_validation(self):
+        with pytest.raises(ValueError):
+            cpu_occupy(0.0, 0.1, cpus=())
+        with pytest.raises(ValueError):
+            cpu_occupy(0.0, 0.1, cpus=(0,), utilization=0.0)
+        with pytest.raises(ValueError):
+            cpu_occupy(0.0, -1.0, cpus=(0,))
+
+    def test_membw_splits_streams(self):
+        cfg = memory_bandwidth(start=0.0, duration=1.0, bandwidth_gbs=30.0, streams=3)
+        assert cfg.n_events == 3
+        assert sum(e.bandwidth_gbs for e in cfg.events) == pytest.approx(30.0)
+
+    def test_cache_thrash_per_cpu(self):
+        cfg = cache_thrash(start=0.0, duration=0.5, cpus=(0, 1, 2))
+        assert cfg.n_events == 3
+        assert cfg.meta["generator"] == "cachecopy"
+
+    def test_hpas_config_replayable_by_standard_injector(self):
+        # the synthetic CPU hog replays through the paper's injector
+        from repro.core.injector import NoiseInjector
+
+        cfg = cpu_occupy(start=0.1, duration=0.2, cpus=(0,))
+        m = make_machine()
+
+        def start(mm):
+            w = Task("w", work=0.5, affinity=frozenset({0}), pinned=True)
+            w.on_complete = lambda t: mm.workload_done()
+            mm.scheduler.submit(w, cpu=0)
+            for c in range(1, 8):
+                mm.scheduler.submit(Task(f"s{c}", affinity=frozenset({c}), pinned=True), cpu=c)
+            NoiseInjector(cfg).launch(mm)
+
+        result = m.run(start, expected_duration=1.0)
+        # OTHER hog timeshares with the pinned worker: +~0.2s
+        assert result.exec_time == pytest.approx(0.7, rel=0.05)

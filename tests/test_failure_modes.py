@@ -1,0 +1,164 @@
+"""Failure-injection tests: malformed inputs and degenerate setups."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConfigEvent, NoiseConfig
+from repro.core.events import EventType
+from repro.core.trace import Trace
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.runtimes.base import Placement, Region
+from repro.runtimes import get_runtime
+from repro.sim.task import Task
+
+from conftest import make_machine
+
+
+class TestMalformedConfigs:
+    def test_config_json_missing_threads(self):
+        with pytest.raises(KeyError):
+            NoiseConfig.from_json(json.dumps({"meta": {}}))
+
+    def test_config_event_bad_policy_label(self):
+        payload = {
+            "meta": {},
+            "threads": [
+                {
+                    "cpu": 0,
+                    "noise_events": [
+                        {
+                            "start_time": 0.1,
+                            "duration": 1e-3,
+                            "policy": "SCHED_DEADLINE",
+                            "rt_priority": 0,
+                            "event_type": "thread_noise",
+                        }
+                    ],
+                }
+            ],
+        }
+        with pytest.raises(ValueError):
+            NoiseConfig.from_json(json.dumps(payload))
+
+    def test_config_event_bad_event_type(self):
+        with pytest.raises(ValueError):
+            ConfigEvent.from_dict(
+                {
+                    "start_time": 0.0,
+                    "duration": 1e-3,
+                    "policy": "SCHED_OTHER",
+                    "rt_priority": 0,
+                    "event_type": "dma_noise",
+                }
+            )
+
+    def test_trace_json_garbage(self):
+        with pytest.raises((json.JSONDecodeError, KeyError, TypeError)):
+            Trace.from_json("{broken")
+
+
+class TestDegenerateRuns:
+    def test_runtime_with_zero_work_region(self):
+        m = make_machine()
+        rt = get_runtime("omp")
+        placement = Placement(cpus=(0, 1), n_threads=2, pinned=True)
+        rt.launch(m, iter([Region("empty", total_work=0.0)]), placement)
+        m.engine.run()
+        # barrier-only region still terminates
+        assert m.engine.now > 0.0
+
+    def test_single_thread_team(self):
+        m = make_machine()
+        rt = get_runtime("sycl")
+        placement = Placement(cpus=(0,), n_threads=1, pinned=True)
+        rt.launch(m, iter([Region("r", total_work=0.5, sycl_efficiency=1.0)]), placement)
+        m.engine.run()
+        assert m.engine.now == pytest.approx(0.5, rel=0.01)
+
+    def test_more_cpus_than_threads_roaming(self):
+        m = make_machine()
+        rt = get_runtime("omp")
+        placement = Placement(cpus=tuple(range(8)), n_threads=3, pinned=False)
+        rt.launch(m, iter([Region("r", total_work=3.0)]), placement)
+        m.engine.run()
+        assert m.engine.now == pytest.approx(1.0, rel=0.01)
+
+    def test_workload_with_single_repetition(self):
+        spec = ExperimentSpec(platform="intel-9700kf", workload="nbody", reps=1, seed=0)
+        rs = run_experiment(spec)
+        assert rs.sd == 0.0
+        assert rs.summary.n == 1
+
+    def test_injection_config_for_missing_cpus_ignored_gracefully(self):
+        # config references CPU 31 on an 8-CPU machine: the injector's
+        # processes roam, so the hint is simply unusable and placement
+        # falls back.
+        cfg = NoiseConfig(
+            {
+                31: [
+                    ConfigEvent(
+                        start=0.1,
+                        duration=0.05,
+                        policy="SCHED_OTHER",
+                        rt_priority=0,
+                        weight=1.0,
+                        etype=EventType.THREAD,
+                        source="ghost",
+                    )
+                ]
+            }
+        )
+        m = make_machine(tracing=True)
+
+        def start(mm):
+            w = Task("w", work=0.5, affinity=frozenset({0}), pinned=True)
+            w.on_complete = lambda t: mm.workload_done()
+            mm.scheduler.submit(w, cpu=0)
+            from repro.core.injector import NoiseInjector
+
+            NoiseInjector(cfg).launch(mm)
+
+        result = m.run(start, expected_duration=0.5)
+        assert "inject:ghost" in result.trace.sources
+
+    def test_empty_workload_params_rejected_kwargs(self):
+        spec = ExperimentSpec(
+            platform="intel-9700kf",
+            workload="nbody",
+            reps=1,
+            seed=0,
+            workload_params={"bogus_param": 3},
+        )
+        with pytest.raises(TypeError):
+            run_experiment(spec)
+
+
+class TestNumericEdges:
+    def test_tiny_durations_survive_trace_roundtrip(self):
+        t = Trace.from_records([(0, 0, "x", 0.0, 1e-12)], 1.0)
+        back = Trace.from_json(t.to_json())
+        assert back.durations[0] == pytest.approx(1e-12)
+
+    def test_trace_with_many_identical_timestamps(self):
+        records = [(i % 4, 2, "k", 0.5, 1e-6) for i in range(100)]
+        t = Trace.from_records(records, 1.0)
+        assert t.n_events == 100
+        assert (t.starts == 0.5).all()
+
+    def test_long_run_float_accumulation(self):
+        # hours of virtual time: rate integration must not drift
+        m = make_machine()
+        w = Task("w", work=3600.0, affinity=frozenset({0}), pinned=True)
+        done = {}
+        w.on_complete = lambda t: done.setdefault("t", m.engine.now)
+
+        def start(mm):
+            mm.scheduler.submit(w, cpu=0)
+            w2 = Task("end", work=3600.0, affinity=frozenset({1}), pinned=True)
+            w2.on_complete = lambda t: mm.workload_done()
+            mm.scheduler.submit(w2, cpu=1)
+
+        m.run(start, expected_duration=3600.0)
+        assert done["t"] == pytest.approx(3600.0, rel=1e-9)

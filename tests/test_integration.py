@@ -1,0 +1,132 @@
+"""Cross-module integration tests: the paper's qualitative claims.
+
+Each test exercises the full stack (machine + runtime + workload +
+pipeline) and asserts a *shape* the paper reports, at small repetition
+counts.  Absolute numbers are covered by the benchmark harness.
+"""
+
+import pytest
+
+from repro.core.pipeline import NoiseInjectionPipeline
+from repro.harness.experiment import ExperimentSpec, run_experiment
+
+
+def spec(**kw):
+    defaults = dict(platform="intel-9700kf", workload="nbody", model="omp", strategy="Rm", seed=2025)
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+class TestRawPerformance:
+    """OpenMP consistently achieves higher raw performance (abstract)."""
+
+    @pytest.mark.parametrize("workload", ["nbody", "babelstream", "minife"])
+    @pytest.mark.parametrize("platform", ["intel-9700kf", "amd-9950x3d"])
+    def test_omp_faster_than_sycl(self, workload, platform):
+        s = spec(workload=workload, platform=platform, reps=3, anomaly_prob=0.0)
+        omp = run_experiment(s)
+        sycl = run_experiment(s.with_(model="sycl"))
+        assert omp.mean < sycl.mean
+
+    def test_sycl_minife_roughly_twice_omp(self):
+        s = spec(workload="minife", reps=3, anomaly_prob=0.0)
+        omp = run_experiment(s)
+        sycl = run_experiment(s.with_(model="sycl"))
+        assert 1.5 < sycl.mean / omp.mean < 2.6
+
+
+class TestHousekeepingCost:
+    """HK costs throughput for compute-bound work but not for
+    bandwidth-bound work (§5.1 and §6 rec. 2/3)."""
+
+    def test_nbody_pays_for_housekeeping(self):
+        base = run_experiment(spec(reps=3, anomaly_prob=0.0))
+        hk2 = run_experiment(spec(strategy="RmHK2", reps=3, anomaly_prob=0.0))
+        assert hk2.mean > base.mean * 1.2
+
+    def test_babelstream_housekeeping_nearly_free(self):
+        base = run_experiment(spec(workload="babelstream", reps=3, anomaly_prob=0.0))
+        hk2 = run_experiment(
+            spec(workload="babelstream", strategy="RmHK2", reps=3, anomaly_prob=0.0)
+        )
+        assert hk2.mean < base.mean * 1.05
+
+
+class TestVariability:
+    """Anomalies create the worst cases; housekeeping absorbs them."""
+
+    def test_anomalies_create_outliers(self):
+        quiet = run_experiment(spec(reps=6, anomaly_prob=0.0))
+        noisy = run_experiment(spec(reps=6, anomaly_prob=1.0))
+        assert noisy.summary.maximum > quiet.summary.maximum * 1.05
+
+    def test_housekeeping_reduces_anomaly_variability(self):
+        rm = run_experiment(spec(reps=8, anomaly_prob=0.5, seed=31))
+        hk = run_experiment(spec(strategy="RmHK2", reps=8, anomaly_prob=0.5, seed=31))
+        assert hk.summary.cov < rm.summary.cov
+
+
+class TestInjectionShapes:
+    """Tables 3–6 shapes on the Intel platform at small scale."""
+
+    @pytest.fixture(scope="class")
+    def pipe(self):
+        p = NoiseInjectionPipeline(
+            spec(anomaly_prob=0.25, seed=42), collect_reps=20, inject_reps=6
+        )
+        p.build_config()
+        return p
+
+    def _delta(self, pipe, **kw):
+        s = spec(reps=6, anomaly_prob=0.0, seed=77, **kw)
+        base = run_experiment(s)
+        inj = pipe.inject(s.with_(anomaly_prob=None))
+        return inj.mean / base.mean - 1.0
+
+    def test_housekeeping_mitigates_injection(self, pipe):
+        assert self._delta(pipe, strategy="RmHK2") < self._delta(pipe, strategy="Rm")
+
+    def test_sycl_more_resilient_than_omp(self, pipe):
+        assert self._delta(pipe, model="sycl") < self._delta(pipe, model="omp")
+
+    def test_tp_comparable_to_rm(self, pipe):
+        # §5.2: no mitigation benefit from pinning alone on desktops.
+        rm = self._delta(pipe, strategy="Rm")
+        tp = self._delta(pipe, strategy="TP")
+        assert tp >= rm - 0.05
+
+    def test_accuracy_within_paper_band(self, pipe):
+        injected = pipe.inject(spec(reps=8, anomaly_prob=None))
+        from repro.core.accuracy import replication_accuracy
+
+        acc = replication_accuracy(injected.mean, pipe.collection.worst_exec_time)
+        assert acc < 0.30  # the paper's own worst config hit 25.74%
+
+
+class TestReservedCoreMotivation:
+    """§3: reserved OS cores kill variability on A64FX."""
+
+    def test_reserved_system_less_variable(self):
+        s = spec(
+            platform="a64fx",
+            workload="schedbench",
+            reps=10,
+            seed=5,
+            anomaly_prob=0.6,
+            workload_params={"schedule": "static", "chunk": 1},
+        )
+        unreserved = run_experiment(s)
+        reserved = run_experiment(s.with_(platform="a64fx-reserved"))
+        assert reserved.sd < unreserved.sd
+
+
+class TestDeterminismEndToEnd:
+    def test_full_pipeline_reproducible(self):
+        results = []
+        for _ in range(2):
+            pipe = NoiseInjectionPipeline(
+                spec(seed=99, anomaly_prob=0.3), collect_reps=8, inject_reps=3
+            )
+            results.append(pipe.run())
+        assert results[0].injected_mean == results[1].injected_mean
+        assert results[0].config.to_json() == results[1].config.to_json()

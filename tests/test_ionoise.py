@@ -1,0 +1,119 @@
+"""Tests for the I/O-noise extension."""
+
+import pytest
+
+from repro.extensions import IoBurst, IoNoiseConfig, IoNoiseInjector
+from repro.sim.task import Task
+
+from conftest import make_machine
+
+
+def run_with_io(config, occupy_all=True, workload_duration=1.0, seed=0):
+    """Pinned 1.0s worker on cpu 0 (+ spinners elsewhere) + I/O noise."""
+    m = make_machine(seed=seed, rt_throttle=False)
+    done = {}
+
+    def start(mm):
+        w = Task("w", work=workload_duration, affinity=frozenset({0}), pinned=True)
+        w.on_complete = lambda t: (done.setdefault("w", mm.engine.now), mm.workload_done())
+        mm.scheduler.submit(w, cpu=0)
+        if occupy_all:
+            for c in range(1, mm.topology.n_logical):
+                mm.scheduler.submit(
+                    Task(f"s{c}", affinity=frozenset({c}), pinned=True), cpu=c
+                )
+        injector = IoNoiseInjector(config, seed=seed)
+        injector.launch(mm)
+        done["injector"] = injector
+
+    result = m.run(start, expected_duration=workload_duration)
+    return result, done["injector"]
+
+
+class TestConfig:
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            IoBurst(start=-1, duration=0.1)
+        with pytest.raises(ValueError):
+            IoBurst(start=0, duration=0)
+        with pytest.raises(ValueError):
+            IoBurst(start=0, duration=0.1, irq_rate=100, irq_cpus=())
+        with pytest.raises(ValueError):
+            IoBurst(start=0, duration=0.1, flush_segments=0)
+
+    def test_total_irq_busy(self):
+        b = IoBurst(start=0, duration=0.5, irq_rate=1000, irq_duration=10e-6, irq_cpus=(0, 1))
+        assert b.total_irq_busy() == pytest.approx(0.01)
+
+    def test_total_busy_time(self):
+        cfg = IoNoiseConfig(
+            [IoBurst(start=0, duration=0.5, irq_rate=1000, irq_duration=10e-6,
+                     irq_cpus=(0,), flush_cpu_time=0.02)]
+        )
+        assert cfg.total_busy_time() == pytest.approx(0.025)
+
+    def test_json_roundtrip(self):
+        cfg = IoNoiseConfig(
+            [IoBurst(start=0.1, duration=0.2, irq_cpus=(0, 3), flush_cpu_time=0.01)],
+            meta={"origin": "checkpoint"},
+        )
+        back = IoNoiseConfig.from_json(cfg.to_json())
+        assert back.n_bursts == 1
+        assert back.bursts[0].irq_cpus == (0, 3)
+        assert back.meta["origin"] == "checkpoint"
+
+    def test_bursts_sorted(self):
+        cfg = IoNoiseConfig([IoBurst(start=0.5, duration=0.1), IoBurst(start=0.1, duration=0.1)])
+        assert cfg.bursts[0].start == 0.1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IoNoiseInjector(IoNoiseConfig([]))
+
+
+class TestInjection:
+    def test_irq_storm_delays_target_cpu(self):
+        cfg = IoNoiseConfig(
+            [
+                IoBurst(
+                    start=0.1,
+                    duration=0.4,
+                    irq_rate=5000,
+                    irq_duration=20e-6,
+                    irq_cpus=(0,),
+                    flush_cpu_time=0.0,
+                )
+            ]
+        )
+        result, injector = run_with_io(cfg)
+        # 5000/s * 0.4s * 20us = 40ms of irq busy on cpu 0
+        assert result.exec_time == pytest.approx(1.04, rel=0.02)
+        assert injector.injected_events > 100
+
+    def test_flushers_absorbed_by_idle_cpus(self):
+        cfg = IoNoiseConfig(
+            [IoBurst(start=0.0, duration=0.5, irq_rate=0, flush_cpu_time=0.3)]
+        )
+        quiet, _ = run_with_io(cfg, occupy_all=True)
+        absorbed, _ = run_with_io(cfg, occupy_all=False)
+        # with free CPUs the flusher work lands elsewhere
+        assert absorbed.exec_time < quiet.exec_time
+
+    def test_flushers_timeshare_when_machine_full(self):
+        cfg = IoNoiseConfig(
+            [IoBurst(start=0.0, duration=0.2, irq_rate=0, flush_cpu_time=0.4, flush_segments=8)]
+        )
+        result, _ = run_with_io(cfg, occupy_all=True)
+        assert result.exec_time > 1.01
+
+    def test_deterministic(self):
+        cfg = IoNoiseConfig([IoBurst(start=0.1, duration=0.3, flush_cpu_time=0.1)])
+        a, _ = run_with_io(cfg, seed=4)
+        b, _ = run_with_io(cfg, seed=4)
+        assert a.exec_time == b.exec_time
+
+    def test_single_use(self):
+        cfg = IoNoiseConfig([IoBurst(start=0.1, duration=0.1)])
+        result, injector = run_with_io(cfg)
+        with pytest.raises(RuntimeError):
+            injector.launch(None)

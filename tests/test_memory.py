@@ -1,0 +1,39 @@
+"""Unit tests for the bandwidth pool."""
+
+import pytest
+
+from repro.sim.memory import MemorySystem
+
+
+class TestScale:
+    def test_under_capacity_no_slowdown(self):
+        assert MemorySystem(40.0).scale_for(30.0) == 1.0
+
+    def test_exact_capacity_no_slowdown(self):
+        assert MemorySystem(40.0).scale_for(40.0) == 1.0
+
+    def test_over_capacity_scales_proportionally(self):
+        assert MemorySystem(40.0).scale_for(80.0) == pytest.approx(0.5)
+
+    def test_zero_demand(self):
+        assert MemorySystem(40.0).scale_for(0.0) == 1.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(40.0).scale_for(-1.0)
+
+    def test_infinite_bandwidth_never_saturates(self):
+        m = MemorySystem(float("inf"))
+        assert m.scale_for(1e12) == 1.0
+        assert not m.saturated(1e12)
+
+    def test_saturated_predicate(self):
+        m = MemorySystem(40.0)
+        assert m.saturated(41.0)
+        assert not m.saturated(40.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemorySystem(0.0)
+        with pytest.raises(ValueError):
+            MemorySystem(-5.0)

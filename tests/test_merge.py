@@ -1,0 +1,130 @@
+"""Unit tests for overlap merging — the paper's §5.2 injector fix."""
+
+import pytest
+
+from repro.core.events import EventType
+from repro.core.merge import (
+    IMPROVED_THREAD_WEIGHT,
+    MergeStrategy,
+    RawEvent,
+    merge_events,
+    policy_for,
+)
+
+
+def ev(start, duration, etype=EventType.THREAD, source="x"):
+    return RawEvent(start=start, duration=duration, etype=etype, source=source)
+
+
+class TestNaive:
+    def test_non_overlapping_untouched(self):
+        events = [ev(0.0, 0.1), ev(0.2, 0.1)]
+        merged = merge_events(events, MergeStrategy.NAIVE)
+        assert len(merged) == 2
+
+    def test_overlap_merges_to_envelope(self):
+        events = [ev(0.0, 0.2), ev(0.1, 0.3)]
+        merged = merge_events(events, MergeStrategy.NAIVE)
+        assert len(merged) == 1
+        assert merged[0].start == 0.0
+        assert merged[0].duration == pytest.approx(0.4)
+
+    def test_mixed_classes_promote_to_fifo(self):
+        # The compromised behaviour: thread noise swallowed into an
+        # IRQ-class envelope.
+        events = [ev(0.0, 0.2, EventType.THREAD), ev(0.1, 0.05, EventType.IRQ)]
+        merged = merge_events(events, MergeStrategy.NAIVE)
+        assert len(merged) == 1
+        assert merged[0].etype is EventType.IRQ
+
+    def test_chain_of_overlaps_collapses(self):
+        events = [ev(0.0, 0.15), ev(0.1, 0.15), ev(0.2, 0.15)]
+        merged = merge_events(events, MergeStrategy.NAIVE)
+        assert len(merged) == 1
+        assert merged[0].duration == pytest.approx(0.35)
+
+    def test_sources_concatenated(self):
+        events = [ev(0.0, 0.2, source="a"), ev(0.1, 0.2, source="b")]
+        merged = merge_events(events, MergeStrategy.NAIVE)
+        assert merged[0].source == "a+b"
+
+    def test_unsorted_input_handled(self):
+        events = [ev(0.2, 0.1), ev(0.0, 0.1)]
+        merged = merge_events(events, MergeStrategy.NAIVE)
+        assert [e.start for e in merged] == [0.0, 0.2]
+
+
+class TestImproved:
+    def test_classes_never_merge_together(self):
+        events = [ev(0.0, 0.2, EventType.THREAD), ev(0.1, 0.05, EventType.IRQ)]
+        merged = merge_events(events, MergeStrategy.IMPROVED)
+        assert len(merged) == 2
+        assert {e.etype for e in merged} == {EventType.THREAD, EventType.IRQ}
+
+    def test_same_class_overlaps_sum_busy_time(self):
+        events = [ev(0.0, 0.2), ev(0.1, 0.3)]
+        merged = merge_events(events, MergeStrategy.IMPROVED)
+        assert len(merged) == 1
+        # busy time adds (0.5), no envelope padding (0.4 envelope would
+        # under-count two tasks timesharing)
+        assert merged[0].duration == pytest.approx(0.5)
+
+    def test_irq_and_softirq_share_fifo_class(self):
+        events = [ev(0.0, 0.2, EventType.IRQ), ev(0.1, 0.1, EventType.SOFTIRQ)]
+        merged = merge_events(events, MergeStrategy.IMPROVED)
+        assert len(merged) == 1
+
+    def test_output_sorted(self):
+        events = [
+            ev(0.5, 0.01, EventType.IRQ),
+            ev(0.0, 0.01, EventType.THREAD),
+            ev(0.2, 0.01, EventType.IRQ),
+        ]
+        merged = merge_events(events, MergeStrategy.IMPROVED)
+        assert [e.start for e in merged] == sorted(e.start for e in merged)
+
+    def test_empty_input(self):
+        assert merge_events([], MergeStrategy.IMPROVED) == []
+        assert merge_events([], MergeStrategy.NAIVE) == []
+
+
+class TestPolicyAnnotation:
+    def test_thread_maps_to_other(self):
+        policy, prio, weight = policy_for(EventType.THREAD, MergeStrategy.NAIVE)
+        assert policy == "SCHED_OTHER"
+        assert prio == 0
+        assert weight == 1.0
+
+    def test_irq_maps_to_fifo(self):
+        policy, prio, _ = policy_for(EventType.IRQ, MergeStrategy.IMPROVED)
+        assert policy == "SCHED_FIFO"
+        assert prio > 0
+
+    def test_improved_boosts_thread_weight(self):
+        _, _, weight = policy_for(EventType.THREAD, MergeStrategy.IMPROVED)
+        assert weight == IMPROVED_THREAD_WEIGHT
+
+    def test_naive_keeps_default_weight(self):
+        _, _, weight = policy_for(EventType.THREAD, MergeStrategy.NAIVE)
+        assert weight == 1.0
+
+
+class TestAblationContrast:
+    def test_naive_inflates_fifo_busy_time(self):
+        # A thread burst with a tiny IRQ inside: naive turns the whole
+        # envelope into FIFO; improved replays 0.02 FIFO + 0.40 OTHER.
+        events = [
+            ev(0.00, 0.20, EventType.THREAD),
+            ev(0.10, 0.02, EventType.IRQ),
+            ev(0.15, 0.20, EventType.THREAD),
+        ]
+
+        def fifo_busy(strategy):
+            return sum(
+                e.duration
+                for e in merge_events(events, strategy)
+                if e.etype is not EventType.THREAD
+            )
+
+        assert fifo_busy(MergeStrategy.NAIVE) == pytest.approx(0.35)
+        assert fifo_busy(MergeStrategy.IMPROVED) == pytest.approx(0.02)

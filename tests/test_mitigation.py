@@ -1,0 +1,109 @@
+"""Unit tests for mitigation strategies (the paper's config labels)."""
+
+import pytest
+
+from repro.mitigation.strategies import STRATEGY_NAMES, MitigationStrategy, get_strategy
+from repro.sim.platform import get_platform
+
+
+@pytest.fixture
+def intel():
+    return get_platform("intel-9700kf")
+
+
+@pytest.fixture
+def amd():
+    return get_platform("amd-9950x3d")
+
+
+@pytest.fixture
+def a64_reserved():
+    return get_platform("a64fx-reserved")
+
+
+class TestRegistry:
+    def test_all_six_strategies(self):
+        assert len(STRATEGY_NAMES) == 6
+        for name in STRATEGY_NAMES:
+            assert get_strategy(name).name == name
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            get_strategy("HK3")
+
+    def test_pinning_flags(self):
+        assert not get_strategy("Rm").pinned
+        assert get_strategy("TP").pinned
+        assert get_strategy("TPHK2").pinned
+
+    def test_hk_fractions(self):
+        assert get_strategy("Rm").hk_fraction == 0.0
+        assert get_strategy("RmHK").hk_fraction == 0.125
+        assert get_strategy("TPHK2").hk_fraction == 0.25
+
+
+class TestPlacementIntel:
+    def test_rm_uses_all_cores(self, intel):
+        p = get_strategy("Rm").placement(intel)
+        assert p.cpus == tuple(range(8))
+        assert p.n_threads == 8
+        assert not p.pinned
+
+    def test_hk_leaves_one_core(self, intel):
+        p = get_strategy("RmHK").placement(intel)
+        assert p.n_threads == 7
+        assert 7 not in p.cpus
+
+    def test_hk2_leaves_two_cores(self, intel):
+        p = get_strategy("TPHK2").placement(intel)
+        assert p.n_threads == 6
+        assert p.pinned
+
+    def test_housekeeping_cpus_complement(self, intel):
+        hk = get_strategy("RmHK2").housekeeping_cpus(intel)
+        assert hk == (6, 7)
+
+
+class TestPlacementAMD:
+    def test_smt_uses_all_logical(self, amd):
+        p = get_strategy("Rm").placement(amd, use_smt=True)
+        assert p.n_threads == 32
+
+    def test_no_smt_one_per_core(self, amd):
+        p = get_strategy("Rm").placement(amd, use_smt=False)
+        assert p.n_threads == 16
+        assert p.cpus == tuple(range(16))
+
+    def test_smt_hk_drops_whole_cores(self, amd):
+        p = get_strategy("RmHK").placement(amd, use_smt=True)
+        # 12.5% of 32 = 4 logical = 2 physical cores, both siblings gone
+        assert p.n_threads == 28
+        dropped = set(range(32)) - set(p.cpus)
+        assert dropped == {14, 15, 30, 31}
+
+    def test_smt_hk2_drops_four_cores(self, amd):
+        p = get_strategy("TPHK2").placement(amd, use_smt=True)
+        assert p.n_threads == 24
+
+    def test_no_smt_hk(self, amd):
+        p = get_strategy("RmHK").placement(amd, use_smt=False)
+        assert p.n_threads == 14
+
+    def test_label_records_smt(self, amd):
+        assert get_strategy("Rm").placement(amd, use_smt=False).label == "Rm-noSMT"
+
+
+class TestReservedPlatform:
+    def test_reserved_cores_never_in_placement(self, a64_reserved):
+        for name in STRATEGY_NAMES:
+            p = get_strategy(name).placement(a64_reserved)
+            assert 48 not in p.cpus and 49 not in p.cpus
+
+    def test_full_placement_is_48_threads(self, a64_reserved):
+        assert get_strategy("Rm").placement(a64_reserved).n_threads == 48
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MitigationStrategy("X", pinned=False, hk_fraction=0.6)

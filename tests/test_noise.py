@@ -1,0 +1,175 @@
+"""Unit tests for the background-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.noise import (
+    AnomalySpec,
+    AnomalyType,
+    MicroNoiseSpec,
+    NoiseEnvironment,
+    NoiseSourceSpec,
+    desktop_noise,
+    hpc_noise,
+    runlevel3,
+)
+from repro.sim.task import TaskKind
+
+from conftest import make_machine, silent_env
+from repro.sim.platform import get_platform
+
+
+class TestSpecs:
+    def test_steal_fraction_scales_with_tick_rate(self):
+        micro = MicroNoiseSpec(tick_mean=4e-6, softirq_prob=0.0)
+        assert micro.steal_fraction(250) == pytest.approx(0.001)
+        assert micro.steal_fraction(1000) == pytest.approx(0.004)
+
+    def test_steal_fraction_capped(self):
+        micro = MicroNoiseSpec(tick_mean=1.0)
+        assert micro.steal_fraction(250) == 0.25
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            NoiseSourceSpec("x", TaskKind.THREAD_NOISE, rate=-1.0, duration_median=1e-6)
+        with pytest.raises(ValueError):
+            NoiseSourceSpec("x", TaskKind.THREAD_NOISE, rate=1.0, duration_median=0.0)
+
+    def test_anomaly_spec_validation(self):
+        with pytest.raises(ValueError):
+            AnomalySpec(prob=1.5)
+        with pytest.raises(ValueError):
+            AnomalySpec(prob=0.5, candidates=())
+
+    def test_intensity_scaling(self):
+        env = desktop_noise()
+        scaled = env.intensity_scaled(2.0)
+        for a, b in zip(env.sources, scaled.sources):
+            assert b.rate == pytest.approx(2.0 * a.rate)
+
+
+class TestPresets:
+    def test_desktop_has_gui_sources(self):
+        env = desktop_noise(gui=True)
+        names = {s.name for s in env.sources}
+        assert "Xorg" in names
+
+    def test_desktop_without_gui(self):
+        env = desktop_noise(gui=False)
+        names = {s.name for s in env.sources}
+        assert "Xorg" not in names
+
+    def test_runlevel3_strips_gui(self):
+        env = runlevel3(desktop_noise(gui=True))
+        names = {s.name for s in env.sources}
+        assert "Xorg" not in names and "gnome-shell" not in names
+        assert not env.gui
+
+    def test_hpc_reserved_sets_affinity(self):
+        env = hpc_noise(reserved_cpus=(48, 49))
+        assert env.os_affinity == (48, 49)
+
+    def test_anomaly_prob_override(self):
+        env = desktop_noise(anomaly_prob=0.9)
+        assert env.anomalies.prob == 0.9
+
+
+class TestNoiseModel:
+    def test_silent_env_produces_nothing(self):
+        m = make_machine(seed=3, tracing=True)
+        m.run(lambda mm: mm.engine.schedule(0.01, mm.workload_done), expected_duration=0.01)
+        assert m.tracer.macro_record_count == 0
+
+    def test_macro_sources_fire(self):
+        plat = get_platform("intel-9700kf")
+        m = make_machine(plat, seed=3, tracing=True)
+
+        def start(mm):
+            mm.engine.schedule(0.5, mm.workload_done)
+
+        m.run(start, expected_duration=0.5)
+        assert m.tracer.macro_record_count > 0
+
+    def test_determinism_same_seed(self):
+        plat = get_platform("intel-9700kf")
+        counts = []
+        for _ in range(2):
+            m = make_machine(plat, seed=42, tracing=True)
+            m.run(lambda mm: mm.engine.schedule(0.3, mm.workload_done), expected_duration=0.3)
+            counts.append(m.tracer.macro_record_count)
+        assert counts[0] == counts[1]
+
+    def test_different_seeds_differ(self):
+        plat = get_platform("intel-9700kf")
+        counts = []
+        for seed in (1, 2):
+            m = make_machine(plat, seed=seed, tracing=True)
+            m.run(lambda mm: mm.engine.schedule(0.3, mm.workload_done), expected_duration=0.3)
+            counts.append(m.tracer.macro_record_count)
+        assert counts[0] != counts[1]
+
+    def test_start_twice_rejected(self):
+        plat = get_platform("intel-9700kf")
+        m = make_machine(plat, seed=1)
+        assert m.noise_model is not None
+        m.noise_model.start(1.0)
+        with pytest.raises(RuntimeError):
+            m.noise_model.start(1.0)
+
+    def test_anomaly_forced_with_prob_one(self):
+        from dataclasses import replace
+
+        plat = get_platform("intel-9700kf")
+        env = replace(plat.noise, anomalies=replace(plat.noise.anomalies, prob=1.0))
+        m = make_machine(plat.with_noise(env), seed=5)
+        assert m.noise_model is not None
+        m.noise_model.start(1.0)
+        assert m.noise_model.anomaly is not None
+        m.noise_model.stop()
+
+    def test_anomaly_scales_with_cores(self):
+        # Same seed: the AMD burst should be roughly 4x the Intel one.
+        from dataclasses import replace
+
+        busys = {}
+        for name in ("intel-9700kf", "amd-9950x3d"):
+            plat = get_platform(name)
+            env = replace(plat.noise, anomalies=replace(plat.noise.anomalies, prob=1.0))
+            m = make_machine(plat.with_noise(env), seed=5, tracing=True)
+            m.run(lambda mm: mm.engine.schedule(2.5, mm.workload_done), expected_duration=2.0)
+            trace = m.tracer.finalize(2.5, (), None, np.random.default_rng(0))
+            anomaly = m.noise_model.anomaly.name
+            mask = trace.events_of_source(anomaly)
+            busys[name] = trace.durations[mask].sum()
+        assert busys["amd-9950x3d"] > 2.0 * busys["intel-9700kf"]
+
+
+class TestMicroSynthesis:
+    def test_busy_cpus_tick_at_full_rate(self):
+        plat = get_platform("intel-9700kf")
+        m = make_machine(plat, seed=7)
+        m.noise_model.start(1.0)
+        cpus, kinds, starts, durs = m.noise_model.synthesize_micro_records(1.0, (0,))
+        tick_counts = np.bincount(cpus[kinds == 0], minlength=8)
+        assert tick_counts[0] == pytest.approx(plat.tick_hz, abs=2)
+        # idle cpus tick at a tenth (dyntick)
+        assert tick_counts[1] == pytest.approx(plat.tick_hz / 10, abs=2)
+
+    def test_all_starts_within_duration(self):
+        plat = get_platform("intel-9700kf")
+        m = make_machine(plat, seed=7)
+        m.noise_model.start(0.5)
+        cpus, kinds, starts, durs = m.noise_model.synthesize_micro_records(0.5, (0, 1))
+        # softirqs start right after their tick, so allow a hair over
+        assert starts.max() < 0.5 + 1e-3
+        assert (durs > 0).all()
+
+    def test_softirq_fraction_plausible(self):
+        plat = get_platform("intel-9700kf")
+        m = make_machine(plat, seed=7)
+        m.noise_model.start(2.0)
+        cpus, kinds, starts, durs = m.noise_model.synthesize_micro_records(
+            2.0, tuple(range(8))
+        )
+        frac = (kinds == 1).mean()
+        assert 0.2 < frac / (1 - frac) / plat.noise.micro.softirq_prob < 2.0

@@ -1,0 +1,97 @@
+"""Integration tests for the end-to-end pipeline (paper §4)."""
+
+import pytest
+
+from repro.core.merge import MergeStrategy
+from repro.core.pipeline import NoiseInjectionPipeline
+from repro.harness.experiment import ExperimentSpec
+
+
+def spec(**kw):
+    defaults = dict(
+        platform="intel-9700kf",
+        workload="nbody",
+        model="omp",
+        strategy="Rm",
+        seed=42,
+        anomaly_prob=0.2,
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    pipe = NoiseInjectionPipeline(spec(), collect_reps=20, inject_reps=6)
+    pipe.build_config()
+    return pipe
+
+
+class TestPipeline:
+    def test_config_built(self, pipeline):
+        assert pipeline.config is not None
+        assert pipeline.config.n_events > 0
+        assert pipeline.collection.worst_case_degradation() > 0.02
+
+    def test_injection_slows_execution(self, pipeline):
+        injected = pipeline.inject(spec(reps=6))
+        assert injected.mean > pipeline.collection.mean_exec_time
+
+    def test_replication_accuracy_reasonable(self, pipeline):
+        result = pipeline.run() if pipeline.collection is None else None
+        injected = pipeline.inject(spec(reps=8))
+        from repro.core.accuracy import replication_accuracy
+
+        acc = replication_accuracy(injected.mean, pipeline.collection.worst_exec_time)
+        # paper's bar: most configs within 8%, all within ~26%
+        assert acc < 0.30
+
+    def test_cross_strategy_injection(self, pipeline):
+        # The same config can drive any strategy (Tables 3-5 usage).
+        hk = pipeline.inject(spec(strategy="RmHK2", reps=6))
+        rm = pipeline.inject(spec(strategy="Rm", reps=6))
+        assert hk.injected and rm.injected
+
+    def test_housekeeping_mitigates(self, pipeline):
+        from repro.harness.experiment import run_experiment
+
+        rm_base = run_experiment(spec(reps=6, seed=77, anomaly_prob=0.0))
+        hk_base = run_experiment(spec(strategy="RmHK2", reps=6, seed=77, anomaly_prob=0.0))
+        rm_inj = pipeline.inject(spec(reps=6))
+        hk_inj = pipeline.inject(spec(strategy="RmHK2", reps=6))
+        rm_delta = rm_inj.mean / rm_base.mean - 1.0
+        hk_delta = hk_inj.mean / hk_base.mean - 1.0
+        assert hk_delta < rm_delta
+
+    def test_sycl_more_resilient(self, pipeline):
+        from repro.harness.experiment import run_experiment
+
+        omp_base = run_experiment(spec(reps=6, seed=77, anomaly_prob=0.0))
+        sycl_base = run_experiment(spec(model="sycl", reps=6, seed=77, anomaly_prob=0.0))
+        omp_inj = pipeline.inject(spec(reps=6))
+        sycl_inj = pipeline.inject(spec(model="sycl", reps=6))
+        omp_delta = omp_inj.mean / omp_base.mean - 1.0
+        sycl_delta = sycl_inj.mean / sycl_base.mean - 1.0
+        assert sycl_delta < omp_delta
+
+    def test_inject_before_build_rejected(self):
+        pipe = NoiseInjectionPipeline(spec())
+        with pytest.raises(RuntimeError):
+            pipe.inject()
+
+    def test_run_returns_summary(self):
+        pipe = NoiseInjectionPipeline(spec(seed=43), collect_reps=12, inject_reps=4)
+        result = pipe.run()
+        text = result.summary()
+        assert "baseline" in text and "injected" in text
+        assert result.accuracy >= 0.0
+        assert result.degradation_pct == pytest.approx(
+            (result.injected_mean / result.baseline_mean - 1) * 100
+        )
+
+    def test_merge_strategy_flows_to_config(self):
+        pipe = NoiseInjectionPipeline(
+            spec(seed=44), merge=MergeStrategy.NAIVE, collect_reps=10, inject_reps=3
+        )
+        pipe.build_config()
+        assert pipe.config.meta["merge_strategy"] == "naive"

@@ -1,0 +1,67 @@
+"""Unit tests for platform presets."""
+
+import pytest
+
+from repro.sim.noise import runlevel3
+from repro.sim.platform import PlatformSpec, available_platforms, get_platform
+
+
+class TestRegistry:
+    def test_presets(self):
+        assert set(available_platforms()) == {
+            "intel-9700kf",
+            "amd-9950x3d",
+            "a64fx",
+            "a64fx-reserved",
+            "hpc-2s64",
+        }
+
+    def test_hpc_node_is_multi_numa(self):
+        p = get_platform("hpc-2s64")
+        assert p.topology.numa_nodes == 2
+        assert p.topology.n_physical == 64
+        assert p.topology.numa_node(0) != p.topology.numa_node(63)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_platform("epyc")
+
+    def test_intel_shape(self):
+        p = get_platform("intel-9700kf")
+        assert p.topology.n_physical == 8
+        assert p.topology.smt == 1
+        assert p.noise.gui  # desktop
+
+    def test_amd_shape(self):
+        p = get_platform("amd-9950x3d")
+        assert p.topology.n_logical == 32
+        assert p.topology.smt == 2
+
+    def test_a64fx_reserved_hides_os_cores(self):
+        p = get_platform("a64fx-reserved")
+        assert len(p.user_cpus()) == 48
+        assert p.noise.os_affinity == (48, 49)
+
+    def test_a64fx_unreserved_exposes_all(self):
+        p = get_platform("a64fx")
+        assert len(p.user_cpus()) == 48
+        assert p.noise.os_affinity == ()
+
+    def test_noise_override(self):
+        base = get_platform("intel-9700kf")
+        quiet = get_platform("intel-9700kf", noise=runlevel3(base.noise))
+        assert not quiet.noise.gui
+
+    def test_presets_are_fresh_instances(self):
+        assert get_platform("intel-9700kf") is not get_platform("intel-9700kf")
+
+
+class TestSpec:
+    def test_with_noise_copies(self):
+        p = get_platform("intel-9700kf")
+        q = p.with_noise(runlevel3(p.noise))
+        assert p.noise.gui and not q.noise.gui
+        assert q.topology is p.topology
+
+    def test_hbm_platform_bandwidth(self):
+        assert get_platform("a64fx").bandwidth_gbs > 10 * get_platform("intel-9700kf").bandwidth_gbs

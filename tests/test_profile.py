@@ -1,0 +1,97 @@
+"""Unit tests for the average-noise profile (stage 2's statistics)."""
+
+import pytest
+
+from repro.core.events import EventType
+from repro.core.profile import NoiseProfile, ProfileAccumulator, build_profile
+from repro.core.trace import Trace
+
+
+def trace_with(source, count, duration, exec_time=1.0, etype=EventType.THREAD, cpu=0):
+    records = [
+        (cpu, int(etype), source, i * exec_time / max(count, 1), duration)
+        for i in range(count)
+    ]
+    return Trace.from_records(records, exec_time)
+
+
+class TestAccumulation:
+    def test_single_source_rate(self):
+        profile = build_profile([trace_with("kworker", 10, 1e-4)])
+        stats = profile["kworker"]
+        assert stats.rate_hz == pytest.approx(10.0)
+        assert stats.mean_duration == pytest.approx(1e-4)
+        assert stats.total_events == 10
+
+    def test_rate_normalised_by_window(self):
+        profile = build_profile([trace_with("k", 10, 1e-4, exec_time=2.0)])
+        assert profile["k"].rate_hz == pytest.approx(5.0)
+
+    def test_averages_across_runs(self):
+        profile = build_profile(
+            [trace_with("k", 10, 1e-4), trace_with("k", 20, 3e-4)]
+        )
+        stats = profile["k"]
+        assert stats.rate_hz == pytest.approx(15.0)
+        assert stats.mean_duration == pytest.approx((10 * 1e-4 + 20 * 3e-4) / 30)
+
+    def test_multiple_sources_kept_separate(self):
+        t = Trace.from_records(
+            [
+                (0, int(EventType.IRQ), "timer", 0.1, 1e-6),
+                (0, int(EventType.THREAD), "kworker", 0.2, 1e-4),
+            ],
+            1.0,
+        )
+        profile = build_profile([t])
+        assert set(profile) == {"timer", "kworker"}
+        assert profile["timer"].etype is EventType.IRQ
+        assert profile["kworker"].etype is EventType.THREAD
+
+    def test_empty_traces_counted_in_window(self):
+        profile = build_profile(
+            [trace_with("k", 10, 1e-4), trace_with("other", 0, 1e-4)]
+        )
+        # second run's window halves k's rate
+        assert profile["k"].rate_hz == pytest.approx(5.0)
+
+    def test_accumulator_requires_runs(self):
+        with pytest.raises(ValueError):
+            ProfileAccumulator().build()
+
+    def test_mapping_protocol(self):
+        profile = build_profile([trace_with("k", 3, 1e-5)])
+        assert len(profile) == 1
+        assert "k" in profile
+        assert profile.get("missing") is None
+
+
+class TestExpectedCount:
+    def test_scales_with_window(self):
+        profile = build_profile([trace_with("k", 10, 1e-4)])
+        assert profile["k"].expected_count(1.0) == 10
+        assert profile["k"].expected_count(0.5) == 5
+
+    def test_rounding(self):
+        profile = build_profile([trace_with("k", 3, 1e-4, exec_time=2.0)])
+        # 1.5 Hz * 1.0s -> 2 (round half to even)
+        assert profile["k"].expected_count(1.0) == 2
+
+    def test_negative_window_rejected(self):
+        profile = build_profile([trace_with("k", 1, 1e-4)])
+        with pytest.raises(ValueError):
+            profile["k"].expected_count(-1.0)
+
+
+class TestAggregate:
+    def test_total_noise_rate(self):
+        t = Trace.from_records(
+            [
+                (0, 0, "a", 0.1, 1e-6),
+                (0, 2, "b", 0.2, 1e-6),
+                (0, 2, "b", 0.3, 1e-6),
+            ],
+            1.0,
+        )
+        profile = build_profile([t])
+        assert profile.total_noise_rate() == pytest.approx(3.0)

@@ -1,0 +1,81 @@
+"""Unit tests for table/figure rendering."""
+
+import pytest
+
+from repro.harness.report import (
+    InjectionRow,
+    TableBuilder,
+    render_injection_table,
+    render_series_figure,
+)
+
+
+class TestTableBuilder:
+    def test_render_aligns_columns(self):
+        tb = TableBuilder(["a", "bbb"])
+        tb.add_row(1, 2)
+        tb.add_row(100, 20000)
+        lines = tb.render().splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # constant width
+
+    def test_row_width_checked(self):
+        tb = TableBuilder(["a", "b"])
+        with pytest.raises(ValueError):
+            tb.add_row(1)
+
+    def test_header_separator(self):
+        tb = TableBuilder(["col"])
+        assert "---" in tb.render()
+
+
+class TestInjectionTable:
+    def _row(self):
+        return InjectionRow(
+            label="OMP #1",
+            exec_times={"Rm": 0.653, "TP": 0.644},
+            deltas={"Rm": 45.5, "TP": 43.5},
+            paper_exec={"Rm": 0.653, "TP": 0.644},
+            paper_delta={"Rm": 45.5, "TP": 43.5},
+        )
+
+    def test_two_lines_per_row(self):
+        text = render_injection_table("T", [self._row()], ["Rm", "TP"])
+        lines = text.splitlines()
+        assert "OMP #1" in lines[3]
+        assert "+45.5%" in lines[4]
+
+    def test_paper_rows_optional(self):
+        with_ref = render_injection_table("T", [self._row()], ["Rm", "TP"], with_paper=True)
+        without = render_injection_table("T", [self._row()], ["Rm", "TP"], with_paper=False)
+        assert "(paper)" in with_ref
+        assert "(paper)" not in without
+
+    def test_missing_strategy_is_nan(self):
+        text = render_injection_table("T", [self._row()], ["Rm", "RmHK"])
+        assert "nan" in text
+
+
+class TestSeriesFigure:
+    def test_renders_all_series_and_points(self):
+        text = render_series_figure(
+            "F",
+            ["st:1", "st:64"],
+            {
+                "sysA": [(0.034, 0.002, 0.04), (0.035, 0.001, 0.037)],
+                "sysB": [(0.034, 0.0002, 0.035), (0.035, 0.0001, 0.036)],
+            },
+        )
+        assert "sysA" in text and "sysB" in text
+        assert "st:1" in text and "st:64" in text
+        assert text.count("sd=") == 4
+
+    def test_bar_lengths_scale_with_sd(self):
+        text = render_series_figure(
+            "F",
+            ["x"],
+            {"a": [(1.0, 0.010, 1.0)], "b": [(1.0, 0.001, 1.0)]},
+        )
+        lines = [l for l in text.splitlines() if "|" in l]
+        bars = [l.split("|")[1] for l in lines]
+        assert len(bars[0]) > len(bars[1])

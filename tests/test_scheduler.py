@@ -1,0 +1,449 @@
+"""Unit tests for the two-class scheduler — the semantics the paper's
+findings rest on."""
+
+import pytest
+
+from repro.sim.cpu import Topology
+from repro.sim.engine import Engine
+from repro.sim.memory import MemorySystem
+from repro.sim.scheduler import SchedParams, Scheduler
+from repro.sim.task import SchedPolicy, Task, TaskKind, WorkPool
+
+
+def run_tasks(sched, *tasks, cpus=None):
+    """Submit tasks (optionally to fixed CPUs) and run to completion."""
+    done = {}
+
+    def finish(t):
+        done[t.name] = sched.engine.now
+
+    for i, t in enumerate(tasks):
+        t.on_complete = finish
+        sched.submit(t, cpu=None if cpus is None else cpus[i])
+    sched.engine.run()
+    return done
+
+
+def fifo_noise(duration, cpu=None, prio=90, name="noise"):
+    return Task(
+        name,
+        policy=SchedPolicy.FIFO,
+        rt_priority=prio,
+        kind=TaskKind.IRQ_NOISE,
+        work=duration,
+        affinity=frozenset({cpu}) if cpu is not None else None,
+    )
+
+
+class TestFairShare:
+    def test_single_task_full_speed(self, sched):
+        done = run_tasks(sched, Task("a", work=2.0))
+        assert done["a"] == pytest.approx(2.0)
+
+    def test_two_tasks_same_cpu_share_equally(self, sched):
+        a = Task("a", work=1.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=1.0, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, a, b)
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_weights_bias_shares(self, sched):
+        a = Task("a", work=1.0, weight=3.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=1.0, weight=1.0, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, a, b)
+        # a runs at 0.75 until done (t=4/3), then b alone
+        assert done["a"] == pytest.approx(4.0 / 3.0)
+        assert done["a"] < done["b"]
+
+    def test_early_finisher_speeds_up_survivor(self, sched):
+        a = Task("a", work=1.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=0.5, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, a, b)
+        assert done["b"] == pytest.approx(1.0)
+        assert done["a"] == pytest.approx(1.5)
+
+    def test_separate_cpus_no_interference(self, sched):
+        a = Task("a", work=1.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=1.0, affinity=frozenset({1}), pinned=True)
+        done = run_tasks(sched, a, b)
+        assert done["a"] == done["b"] == pytest.approx(1.0)
+
+
+class TestFifoPreemption:
+    def test_fifo_blocks_other_completely(self, sched_nothrottle):
+        sched = sched_nothrottle
+        w = Task("w", work=1.0, affinity=frozenset({0}), pinned=True)
+        done = {}
+        w.on_complete = lambda t: done.setdefault("w", sched.engine.now)
+        sched.submit(w, cpu=0)
+        sched.engine.schedule(0.2, lambda: sched.submit(fifo_noise(0.5, cpu=0), cpu=0))
+        sched.engine.run()
+        assert done["w"] == pytest.approx(1.5)
+
+    def test_rt_throttle_leaves_other_a_slice(self, engine, topo4):
+        sched = Scheduler(engine, topo4, rt_throttle=True)
+        w = Task("w", work=10.0, affinity=frozenset({0}), pinned=True)
+        sched.submit(w, cpu=0)
+        # Throttled FIFO leaves 5%: long noise, workload crawls through.
+        engine.schedule(0.0, lambda: sched.submit(fifo_noise(100.0, cpu=0), cpu=0))
+        engine.run(until=10.0)
+        w.advance(engine.now)
+        assert w.total_cpu_time == pytest.approx(0.05 * 10.0, rel=0.05)
+
+    def test_higher_priority_fifo_wins(self, sched_nothrottle):
+        sched = sched_nothrottle
+        lo = fifo_noise(1.0, cpu=0, prio=10, name="lo")
+        hi = fifo_noise(1.0, cpu=0, prio=90, name="hi")
+        done = run_tasks(sched, lo, hi, cpus=[0, 0])
+        assert done["hi"] == pytest.approx(1.0)
+        assert done["lo"] == pytest.approx(2.0)
+
+    def test_equal_priority_fifo_runs_in_arrival_order(self, sched_nothrottle):
+        sched = sched_nothrottle
+        a = fifo_noise(1.0, cpu=0, prio=50, name="a")
+        b = fifo_noise(1.0, cpu=0, prio=50, name="b")
+        done = run_tasks(sched, a, b, cpus=[0, 0])
+        assert done["a"] < done["b"]
+
+    def test_preemption_counter(self, sched_nothrottle):
+        sched = sched_nothrottle
+        w = Task("w", affinity=frozenset({0}), pinned=True)  # spinner
+        sched.submit(w, cpu=0)
+        sched.submit(fifo_noise(0.1, cpu=0), cpu=0)
+        assert sched.preemptions == 1
+
+
+class TestSMT:
+    def test_busy_siblings_slow_each_other(self, engine, topo_smt):
+        sched = Scheduler(engine, topo_smt, params=SchedParams(smt_factor=0.65))
+        a = Task("a", work=1.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=1.0, affinity=frozenset({4}), pinned=True)
+        done = run_tasks(sched, a, b)
+        assert done["a"] == pytest.approx(1.0 / 0.65)
+
+    def test_idle_sibling_full_speed(self, engine, topo_smt):
+        sched = Scheduler(engine, topo_smt)
+        a = Task("a", work=1.0, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, a)
+        assert done["a"] == pytest.approx(1.0)
+
+    def test_sibling_finish_restores_speed(self, engine, topo_smt):
+        sched = Scheduler(engine, topo_smt, params=SchedParams(smt_factor=0.5))
+        a = Task("a", work=1.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=0.25, affinity=frozenset({4}), pinned=True)
+        done = run_tasks(sched, a, b)
+        # b: 0.25 work at 0.5 -> done at 0.5; a: 0.25 done by then, 0.75 at speed 1
+        assert done["b"] == pytest.approx(0.5)
+        assert done["a"] == pytest.approx(1.25)
+
+
+class TestMemory:
+    def test_saturation_scales_rates(self, engine, topo4):
+        sched = Scheduler(engine, topo4, memory=MemorySystem(40.0))
+        tasks = [
+            Task(f"t{i}", work=1.0, mem_demand=30.0, affinity=frozenset({i}), pinned=True)
+            for i in range(4)
+        ]
+        done = run_tasks(sched, *tasks)
+        # demand 120 on 40 GB/s -> scale 1/3 -> 3 seconds
+        assert done["t0"] == pytest.approx(3.0, rel=1e-6)
+
+    def test_unsaturated_runs_full_speed(self, engine, topo4):
+        sched = Scheduler(engine, topo4, memory=MemorySystem(100.0))
+        t = Task("t", work=1.0, mem_demand=30.0, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, t)
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_compute_tasks_unaffected_by_saturation(self, engine, topo4):
+        sched = Scheduler(engine, topo4, memory=MemorySystem(10.0))
+        mem = Task("m", work=1.0, mem_demand=30.0, affinity=frozenset({0}), pinned=True)
+        cpu = Task("c", work=1.0, affinity=frozenset({1}), pinned=True)
+        done = run_tasks(sched, mem, cpu)
+        assert done["c"] == pytest.approx(1.0)
+        assert done["m"] == pytest.approx(3.0, rel=0.05)
+
+    def test_share_weighted_demand(self, engine, topo4):
+        # Two streaming tasks timesharing ONE cpu only pull one task's
+        # bandwidth worth, so they are not memory-throttled.
+        sched = Scheduler(engine, topo4, memory=MemorySystem(30.0))
+        a = Task("a", work=1.0, mem_demand=30.0, affinity=frozenset({0}), pinned=True)
+        b = Task("b", work=1.0, mem_demand=30.0, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, a, b)
+        # cpu-share 0.5 each -> weighted demand 30 total -> no throttle
+        assert done["a"] == pytest.approx(2.0, rel=0.05)
+
+
+class TestPlacement:
+    def test_prefers_idle_cpu(self, sched):
+        a = Task("a")
+        b = Task("b")
+        c0 = sched.submit(a)
+        c1 = sched.submit(b)
+        assert c0 != c1
+
+    def test_honours_single_affinity(self, sched):
+        t = Task("t", affinity=frozenset({2}))
+        assert sched.submit(t) == 2
+
+    def test_rejects_cpu_outside_affinity(self, sched):
+        t = Task("t", affinity=frozenset({2}))
+        with pytest.raises(ValueError):
+            sched.submit(t, cpu=0)
+
+    def test_rejects_double_submit(self, sched):
+        t = Task("t")
+        sched.submit(t)
+        with pytest.raises(ValueError):
+            sched.submit(t)
+
+    def test_idle_prefers_idle_sibling_pair(self, engine, topo_smt):
+        sched = Scheduler(engine, topo_smt)
+        spin = Task("s", affinity=frozenset({0}), pinned=True)
+        sched.submit(spin, cpu=0)
+        t = Task("t")
+        # cpu 4 (sibling of busy 0) should lose to cpus 1..3
+        assert sched.submit(t) in (1, 2, 3)
+
+    def test_fifo_sticky_to_hint_even_with_idle_cpus(self, sched_nothrottle):
+        sched = sched_nothrottle
+        spin = Task("s", affinity=frozenset({0}), pinned=True)
+        sched.submit(spin, cpu=0)
+        noise = fifo_noise(0.1)
+        assert sched.submit(noise, hint=0) == 0
+
+    def test_fifo_moves_off_hint_when_rt_busy(self, sched_nothrottle):
+        sched = sched_nothrottle
+        first = fifo_noise(10.0, name="first")
+        sched.submit(first, hint=0)
+        second = fifo_noise(0.1, name="second")
+        assert sched.submit(second, hint=0) != 0
+
+    def test_other_noise_absorbed_by_idle_cpu(self, sched):
+        # Housekeeping absorption: the mask leaves cpu 3 idle, OTHER
+        # noise wakes there instead of timesharing a workload CPU.
+        for i in range(3):
+            sched.submit(Task(f"w{i}", affinity=frozenset({i}), pinned=True), cpu=i)
+        noise = Task("kworker", kind=TaskKind.THREAD_NOISE, work=0.1)
+        assert sched.submit(noise, hint=0) == 3
+
+    def test_lru_spreads_ties(self, sched):
+        # all cpus busy with one spinner each: OTHER noise spreads
+        for i in range(4):
+            sched.submit(Task(f"w{i}", affinity=frozenset({i}), pinned=True), cpu=i)
+        chosen = [sched.submit(Task(f"n{i}", kind=TaskKind.THREAD_NOISE, work=10.0)) for i in range(4)]
+        assert sorted(chosen) == [0, 1, 2, 3]
+
+
+class TestMigration:
+    def test_starved_roamer_escapes_to_idle_cpu(self, engine, topo4):
+        params = SchedParams()
+        sched = Scheduler(engine, topo4, params=params, rt_throttle=False)
+        done = {}
+        w = Task("w", work=1.0, affinity=frozenset({0, 1}))
+        w.on_complete = lambda t: done.setdefault("w", engine.now)
+        sched.submit(w, cpu=0)
+        engine.schedule(0.2, lambda: sched.submit(fifo_noise(0.5, cpu=0), cpu=0))
+        engine.run()
+        # 0.2s at full speed, escape latency, then the remaining 0.8 of
+        # work with cold caches on the new CPU.
+        expected = (
+            0.2
+            + params.starvation_delay
+            + params.migration_cost
+            + 0.8 / params.post_migration_speed
+        )
+        assert done["w"] == pytest.approx(expected, rel=1e-3)
+        assert sched.migrations == 1
+
+    def test_pinned_task_waits_out_noise(self, engine, topo4):
+        sched = Scheduler(engine, topo4, rt_throttle=False)
+        done = {}
+        w = Task("w", work=1.0, affinity=frozenset({0}), pinned=True)
+        w.on_complete = lambda t: done.setdefault("w", engine.now)
+        sched.submit(w, cpu=0)
+        engine.schedule(0.2, lambda: sched.submit(fifo_noise(0.5, cpu=0), cpu=0))
+        engine.run()
+        assert done["w"] == pytest.approx(1.5)
+        assert sched.migrations == 0
+
+    def test_shared_migration_is_slower(self, engine):
+        # Only busy CPUs available: escape waits for the periodic path.
+        topo = Topology(n_physical=2)
+        params = SchedParams()
+        sched = Scheduler(engine, topo, params=params, rt_throttle=False)
+        spin = Task("s", affinity=frozenset({1}), pinned=True)
+        sched.submit(spin, cpu=1)
+        done = {}
+        w = Task("w", work=1.0)
+        w.on_complete = lambda t: done.setdefault("w", engine.now)
+        sched.submit(w, cpu=0)
+        engine.schedule(0.0, lambda: sched.submit(fifo_noise(1.0, cpu=0), cpu=0))
+        engine.run()
+        # blocked for shared_migration_delay, then timeshares cpu 1
+        assert done["w"] > 1.0 + params.shared_migration_delay
+        assert sched.migrations >= 1
+
+    def test_spinners_never_migrate(self, engine, topo4):
+        sched = Scheduler(engine, topo4, rt_throttle=False)
+        spin = Task("s", affinity=frozenset({0, 1}))
+        sched.submit(spin, cpu=0)
+        noise = fifo_noise(0.2, cpu=0)
+        done = {}
+        noise.on_complete = lambda t: done.setdefault("n", engine.now)
+        sched.submit(noise, cpu=0)
+        engine.run()
+        assert spin.cpu == 0
+        assert sched.migrations == 0
+
+
+class TestPersistentTasks:
+    def test_persistent_task_respawns_as_spinner(self, engine, topo4):
+        sched = Scheduler(engine, topo4)
+        t = Task("t", affinity=frozenset({0}), pinned=True, persistent=True)
+        sched.submit(t, cpu=0)
+        completions = []
+        t.on_complete = lambda task: completions.append(engine.now)
+        sched.assign_work(t, 1.0)
+        sched.refresh(t)
+        engine.run()
+        assert completions == [pytest.approx(1.0)]
+        assert t.alive and t.spin and t.cpu == 0
+
+    def test_persistent_task_reusable(self, engine, topo4):
+        sched = Scheduler(engine, topo4)
+        t = Task("t", affinity=frozenset({0}), pinned=True, persistent=True)
+        sched.submit(t, cpu=0)
+        completions = []
+        t.on_complete = lambda task: completions.append(engine.now)
+        sched.assign_work(t, 1.0)
+        sched.refresh(t)
+        engine.run()
+        sched.assign_work(t, 0.5)
+        sched.refresh(t)
+        engine.run()
+        assert completions == [pytest.approx(1.0), pytest.approx(1.5)]
+
+    def test_spin_gap_not_charged_to_new_work(self, engine, topo4):
+        # Regression: an early-finishing thread spinning at the barrier
+        # must not have the spin time deducted from its next region.
+        sched = Scheduler(engine, topo4)
+        t = Task("t", affinity=frozenset({0}), pinned=True, persistent=True)
+        sched.submit(t, cpu=0)
+        done = []
+        t.on_complete = lambda task: done.append(engine.now)
+        sched.assign_work(t, 0.1)
+        sched.refresh(t)
+        engine.run()
+        # long spin gap
+        engine.schedule(5.0, lambda: (sched.assign_work(t, 1.0), sched.refresh(t)))
+        engine.run()
+        assert done[-1] == pytest.approx(6.0)
+
+
+class TestWorkPools:
+    def test_pool_drains_at_combined_rate(self, engine, topo4):
+        sched = Scheduler(engine, topo4)
+        done = []
+        pool = WorkPool("p", 4.0, on_drained=lambda p: done.append(engine.now))
+        for i in range(4):
+            t = Task(f"t{i}", affinity=frozenset({i}), pinned=True)
+            t.join_pool(pool)
+            sched.submit(t, cpu=i)
+        sched.register_pool(pool)
+        engine.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_pool_absorbs_preempted_member(self, engine, topo4):
+        sched = Scheduler(engine, topo4, rt_throttle=False)
+        done = []
+        pool = WorkPool("p", 4.0, on_drained=lambda p: done.append(engine.now))
+        for i in range(4):
+            t = Task(f"t{i}", affinity=frozenset({i}), pinned=True)
+            t.join_pool(pool)
+            sched.submit(t, cpu=i)
+        sched.register_pool(pool)
+        engine.schedule(0.5, lambda: sched.submit(fifo_noise(0.2, cpu=0), cpu=0))
+        engine.run()
+        # one member loses 0.2 cpu-s; others soak it up: 1.0 + 0.2/4
+        assert done == [pytest.approx(1.05)]
+
+    def test_detach_pool_returns_members_to_spin(self, engine, topo4):
+        sched = Scheduler(engine, topo4)
+        pool = WorkPool("p", 1.0)
+        members = []
+        for i in range(2):
+            t = Task(f"t{i}", affinity=frozenset({i}), pinned=True)
+            t.join_pool(pool)
+            members.append(t)
+            sched.submit(t, cpu=i)
+        sched.detach_pool(pool)
+        assert all(t.spin for t in members)
+        assert pool.members == []
+
+    def test_drained_fires_exactly_once(self, engine, topo4):
+        sched = Scheduler(engine, topo4)
+        fired = []
+        pool = WorkPool("p", 0.5, on_drained=lambda p: fired.append(engine.now))
+        t = Task("t", affinity=frozenset({0}), pinned=True)
+        t.join_pool(pool)
+        sched.submit(t, cpu=0)
+        sched.register_pool(pool)
+        engine.run()
+        assert len(fired) == 1
+
+
+class TestSteal:
+    def test_steal_slows_cpu(self, sched):
+        sched.set_steal(0, 0.5)
+        t = Task("t", work=1.0, affinity=frozenset({0}), pinned=True)
+        done = run_tasks(sched, t)
+        assert done["t"] == pytest.approx(2.0)
+
+    def test_steal_bounds_checked(self, sched):
+        with pytest.raises(ValueError):
+            sched.set_steal(0, 1.0)
+        with pytest.raises(ValueError):
+            sched.set_steal(0, -0.1)
+
+
+class TestNoiseHook:
+    def test_noise_interval_reported(self, engine, topo4):
+        records = []
+        sched = Scheduler(
+            engine,
+            topo4,
+            rt_throttle=False,
+            on_noise_interval=lambda t, c, s, d: records.append((t.name, c, s, d)),
+        )
+        n = fifo_noise(0.25, cpu=1, name="irq")
+        sched.submit(n, cpu=1)
+        engine.run()
+        assert len(records) == 1
+        name, cpu, start, dur = records[0]
+        assert name == "irq" and cpu == 1
+        assert dur == pytest.approx(0.25)
+
+    def test_workload_tasks_not_reported(self, engine, topo4):
+        records = []
+        sched = Scheduler(
+            engine, topo4, on_noise_interval=lambda *a: records.append(a)
+        )
+        t = Task("w", work=0.1, affinity=frozenset({0}), pinned=True)
+        sched.submit(t, cpu=0)
+        engine.run()
+        assert records == []
+
+    def test_other_noise_reports_cpu_time_not_wall(self, engine, topo4):
+        # Timeshared thread noise reports actual CPU consumption.
+        records = []
+        sched = Scheduler(
+            engine, topo4, on_noise_interval=lambda t, c, s, d: records.append(d)
+        )
+        spin = Task("w", affinity=frozenset({0}), pinned=True)
+        sched.submit(spin, cpu=0)
+        noise = Task(
+            "kw", kind=TaskKind.THREAD_NOISE, work=0.5, affinity=frozenset({0})
+        )
+        sched.submit(noise, cpu=0)
+        engine.run()
+        assert records == [pytest.approx(0.5)]

@@ -1,0 +1,160 @@
+"""Machine-level scenario tests: placement, absorption, SMT spread.
+
+These drive the full machine (scheduler + placement + runtime team)
+through the situations the paper's mechanisms hinge on.
+"""
+
+import pytest
+
+from repro.mitigation.strategies import get_strategy
+from repro.runtimes import get_runtime
+from repro.runtimes.base import Region
+from repro.sim.platform import get_platform
+from repro.sim.task import SchedPolicy, Task, TaskKind
+
+from conftest import make_machine, silent_env
+
+
+def launch_team(machine, strategy="Rm", model="omp", regions=None, n_regions=1, work=4.0):
+    """Spawn a runtime team via a mitigation strategy placement."""
+    platform = machine.platform
+    placement = get_strategy(strategy).placement(platform)
+    rt = get_runtime(model)
+    if regions is None:
+        regions = [Region(f"r{i}", total_work=work) for i in range(n_regions)]
+    rt.launch(machine, iter(regions), placement)
+    return rt, placement
+
+
+class TestTeamPlacement:
+    def test_team_spreads_one_per_cpu(self):
+        m = make_machine()
+        rt, placement = launch_team(m, "Rm")
+        cpus = {t.cpu for t in rt.team}
+        assert len(cpus) == len(rt.team)
+
+    def test_smt_platform_spreads_to_primary_cores_first(self):
+        plat = get_platform("amd-9950x3d").with_noise(silent_env())
+        m = make_machine(plat)
+        placement = get_strategy("Rm").placement(plat, use_smt=False)
+        rt = get_runtime("omp")
+        rt.launch(m, iter([]), placement)
+        # 16 threads on a 32-logical machine land on 16 distinct cores
+        cores = {m.topology.physical_core(t.cpu) for t in rt.team}
+        assert len(cores) == 16
+
+    def test_housekeeping_cpus_stay_clear(self):
+        m = make_machine()
+        rt, placement = launch_team(m, "RmHK2")
+        hk = get_strategy("RmHK2").housekeeping_cpus(m.platform)
+        assert not ({t.cpu for t in rt.team} & set(hk))
+
+
+class TestNoiseAbsorption:
+    def test_thread_noise_lands_on_housekeeping_core(self):
+        m = make_machine(rt_throttle=False)
+        rt, placement = launch_team(m, "RmHK2", work=8.0)
+        hk = set(get_strategy("RmHK2").housekeeping_cpus(m.platform))
+        burst = Task("burst", kind=TaskKind.THREAD_NOISE, work=0.1)
+        landed = {}
+
+        def fire():
+            landed["cpu"] = m.scheduler.submit(burst, hint=0)
+
+        m.engine.schedule(0.2, fire)
+        m.engine.run(until=0.3)
+        assert landed["cpu"] in hk
+
+    def test_thread_noise_timeshares_when_no_housekeeping(self):
+        m = make_machine(rt_throttle=False)
+        rt, placement = launch_team(m, "Rm", work=8.0)
+        burst = Task("burst", kind=TaskKind.THREAD_NOISE, work=0.1)
+        landed = {}
+
+        def fire():
+            landed["cpu"] = m.scheduler.submit(burst, hint=3)
+
+        m.engine.schedule(0.2, fire)
+        m.engine.run(until=0.3)
+        assert landed["cpu"] in {t.cpu for t in rt.team}
+
+    def test_fifo_noise_sticks_to_home_despite_housekeeping(self):
+        # RT wake placement: irq-class noise hits its home CPU even
+        # when housekeeping cores idle nearby (§ RT semantics).
+        m = make_machine(rt_throttle=False)
+        rt, placement = launch_team(m, "RmHK2", work=8.0)
+        burst = Task(
+            "irq", policy=SchedPolicy.FIFO, rt_priority=90, kind=TaskKind.IRQ_NOISE, work=0.05
+        )
+        landed = {}
+
+        def fire():
+            landed["cpu"] = m.scheduler.submit(burst, hint=0)
+
+        m.engine.schedule(0.2, fire)
+        m.engine.run(until=0.3)
+        assert landed["cpu"] == 0
+
+
+class TestRegionNoiseInteraction:
+    def _region_time(self, model, schedule, noise_dur, pinned_strategy="TP"):
+        m = make_machine(rt_throttle=False)
+        region = Region(
+            "r",
+            total_work=4.0,
+            schedule=schedule,
+            chunk_work=0.02 if schedule != "static" else 0.0,
+            sycl_efficiency=1.0,
+        )
+        rt, placement = launch_team(m, pinned_strategy, model=model, regions=[region])
+        if noise_dur > 0:
+            def fire():
+                m.scheduler.submit(
+                    Task(
+                        "irq",
+                        policy=SchedPolicy.FIFO,
+                        rt_priority=90,
+                        kind=TaskKind.IRQ_NOISE,
+                        work=noise_dur,
+                        affinity=frozenset({placement.cpus[-1]}),
+                    ),
+                    cpu=placement.cpus[-1],
+                )
+            m.engine.schedule(0.1, fire)
+        m.engine.run()
+        return m.engine.now
+
+    def test_omp_dynamic_absorbs_better_than_static(self):
+        static_hit = self._region_time("omp", "static", 0.2) - self._region_time("omp", "static", 0.0)
+        dynamic_hit = self._region_time("omp", "dynamic", 0.2) - self._region_time("omp", "dynamic", 0.0)
+        assert dynamic_hit < static_hit * 0.7
+
+    def test_pinned_sycl_pays_in_flight_chunk_tail(self):
+        quiet = self._region_time("sycl", "static", 0.0)
+        noisy = self._region_time("sycl", "static", 0.2)
+        hit = noisy - quiet
+        # bounded below by the pool dilution, above by the full block
+        assert 0.0 < hit < 0.2
+
+    def test_serial_section_fully_exposed(self):
+        m = make_machine(rt_throttle=False)
+        region = Region("s", total_work=1.0, serial=True)
+        rt, placement = launch_team(m, "TP", regions=[region])
+
+        def fire():
+            m.scheduler.submit(
+                Task(
+                    "irq",
+                    policy=SchedPolicy.FIFO,
+                    rt_priority=90,
+                    kind=TaskKind.IRQ_NOISE,
+                    work=0.3,
+                    affinity=frozenset({0}),
+                ),
+                cpu=0,
+            )
+
+        m.engine.schedule(0.1, fire)
+        m.engine.run()
+        # master pinned on cpu 0: the serial section waits out the noise
+        assert m.engine.now == pytest.approx(1.3, rel=0.01)

@@ -1,0 +1,71 @@
+"""Unit tests for experiment statistics."""
+
+import numpy as np
+import pytest
+
+from repro.harness.stats import Summary, outlier_mask, relative_change, summarize
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.sd == pytest.approx(1.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.median == 2.0
+
+    def test_cov(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.cov == pytest.approx(0.5)
+
+    def test_single_sample_zero_sd(self):
+        s = summarize([5.0])
+        assert s.sd == 0.0
+        assert s.cov == 0.0
+
+    def test_percentiles(self):
+        s = summarize(np.linspace(1.0, 2.0, 101))
+        assert s.p95 == pytest.approx(1.95)
+        assert s.p99 == pytest.approx(1.99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, 0.0])
+
+    def test_str_render(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestRelativeChange:
+    def test_increase(self):
+        assert relative_change(1.1, 1.0) == pytest.approx(10.0)
+
+    def test_decrease(self):
+        assert relative_change(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_change(1.0, 0.0)
+
+
+class TestOutliers:
+    def test_detects_far_outlier(self):
+        times = [1.0] * 50 + [10.0]
+        mask = outlier_mask(times, k=3.0)
+        assert mask.sum() == 1
+        assert mask[-1]
+
+    def test_no_outliers_in_uniform(self):
+        rng = np.random.default_rng(0)
+        mask = outlier_mask(rng.normal(1.0, 0.001, 100), k=5.0)
+        assert mask.sum() == 0
+
+    def test_short_samples(self):
+        assert outlier_mask([1.0]).sum() == 0
+        assert outlier_mask([]).sum() == 0

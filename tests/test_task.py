@@ -1,0 +1,170 @@
+"""Unit tests for the task and work-pool models."""
+
+import pytest
+
+from repro.sim.task import SchedPolicy, Task, TaskKind, WorkPool
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = Task("t", work=1.0)
+        assert t.policy is SchedPolicy.OTHER
+        assert not t.spin
+        assert t.alive
+
+    def test_spin_when_no_work(self):
+        assert Task("t").spin
+
+    def test_pool_member_not_spinning(self):
+        pool = WorkPool("p", 1.0)
+        t = Task("t", pool=pool)
+        assert not t.spin
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Task("t", work=-1.0)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            Task("t", weight=0.0)
+
+    def test_fifo_requires_priority(self):
+        with pytest.raises(ValueError):
+            Task("t", policy=SchedPolicy.FIFO, work=1.0)
+        Task("t", policy=SchedPolicy.FIFO, rt_priority=50, work=1.0)
+
+    def test_unique_tids(self):
+        assert Task("a").tid != Task("b").tid
+
+    def test_is_noise(self):
+        assert not Task("w").is_noise()
+        assert Task("n", kind=TaskKind.THREAD_NOISE).is_noise()
+
+
+class TestAdvance:
+    def test_consumes_work_at_rate(self):
+        t = Task("t", work=1.0)
+        t.rate = 0.5
+        t.advance(1.0)
+        assert t.work_remaining == pytest.approx(0.5)
+
+    def test_zero_rate_consumes_nothing(self):
+        t = Task("t", work=1.0)
+        t.rate = 0.0
+        t.advance(10.0)
+        assert t.work_remaining == 1.0
+
+    def test_idempotent_at_same_time(self):
+        t = Task("t", work=1.0)
+        t.rate = 1.0
+        t.advance(0.5)
+        t.advance(0.5)
+        assert t.work_remaining == pytest.approx(0.5)
+
+    def test_clamps_at_zero(self):
+        t = Task("t", work=0.1)
+        t.rate = 1.0
+        t.advance(5.0)
+        assert t.work_remaining == 0.0
+
+    def test_backwards_time_ignored(self):
+        t = Task("t", work=1.0)
+        t.rate = 1.0
+        t.advance(0.5)
+        t.advance(0.4)
+        assert t.work_remaining == pytest.approx(0.5)
+
+    def test_accumulates_cpu_time(self):
+        t = Task("t", work=2.0)
+        t.rate = 0.5
+        t.advance(2.0)
+        assert t.total_cpu_time == pytest.approx(1.0)
+
+    def test_pool_member_feeds_pool(self):
+        pool = WorkPool("p", 2.0)
+        t = Task("t")
+        t.join_pool(pool)
+        t.rate = 1.0
+        t.advance(0.5)
+        assert pool.work_remaining == pytest.approx(1.5)
+        assert t.work_remaining is None
+
+
+class TestTimeToCompletion:
+    def test_simple(self):
+        t = Task("t", work=2.0)
+        t.rate = 0.5
+        assert t.time_to_completion() == pytest.approx(4.0)
+
+    def test_none_for_spin(self):
+        t = Task("t")
+        t.rate = 1.0
+        assert t.time_to_completion() is None
+
+    def test_none_for_zero_rate(self):
+        t = Task("t", work=1.0)
+        assert t.time_to_completion() is None
+
+    def test_none_for_pool_member(self):
+        pool = WorkPool("p", 1.0)
+        t = Task("t")
+        t.join_pool(pool)
+        t.rate = 1.0
+        assert t.time_to_completion() is None
+
+
+class TestStateTransitions:
+    def test_assign_work_clears_spin(self):
+        t = Task("t")
+        t.assign_work(1.0, mem_demand=5.0)
+        assert not t.spin
+        assert t.work_remaining == 1.0
+        assert t.mem_demand == 5.0
+
+    def test_to_spin_resets(self):
+        t = Task("t")
+        t.assign_work(1.0, mem_demand=5.0)
+        t.to_spin()
+        assert t.spin
+        assert t.work_remaining is None
+        assert t.mem_demand == 0.0
+
+    def test_join_pool_registers_membership(self):
+        pool = WorkPool("p", 1.0)
+        t = Task("t")
+        t.join_pool(pool)
+        assert t in pool.members
+
+    def test_assign_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Task("t").assign_work(-1.0)
+
+
+class TestWorkPool:
+    def test_total_rate_sums_members(self):
+        pool = WorkPool("p", 1.0)
+        for rate in (0.5, 0.25):
+            t = Task("t")
+            t.join_pool(pool)
+            t.rate = rate
+        assert pool.total_rate() == pytest.approx(0.75)
+
+    def test_time_to_drain(self):
+        pool = WorkPool("p", 3.0)
+        t = Task("t")
+        t.join_pool(pool)
+        t.rate = 1.5
+        assert pool.time_to_drain() == pytest.approx(2.0)
+
+    def test_time_to_drain_none_when_stalled(self):
+        pool = WorkPool("p", 3.0)
+        assert pool.time_to_drain() is None
+
+    def test_consume_clamps(self):
+        pool = WorkPool("p", 1.0)
+        pool.consume(5.0)
+        assert pool.work_remaining == 0.0
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            WorkPool("p", -1.0)

@@ -1,0 +1,191 @@
+"""Unit tests for trace containers and OSnoise-format I/O."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventType
+from repro.core.trace import Trace, TraceSet
+
+
+def make_trace(records=None, exec_time=1.0):
+    if records is None:
+        records = [
+            (5, int(EventType.IRQ), "local_timer:236", 0.001, 310e-9),
+            (10, int(EventType.SOFTIRQ), "RCU:9", 0.002, 140e-9),
+            (13, int(EventType.THREAD), "kworker/13:1", 0.003, 3760e-9),
+        ]
+    return Trace.from_records(records, exec_time)
+
+
+class TestConstruction:
+    def test_from_records(self):
+        t = make_trace()
+        assert t.n_events == 3
+        assert t.exec_time == 1.0
+
+    def test_events_sorted_by_start(self):
+        t = make_trace(
+            [
+                (0, 0, "b", 0.5, 1e-6),
+                (0, 0, "a", 0.1, 1e-6),
+            ]
+        )
+        assert list(t.starts) == [0.1, 0.5]
+
+    def test_sources_interned(self):
+        t = make_trace(
+            [
+                (0, 0, "x", 0.1, 1e-6),
+                (1, 0, "x", 0.2, 1e-6),
+            ]
+        )
+        assert t.sources == ["x"]
+        assert set(t.source_ids) == {0}
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.array([0]),
+                np.array([0, 1]),
+                np.array([0]),
+                np.array([0.0]),
+                np.array([1e-6]),
+                ["s"],
+                1.0,
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            make_trace([(0, 0, "x", 0.1, -1e-6)])
+
+    def test_rejects_nonpositive_exec_time(self):
+        with pytest.raises(ValueError):
+            make_trace(exec_time=0.0)
+
+    def test_empty_trace_ok(self):
+        t = make_trace([])
+        assert t.n_events == 0
+        assert t.total_noise_time() == 0.0
+
+
+class TestQueries:
+    def test_total_noise_time(self):
+        t = make_trace()
+        assert t.total_noise_time() == pytest.approx(310e-9 + 140e-9 + 3760e-9)
+
+    def test_noise_time_per_cpu(self):
+        t = make_trace()
+        per_cpu = t.noise_time_per_cpu(16)
+        assert per_cpu[5] == pytest.approx(310e-9)
+        assert per_cpu[13] == pytest.approx(3760e-9)
+        assert per_cpu[0] == 0.0
+
+    def test_events_of_source(self):
+        t = make_trace()
+        mask = t.events_of_source("RCU:9")
+        assert mask.sum() == 1
+        assert t.events_of_source("nothing").sum() == 0
+
+    def test_select_subsets_and_reinterns(self):
+        t = make_trace()
+        sub = t.select(t.etypes == int(EventType.THREAD))
+        assert sub.n_events == 1
+        assert sub.sources == ["kworker/13:1"]
+
+    def test_iter_records_roundtrip(self):
+        t = make_trace()
+        rows = list(t.iter_records())
+        assert rows[0][1] is EventType.IRQ
+        rebuilt = Trace.from_records(
+            [(c, int(e), s, st, d) for c, e, s, st, d in rows], t.exec_time
+        )
+        assert rebuilt.n_events == t.n_events
+
+
+class TestCompressTime:
+    def test_durations_preserved(self):
+        t = make_trace()
+        dense = t.compress_time(4.0)
+        assert list(dense.durations) == list(t.durations)
+        assert dense.n_events == t.n_events
+
+    def test_window_shrinks(self):
+        t = make_trace()
+        dense = t.compress_time(2.0)
+        span = t.starts[-1] - t.starts[0]
+        dense_span = dense.starts[-1] - dense.starts[0]
+        assert dense_span == pytest.approx(span / 2.0)
+
+    def test_origin_anchors_first_event(self):
+        t = make_trace()
+        dense = t.compress_time(10.0)
+        assert dense.starts[0] == pytest.approx(t.starts[0])
+
+    def test_meta_records_factor(self):
+        assert make_trace().compress_time(3.0).meta["time_compressed"] == 3.0
+
+    def test_identity_factor(self):
+        t = make_trace()
+        same = t.compress_time(1.0)
+        assert list(same.starts) == list(t.starts)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            make_trace().compress_time(0.0)
+
+    def test_empty_trace(self):
+        t = make_trace([])
+        assert t.compress_time(2.0).n_events == 0
+
+
+class TestOsnoiseText:
+    def test_render_matches_figure3_layout(self):
+        text = make_trace().to_osnoise_text()
+        assert "irq_noise" in text
+        assert "local_timer:236" in text
+        assert text.splitlines()[0].startswith("CPU")
+
+    def test_limit(self):
+        text = make_trace().to_osnoise_text(limit=1)
+        assert len(text.splitlines()) == 2
+
+    def test_roundtrip(self):
+        t = make_trace()
+        parsed = Trace.parse_osnoise_text(t.to_osnoise_text(), exec_time=1.0)
+        assert parsed.n_events == t.n_events
+        assert set(parsed.sources) == set(t.sources)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.parse_osnoise_text("000 bogus", exec_time=1.0)
+
+
+class TestJson:
+    def test_roundtrip(self):
+        t = make_trace()
+        t.meta["anomaly"] = "snapd"
+        back = Trace.from_json(t.to_json())
+        assert back.n_events == t.n_events
+        assert back.meta["anomaly"] == "snapd"
+        np.testing.assert_allclose(back.durations, t.durations)
+
+
+class TestTraceSet:
+    def test_worst_case_is_longest(self):
+        ts = TraceSet([make_trace(exec_time=x) for x in (1.0, 3.0, 2.0)])
+        assert ts.worst_case().exec_time == 3.0
+        assert ts.worst_case_index() == 1
+
+    def test_mean_exec_time(self):
+        ts = TraceSet([make_trace(exec_time=x) for x in (1.0, 3.0)])
+        assert ts.mean_exec_time() == 2.0
+
+    def test_iteration_and_indexing(self):
+        ts = TraceSet([make_trace(), make_trace()])
+        assert len(ts) == 2
+        assert ts[0].n_events == 3
+        assert len(list(ts)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSet([])

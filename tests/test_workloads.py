@@ -1,0 +1,187 @@
+"""Unit tests for the workload models."""
+
+import pytest
+
+from repro.sim.platform import get_platform
+from repro.workloads import Babelstream, MiniFE, NBody, SchedBench, get_workload
+from repro.workloads.base import Workload
+
+
+@pytest.fixture
+def intel():
+    return get_platform("intel-9700kf")
+
+
+@pytest.fixture
+def amd():
+    return get_platform("amd-9950x3d")
+
+
+class TestConversions:
+    def test_compute_seconds(self, intel):
+        secs = Workload.compute_seconds(36e9, intel)
+        assert secs == pytest.approx(1.0)
+
+    def test_stream_seconds(self, intel):
+        secs = Workload.stream_seconds(12.0, intel)
+        assert secs == pytest.approx(1.0)
+
+    def test_negative_rejected(self, intel):
+        with pytest.raises(ValueError):
+            Workload.compute_seconds(-1.0, intel)
+        with pytest.raises(ValueError):
+            Workload.stream_seconds(-1.0, intel)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self, intel):
+        for name in ("nbody", "babelstream", "minife", "schedbench"):
+            wl = get_workload(name, intel)
+            assert wl.name == name
+
+    def test_unknown_name(self, intel):
+        with pytest.raises(KeyError):
+            get_workload("hpl", intel)
+
+    def test_per_platform_calibration(self, intel, amd):
+        assert get_workload("nbody", amd).n_bodies > get_workload("nbody", intel).n_bodies
+
+    def test_kwargs_override_calibration(self, intel):
+        wl = get_workload("nbody", intel, n_bodies=1000)
+        assert wl.n_bodies == 1000
+
+
+class TestNBody:
+    def test_region_structure(self, intel):
+        wl = NBody(n_bodies=1000, steps=3)
+        regions = list(wl.regions(intel, 8))
+        # force + serial integrate per step
+        assert len(regions) == 6
+        assert sum(r.serial for r in regions) == 3
+
+    def test_work_scales_quadratically(self, intel):
+        small = NBody(n_bodies=1000, steps=1).total_work(intel)
+        big = NBody(n_bodies=2000, steps=1).total_work(intel)
+        assert big / small == pytest.approx(4.0, rel=0.05)
+
+    def test_compute_bound_signature(self, intel):
+        wl = NBody(n_bodies=1000, steps=1)
+        force = next(r for r in wl.regions(intel, 8) if not r.serial)
+        assert force.mem_demand < 1.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NBody(n_bodies=0)
+        with pytest.raises(ValueError):
+            NBody(steps=0)
+
+    def test_estimate_close_to_ideal(self, intel):
+        wl = NBody(n_bodies=10000, steps=5)
+        est = wl.estimate_duration(intel, 8)
+        assert est == pytest.approx(wl.total_work(intel) / 8, rel=1e-6)
+
+
+class TestBabelstream:
+    def test_five_kernels_per_iteration(self, intel):
+        wl = Babelstream(array_mb=10, iters=2)
+        regions = list(wl.regions(intel, 8))
+        assert len(regions) == 10
+        names = {r.name.split("-")[1] for r in regions}
+        assert names == {"copy", "mul", "add", "triad", "dot"}
+
+    def test_dot_is_reduction(self, intel):
+        wl = Babelstream(array_mb=10, iters=1)
+        dot = next(r for r in wl.regions(intel, 8) if "dot" in r.name)
+        assert dot.reduction
+
+    def test_three_array_kernels_cost_more(self, intel):
+        wl = Babelstream(array_mb=10, iters=1)
+        regions = {r.name.split("-")[1]: r for r in wl.regions(intel, 8)}
+        assert regions["add"].total_work == pytest.approx(1.5 * regions["copy"].total_work)
+
+    def test_memory_bound_signature(self, intel):
+        wl = Babelstream(array_mb=10, iters=1)
+        r = next(iter(wl.regions(intel, 8)))
+        assert r.mem_demand == intel.core_stream_gbs
+
+    def test_kernel_subset(self, intel):
+        wl = Babelstream(array_mb=10, iters=3, kernels=("dot",))
+        assert len(list(wl.regions(intel, 8))) == 3
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Babelstream(kernels=("copy", "warp"))
+
+    def test_estimate_bandwidth_limited(self, intel):
+        wl = Babelstream(array_mb=58, iters=100)
+        est = wl.estimate_duration(intel, 8)
+        total_gb = 100 * 12 * 58 / 1024.0
+        assert est == pytest.approx(total_gb / intel.bandwidth_gbs, rel=1e-6)
+
+
+class TestMiniFE:
+    def test_structure(self, intel):
+        wl = MiniFE(nx=16, cg_iters=5)
+        regions = list(wl.regions(intel, 8))
+        # setup + assembly + 5 * (spmv + 2 dots + 3 axpys)
+        assert len(regions) == 2 + 5 * 6
+        assert regions[0].serial
+
+    def test_spmv_dominates_iteration(self, intel):
+        wl = MiniFE(nx=32, cg_iters=1)
+        regions = {r.name.rsplit("-", 1)[0]: r for r in wl.regions(intel, 8)}
+        assert regions["cg-spmv"].total_work > regions["cg-axpy0"].total_work
+
+    def test_dots_are_reductions(self, intel):
+        wl = MiniFE(nx=16, cg_iters=1)
+        dots = [r for r in wl.regions(intel, 8) if "dot" in r.name]
+        assert len(dots) == 2 and all(r.reduction for r in dots)
+
+    def test_sycl_efficiency_below_one(self, intel):
+        # HeCBench's SYCL MiniFE runs well below the OpenMP version.
+        wl = MiniFE(nx=16, cg_iters=1)
+        spmv = next(r for r in wl.regions(intel, 8) if "spmv" in r.name)
+        assert spmv.sycl_efficiency < 0.7
+
+    def test_nnz_matches_stencil(self):
+        wl = MiniFE(nx=10, cg_iters=1)
+        assert wl.nnz == 27 * 1000
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MiniFE(nx=2)
+        with pytest.raises(ValueError):
+            MiniFE(cg_iters=0)
+
+
+class TestSchedBench:
+    def test_label_format(self):
+        assert SchedBench(schedule="static", chunk=1).label == "st:1"
+        assert SchedBench(schedule="dynamic", chunk=64).label == "dy:64"
+        assert SchedBench(schedule="guided", chunk=8).label == "gd:8"
+
+    def test_regions_carry_schedule(self, intel):
+        wl = SchedBench(schedule="dynamic", chunk=4, repeats=2)
+        regions = list(wl.regions(intel, 8))
+        assert len(regions) == 2
+        assert all(r.schedule == "dynamic" for r in regions)
+        assert all(r.chunk_work > 0 for r in regions)
+
+    def test_zero_chunk_uses_runtime_default(self, intel):
+        wl = SchedBench(schedule="static", chunk=0, repeats=1)
+        r = next(iter(wl.regions(intel, 8)))
+        assert r.chunk_work == 0.0
+
+    def test_work_scales_with_platform_speed(self, intel):
+        a64 = get_platform("a64fx")
+        fast = SchedBench().total_work(intel)
+        slow = SchedBench().total_work(a64)
+        assert slow > fast  # slower cores -> more CPU-seconds
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SchedBench(schedule="rr")
+        with pytest.raises(ValueError):
+            SchedBench(chunk=-1)
+        with pytest.raises(ValueError):
+            SchedBench(iter_cost_us=0)

@@ -1,0 +1,94 @@
+"""Tests for the extension workloads (heat, montecarlo)."""
+
+import pytest
+
+from repro.sim.platform import get_platform
+from repro.workloads import Heat2D, MonteCarlo, get_workload
+
+
+@pytest.fixture
+def intel():
+    return get_platform("intel-9700kf")
+
+
+class TestHeat2D:
+    def test_registry(self, intel):
+        assert get_workload("heat", intel).name == "heat"
+
+    def test_region_structure(self, intel):
+        wl = Heat2D(n=64, sweeps=50, check_every=25)
+        regions = list(wl.regions(intel, 8))
+        serial = [r for r in regions if r.serial]
+        assert len(regions) == 52
+        assert len(serial) == 2
+
+    def test_work_scales_with_grid(self, intel):
+        small = Heat2D(n=64, sweeps=10).total_work(intel)
+        big = Heat2D(n=128, sweeps=10).total_work(intel)
+        assert big / small == pytest.approx(4.0, rel=0.1)
+
+    def test_memory_bound_signature(self, intel):
+        wl = Heat2D(n=64, sweeps=1, check_every=5)
+        sweep_region = next(iter(wl.regions(intel, 8)))
+        assert sweep_region.mem_demand > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Heat2D(n=8)
+        with pytest.raises(ValueError):
+            Heat2D(sweeps=0)
+
+    def test_runs_end_to_end(self, intel):
+        from repro.harness.experiment import ExperimentSpec, run_experiment
+
+        spec = ExperimentSpec(
+            platform="intel-9700kf",
+            workload="heat",
+            reps=1,
+            seed=2,
+            workload_params={"n": 512, "sweeps": 10},
+        )
+        rs = run_experiment(spec)
+        assert rs.mean > 0
+
+
+class TestMonteCarlo:
+    def test_registry(self, intel):
+        assert get_workload("montecarlo", intel).name == "montecarlo"
+
+    def test_batches_are_reductions(self, intel):
+        wl = MonteCarlo(paths=10_000, batches=3)
+        regions = list(wl.regions(intel, 8))
+        assert len(regions) == 3
+        assert all(r.reduction for r in regions)
+
+    def test_dynamic_by_default(self, intel):
+        wl = MonteCarlo(paths=10_000, batches=1)
+        r = next(iter(wl.regions(intel, 8)))
+        assert r.schedule == "dynamic"
+        assert r.chunk_work > 0
+
+    def test_imbalance_declared(self, intel):
+        wl = MonteCarlo(paths=10_000, batches=1)
+        r = next(iter(wl.regions(intel, 8)))
+        assert r.imbalance > 0.1
+
+    def test_dynamic_beats_static_for_imbalanced_paths(self, intel):
+        from repro.harness.experiment import ExperimentSpec, run_experiment
+
+        base = ExperimentSpec(
+            platform="intel-9700kf", workload="montecarlo", reps=2, seed=4, anomaly_prob=0.0
+        )
+        dyn = run_experiment(
+            base.with_(workload_params={"paths": 500_000, "batches": 2, "schedule": "dynamic"})
+        )
+        static = run_experiment(
+            base.with_(workload_params={"paths": 500_000, "batches": 2, "schedule": "static"})
+        )
+        assert dyn.mean < static.mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarlo(paths=0)
+        with pytest.raises(ValueError):
+            MonteCarlo(schedule="rr")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Splice the latest benchmark outputs into EXPERIMENTS.md.
+
+Replaces the ``<!--MARKER-->`` placeholders (or previously spliced
+blocks) with fenced copies of ``benchmarks/out/*.txt``.  Run after
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC = ROOT / "EXPERIMENTS.md"
+OUT = ROOT / "benchmarks" / "out"
+
+#: marker -> output file
+SOURCES = {
+    "TABLE1": "table1.txt",
+    "TABLE2": "table2.txt",
+    "TABLE3": "table3.txt",
+    "TABLE4": "table4.txt",
+    "TABLE5": "table5.txt",
+    "TABLE6": "table6.txt",
+    "TABLE7": "table7.txt",
+    "FIG1": "fig1.txt",
+    "FIG2": "fig2.txt",
+    "ABLATION": "ablation_merge.txt",
+    "RL3": "ablation_runlevel3.txt",
+    "NUMA": "extension_numa_pinning.txt",
+}
+
+
+def splice(text: str, marker: str, payload: str) -> str:
+    """Replace a marker (or an earlier spliced block) with ``payload``."""
+    block = f"<!--{marker}-->\n```\n{payload.rstrip()}\n```"
+    pattern = re.compile(
+        rf"<!--{marker}-->(?:\n```\n.*?\n```)?",
+        re.DOTALL,
+    )
+    if not pattern.search(text):
+        raise SystemExit(f"marker <!--{marker}--> not found in {DOC}")
+    return pattern.sub(lambda _m: block, text, count=1)
+
+
+def main() -> int:
+    text = DOC.read_text()
+    missing = []
+    for marker, filename in SOURCES.items():
+        path = OUT / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        text = splice(text, marker, path.read_text())
+    DOC.write_text(text)
+    if missing:
+        print(f"skipped (no output yet): {', '.join(missing)}")
+    print(f"updated {DOC}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.core import (
     refine_worst_case,
     replication_accuracy,
 )
+from repro.harness.executor import ParallelExecutor, SerialExecutor, get_executor
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
 from repro.harness.sweep import SweepResult, sweep
 from repro.mitigation.strategies import MitigationStrategy, get_strategy, STRATEGY_NAMES
@@ -52,6 +53,9 @@ __all__ = [
     "ExperimentSpec",
     "ResultSet",
     "run_experiment",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
     "sweep",
     "SweepResult",
     "MitigationStrategy",

@@ -42,6 +42,32 @@ def _add_spec_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _jobs_arg(value: str) -> int:
+    n = int(value)
+    if n < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one worker per CPU)")
+    return n
+
+
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        help="worker processes for repetitions (default: $REPRO_JOBS or 1; "
+        "0 = one per CPU; results are bit-identical at any worker count)",
+    )
+
+
+def _executor_from(args):
+    from repro.harness.executor import get_executor
+
+    try:
+        return get_executor(getattr(args, "jobs", None))
+    except ValueError as exc:
+        raise SystemExit(f"repro-noise: {exc}")
+
+
 def _spec_from(args) -> "ExperimentSpec":
     from repro.harness.experiment import ExperimentSpec
 
@@ -71,32 +97,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("baseline", help="run a baseline experiment")
     _add_spec_args(p)
+    _add_exec_args(p)
     p.add_argument("--no-tracing", action="store_true", help="disable the OSnoise tracer")
 
     p = sub.add_parser("trace", help="stage 1: collect traces, save the worst case")
     _add_spec_args(p)
+    _add_exec_args(p)
     p.add_argument("--out", default="worst_case.json", help="path for the worst-case trace JSON")
 
     p = sub.add_parser("configure", help="stage 2: generate a noise config")
     _add_spec_args(p)
+    _add_exec_args(p)
     p.add_argument("--merge", choices=["improved", "naive"], default="improved")
     p.add_argument("--out", default="noise_config.json", help="path for the config JSON")
 
     p = sub.add_parser("inject", help="stage 3: replay a noise config")
     _add_spec_args(p)
+    _add_exec_args(p)
     p.add_argument("--config", required=True, help="noise config JSON from `configure`")
 
     p = sub.add_parser("pipeline", help="collect, configure, and inject end to end")
     _add_spec_args(p)
+    _add_exec_args(p)
     p.add_argument("--merge", choices=["improved", "naive"], default="improved")
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", choices=["1", "2", "3", "4", "5", "6", "7", "ablation", "runlevel3"])
     p.add_argument("--seed", type=int, default=2025)
+    _add_exec_args(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", choices=["1", "2", "3", "4", "5", "6"])
     p.add_argument("--seed", type=int, default=2025)
+    _add_exec_args(p)
 
     p = sub.add_parser("analyze", help="analyse a saved trace JSON")
     p.add_argument("trace", help="trace JSON from `repro-noise trace`")
@@ -124,7 +157,7 @@ def _cmd_baseline(args) -> int:
     from repro.harness.experiment import run_experiment
 
     spec = _spec_from(args).with_(tracing=not args.no_tracing)
-    rs = run_experiment(spec)
+    rs = run_experiment(spec, executor=_executor_from(args))
     print(f"{spec.label()}: {rs.summary}")
     print(f"natural anomalies observed: {rs.anomaly_count()}/{len(rs.times)} runs")
     return 0
@@ -133,7 +166,7 @@ def _cmd_baseline(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.core.collection import collect_traces
 
-    coll = collect_traces(_spec_from(args))
+    coll = collect_traces(_spec_from(args), executor=_executor_from(args))
     worst = coll.worst_trace
     print(
         f"collected {len(coll.exec_times)} runs, mean {coll.mean_exec_time:.4f}s, "
@@ -151,7 +184,7 @@ def _cmd_configure(args) -> int:
     from repro.core.config import generate_config
     from repro.core.merge import MergeStrategy
 
-    coll = collect_traces(_spec_from(args))
+    coll = collect_traces(_spec_from(args), executor=_executor_from(args))
     config = generate_config(
         coll.worst_trace,
         coll.profile,
@@ -172,8 +205,11 @@ def _cmd_inject(args) -> int:
 
     config = NoiseConfig.load(args.config)
     spec = _spec_from(args)
-    baseline = run_experiment(spec)
-    injected = run_experiment(spec.with_(seed=spec.seed + 1_000_003), noise_config=config)
+    executor = _executor_from(args)
+    baseline = run_experiment(spec, executor=executor)
+    injected = run_experiment(
+        spec.with_(seed=spec.seed + 1_000_003), noise_config=config, executor=executor
+    )
     delta = (injected.mean / baseline.mean - 1.0) * 100.0
     print(f"baseline: {baseline.summary}")
     print(f"injected: {injected.summary}")
@@ -190,7 +226,9 @@ def _cmd_pipeline(args) -> int:
     from repro.core.merge import MergeStrategy
     from repro.core.pipeline import NoiseInjectionPipeline
 
-    pipe = NoiseInjectionPipeline(_spec_from(args), merge=MergeStrategy(args.merge))
+    pipe = NoiseInjectionPipeline(
+        _spec_from(args), merge=MergeStrategy(args.merge), executor=_executor_from(args)
+    )
     result = pipe.run()
     print(result.summary())
     return 0
@@ -199,7 +237,7 @@ def _cmd_pipeline(args) -> int:
 def _cmd_table(args) -> int:
     from repro.harness import campaigns
 
-    settings = campaigns.default_settings(seed=args.seed)
+    settings = campaigns.default_settings(seed=args.seed, jobs=args.jobs)
     dispatch = {
         "1": campaigns.table1,
         "2": campaigns.table2,
@@ -219,7 +257,7 @@ def _cmd_table(args) -> int:
 def _cmd_figure(args) -> int:
     from repro.harness import campaigns
 
-    settings = campaigns.default_settings(seed=args.seed)
+    settings = campaigns.default_settings(seed=args.seed, jobs=args.jobs)
     if args.number == "1":
         print(campaigns.figure1(settings).render())
     elif args.number == "2":

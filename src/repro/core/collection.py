@@ -10,7 +10,7 @@ the real tool also processes trace files one at a time).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.core.profile import NoiseProfile, ProfileAccumulator
 from repro.core.trace import Trace
 from repro.harness.experiment import ExperimentSpec, run_experiment
 from repro.sim.machine import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.executor import Executor
 
 __all__ = ["CollectionResult", "collect_traces"]
 
@@ -62,6 +65,7 @@ def collect_traces(
     min_degradation: float = 0.10,
     max_batches: int = 5,
     profile_excludes_anomalies: bool = False,
+    executor: Optional["Executor"] = None,
 ) -> CollectionResult:
     """Run the collection campaign for one workload configuration.
 
@@ -74,6 +78,11 @@ def collect_traces(
     batches (up to ``max_batches``) until the worst case degrades the
     mean by at least ``min_degradation`` — set it to 0 to disable the
     hunt and take whatever the first batch produced.
+
+    ``executor`` selects the execution backend (default: ``REPRO_JOBS``).
+    Under a parallel backend the trace consumer receives each batch's
+    runs in order once their chunks complete; the streamed profile and
+    worst-case selection are order-insensitive either way.
 
     ``profile_excludes_anomalies`` keeps anomalous runs out of the
     average-noise profile.  Use it when collecting under an
@@ -102,7 +111,7 @@ def collect_traces(
     all_anomalies: list[Optional[str]] = []
     for batch in range(max_batches):
         batch_spec = spec.with_(seed=spec.seed + batch * 7919)
-        rs = run_experiment(batch_spec, on_run=consume)
+        rs = run_experiment(batch_spec, on_run=consume, executor=executor)
         all_times.append(rs.times)
         all_anomalies.extend(rs.anomalies)
         times = np.concatenate(all_times)

@@ -17,13 +17,16 @@ use :meth:`NoiseInjectionPipeline.build_config` once, then
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.accuracy import replication_accuracy
 from repro.core.collection import CollectionResult, collect_traces
 from repro.core.config import NoiseConfig, generate_config
 from repro.core.merge import MergeStrategy
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.executor import Executor
 
 __all__ = ["PipelineResult", "NoiseInjectionPipeline"]
 
@@ -82,17 +85,23 @@ class NoiseInjectionPipeline:
         collect_reps: Optional[int] = None,
         inject_reps: Optional[int] = None,
         collect_anomaly_prob: Optional[float] = 0.15,
+        executor: Optional["Executor"] = None,
     ):
         """``collect_anomaly_prob`` accelerates the worst-case hunt
         during collection only (the paper brute-forced rare events over
         1000 runs; scaled-down collections compress that search), while
         baselines and injected runs keep the spec's natural noise.
-        Pass ``None`` to collect at the spec's own rate."""
+        Pass ``None`` to collect at the spec's own rate.
+
+        ``executor`` selects the execution backend for both the
+        collection and injection stages (default: ``REPRO_JOBS``);
+        results are bit-identical across backends."""
         self.spec = spec
         self.merge = merge
         self.collect_reps = collect_reps
         self.inject_reps = inject_reps
         self.collect_anomaly_prob = collect_anomaly_prob
+        self.executor = executor
         self.collection: Optional[CollectionResult] = None
         self.config: Optional[NoiseConfig] = None
 
@@ -112,6 +121,7 @@ class NoiseInjectionPipeline:
             cspec,
             reps=self.collect_reps,
             profile_excludes_anomalies=accelerated,
+            executor=self.executor,
         )
         self.config = generate_config(
             self.collection.worst_trace,
@@ -142,7 +152,7 @@ class NoiseInjectionPipeline:
         # Different seed stream than collection, so injection runs see
         # fresh inherent noise (the paper's uncontrollable residual).
         spec = spec.with_(seed=spec.seed + 1_000_003)
-        return run_experiment(spec, noise_config=config)
+        return run_experiment(spec, noise_config=config, executor=self.executor)
 
     def run(self) -> PipelineResult:
         """Full cycle against the pipeline's own spec."""

@@ -7,16 +7,20 @@ report, and re-simulating them would double the benchmark wall-clock.
 
 The cache lives in ``$REPRO_CACHE_DIR`` (default ``.repro_cache/`` in
 the working directory); delete the directory to invalidate, or set
-``REPRO_NO_CACHE=1`` to bypass entirely.
+``REPRO_NO_CACHE=1`` to bypass entirely.  Corrupt entries (truncated
+writes, stale schemas) are evicted, logged, counted in
+:meth:`ResultCache.stats`, and transparently re-run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -24,23 +28,36 @@ from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import NoiseConfig
+    from repro.harness.executor import Executor
+    from repro.sim.machine import RunResult
 
 __all__ = ["ResultCache", "cached_experiment"]
+
+_log = logging.getLogger(__name__)
 
 #: bump when simulator semantics change enough to invalidate old runs
 _CACHE_SCHEMA = 4
 
 
 class ResultCache:
-    """Content-addressed store of experiment execution times."""
+    """Content-addressed store of experiment execution times.
 
-    def __init__(self, root: Optional[Path] = None):
+    ``executor`` sets the default execution backend for cache misses;
+    per-call overrides win.  The cache is safe to share between threads
+    dispatching independent cells (distinct keys write distinct files;
+    counters are lock-protected).
+    """
+
+    def __init__(self, root: Optional[Path] = None, executor: Optional["Executor"] = None):
         if root is None:
             root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
         self.root = Path(root)
         self.enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+        self.executor = executor
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -73,11 +90,38 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def stats(self) -> dict:
+        """Counters: ``hits``, ``misses``, ``corrupt`` (evicted entries)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
     # ------------------------------------------------------------------
     def get_or_run(
-        self, spec: ExperimentSpec, noise_config: Optional["NoiseConfig"] = None
+        self,
+        spec: ExperimentSpec,
+        noise_config: Optional["NoiseConfig"] = None,
+        executor: Optional["Executor"] = None,
+        on_run: Optional[Callable[[int, "RunResult"], None]] = None,
     ) -> ResultSet:
-        """Return cached results or run the experiment and store them."""
+        """Return cached results or run the experiment and store them.
+
+        ``on_run`` consumers are incompatible with caching: a cache hit
+        replays no runs, so the consumer would be silently skipped.
+        Passing one while the cache is enabled raises ``ValueError``
+        (with ``REPRO_NO_CACHE=1`` every call re-runs, so live
+        consumption is honest again and allowed through).
+        """
+        if on_run is not None and self.enabled:
+            raise ValueError(
+                "on_run consumers cannot be combined with a result cache: "
+                "cache hits replay no runs, so the consumer would silently "
+                "observe nothing. Call run_experiment() directly (trace "
+                "collection does), or disable the cache with REPRO_NO_CACHE=1."
+            )
         injecting = noise_config is not None
         reps = spec.resolved_reps(injecting)
         spec = spec.with_(reps=reps)
@@ -86,17 +130,29 @@ class ResultCache:
         if self.enabled and path.exists():
             try:
                 data = json.loads(path.read_text())
-                self.hits += 1
-                return ResultSet(
+                rs = ResultSet(
                     spec=spec,
                     times=np.asarray(data["times"]),
                     anomalies=data["anomalies"],
                     injected=data["injected"],
                 )
+                self._count("hits")
+                return rs
             except (json.JSONDecodeError, KeyError):
+                self._count("corrupt")
+                _log.warning(
+                    "evicting corrupt cache entry %s for %s (re-running)",
+                    path.name,
+                    spec.label(),
+                )
                 path.unlink(missing_ok=True)
-        self.misses += 1
-        rs = run_experiment(spec, noise_config=noise_config)
+        self._count("misses")
+        rs = run_experiment(
+            spec,
+            noise_config=noise_config,
+            on_run=on_run,
+            executor=executor if executor is not None else self.executor,
+        )
         if self.enabled:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
@@ -118,10 +174,20 @@ _default_cache: Optional[ResultCache] = None
 
 
 def cached_experiment(
-    spec: ExperimentSpec, noise_config: Optional["NoiseConfig"] = None
+    spec: ExperimentSpec,
+    noise_config: Optional["NoiseConfig"] = None,
+    executor: Optional["Executor"] = None,
 ) -> ResultSet:
-    """Module-level convenience using a process-wide cache."""
+    """Module-level convenience using a process-wide cache.
+
+    Contract: results may come from disk, in which case **no runs are
+    replayed** — there is deliberately no ``on_run`` parameter here.
+    Consumers that must observe live runs (e.g. trace collection) go
+    through :func:`~repro.harness.experiment.run_experiment`;
+    :meth:`ResultCache.get_or_run` rejects an ``on_run`` consumer with
+    ``ValueError`` whenever caching is enabled.
+    """
     global _default_cache
     if _default_cache is None:
         _default_cache = ResultCache()
-    return _default_cache.get_or_run(spec, noise_config)
+    return _default_cache.get_or_run(spec, noise_config, executor=executor)

@@ -63,18 +63,52 @@ def _stable_hash(*parts) -> int:
 
 @dataclass
 class CampaignSettings:
-    """Shared knobs for all campaigns."""
+    """Shared knobs for all campaigns.
+
+    ``jobs`` selects the execution backend for every experiment the
+    campaign runs (``None`` → ``REPRO_JOBS``; ``0`` → one worker per
+    CPU).  With more than one worker, campaigns additionally dispatch
+    independent table cells concurrently through :meth:`map_cells` —
+    cells share the warm process pool, so a cell whose chunks are
+    draining no longer leaves workers idle.  Results stay bit-identical
+    to a serial campaign: per-rep seeding is index-based and cells are
+    collected in submission order.
+    """
 
     seed: int = 2025
     collect_reps: int = 0          # per collection batch; 0 → env default
     collect_batches: int = 5
+    jobs: Optional[int] = None
     cache: ResultCache = field(default_factory=ResultCache)
+
+    def __post_init__(self) -> None:
+        from repro.harness.executor import get_executor
+
+        self.executor = get_executor(self.jobs)
+        if self.cache.executor is None:
+            self.cache.executor = self.executor
 
     def resolved_collect_reps(self) -> int:
         """Collection batch size with environment default applied."""
         if self.collect_reps > 0:
             return self.collect_reps
         return int(os.environ.get("REPRO_COLLECT_REPS", "40"))
+
+    def map_cells(self, fn, items: Sequence) -> list:
+        """Apply ``fn`` to independent table cells, in order.
+
+        Serial when the backend is serial; otherwise a thread pool
+        overlaps the cells' cache lookups and rep dispatch (the reps
+        themselves run in the shared worker processes).  Output order
+        always matches ``items`` order.
+        """
+        items = list(items)
+        if self.executor.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(self.executor.jobs, len(items))) as tp:
+            return list(tp.map(fn, items))
 
     def spec_seed(self, *parts) -> int:
         """Stable per-cell seed derived from the campaign seed."""
@@ -154,6 +188,7 @@ def build_noise_config(
         min_degradation=0.15,
         max_batches=settings.collect_batches,
         profile_excludes_anomalies=anomaly_prob is not None,
+        executor=settings.executor,
     )
     config = generate_config(
         coll.worst_trace,
@@ -251,18 +286,20 @@ def table2(
     """Average s.d. of baseline executions (Table 2)."""
     settings = settings or default_settings()
     sds: dict[str, dict[str, float]] = {}
+    cells = [(plat, wl) for plat in platforms for wl in workloads]
     for model in ("omp", "sycl"):
         sds[model] = {}
         for strat in STRATEGY_NAMES:
-            values = []
-            for plat in platforms:
-                for wl in workloads:
-                    seed = settings.spec_seed("table2", plat, wl, model, strat)
-                    spec = ExperimentSpec(
-                        platform=plat, workload=wl, model=model, strategy=strat, seed=seed
-                    )
-                    rs = settings.cache.get_or_run(spec)
-                    values.append(rs.sd * 1e3)
+
+            def _cell(pw, _model=model, _strat=strat):
+                plat, wl = pw
+                seed = settings.spec_seed("table2", plat, wl, _model, _strat)
+                spec = ExperimentSpec(
+                    platform=plat, workload=wl, model=_model, strategy=_strat, seed=seed
+                )
+                return settings.cache.get_or_run(spec).sd * 1e3
+
+            values = settings.map_cells(_cell, cells)
             sds[model][strat] = float(np.mean(values))
     return Table2Result(sds, tuple(platforms))
 
@@ -362,22 +399,28 @@ def injection_table(
                 source = _CONFIG_SOURCES[(kind, idx, use_smt if kind == "amd" else True)]
                 configs[cfg_key] = build_noise_config(settings, plat, workload, source, idx)
             info = configs[cfg_key]
-            exec_times: dict[str, float] = {}
-            deltas: dict[str, float] = {}
-            for strat in strategies:
-                seed = settings.spec_seed("inj", plat, workload, model, strat, use_smt)
+
+            def _cell(strat: str, _model=model, _smt=use_smt, _cfg=info.config):
+                seed = settings.spec_seed("inj", plat, workload, _model, strat, _smt)
                 spec = ExperimentSpec(
                     platform=plat,
                     workload=workload,
-                    model=model,
+                    model=_model,
                     strategy=strat,
-                    use_smt=use_smt,
+                    use_smt=_smt,
                     seed=seed,
                 )
                 base = settings.cache.get_or_run(spec)
                 inj = settings.cache.get_or_run(
-                    spec.with_(seed=seed + 1_000_003), noise_config=info.config
+                    spec.with_(seed=seed + 1_000_003), noise_config=_cfg
                 )
+                return strat, base, inj
+
+            exec_times: dict[str, float] = {}
+            deltas: dict[str, float] = {}
+            # Independent cells: one baseline + one injected experiment
+            # per strategy, all under the same frozen config.
+            for strat, base, inj in settings.map_cells(_cell, strategies):
                 exec_times[strat] = inj.mean
                 deltas[strat] = (inj.mean / base.mean - 1.0) * 100.0
             ref = paper_table.get(plat, {}).get(label, {})
@@ -674,7 +717,11 @@ def merge_ablation(
         anomaly_prob=1.0,
     )
     coll = collect_traces(
-        spec, reps=settings.resolved_collect_reps(), max_batches=1, min_degradation=0.0
+        spec,
+        reps=settings.resolved_collect_reps(),
+        max_batches=1,
+        min_degradation=0.0,
+        executor=settings.executor,
     )
     accuracies = {}
     fifo = {}

@@ -1,0 +1,312 @@
+"""Pluggable execution backends for experiment repetitions.
+
+Every repetition of an experiment is an independent deterministic
+function of ``(spec, noise_config, rep_index)``: the per-rep RNG is
+derived from the spec's seed via a ``SeedSequence`` spawn key equal to
+the rep index, and results are written back *by index*.  That makes the
+rep loop embarrassingly parallel — the paper's protocol needs ~1000
+baseline and 200 injected runs per table cell, and nothing couples one
+rep to another.
+
+Two backends implement the same iterator contract:
+
+* :class:`SerialExecutor` — the classic in-process loop (default);
+* :class:`ParallelExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` dispatching *chunks of rep indices*.  Workers
+  receive only picklable inputs (``spec``, ``noise_config``, the index
+  chunk) and rebuild platform / workload / placement locally, so no
+  simulator state crosses the process boundary.
+
+Worker-invariant determinism contract
+-------------------------------------
+``times[i]`` and ``anomalies[i]`` are bit-identical for ``jobs=1``,
+``jobs=4``, and any chunk size.  This holds by construction: rep ``i``
+always draws from ``SeedSequence(spec.seed, spawn_key=(i,))`` — exactly
+the ``i``-th child of ``SeedSequence(spec.seed).spawn(reps)`` — and the
+chunk map preserves index order.  ``tests/test_executor.py`` enforces
+the guarantee bitwise.
+
+Backend selection is spec-independent: ``--jobs N`` on the CLI or the
+``REPRO_JOBS`` environment variable (default ``1``; ``0`` means one
+worker per CPU).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import NoiseConfig
+    from repro.harness.experiment import ExperimentSpec
+    from repro.sim.machine import RunResult
+
+__all__ = [
+    "RepResult",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "resolve_jobs",
+    "get_executor",
+    "rep_seed",
+    "chunk_indices",
+]
+
+
+# ----------------------------------------------------------------------
+# seeding and chunking primitives
+# ----------------------------------------------------------------------
+def rep_seed(seed: int, index: int) -> np.random.SeedSequence:
+    """Seed stream of repetition ``index`` of an experiment.
+
+    Equal to ``SeedSequence(seed).spawn(reps)[index]`` for any
+    ``reps > index`` (children are keyed by spawn position only), so
+    workers can reseed any rep without materialising the full spawn.
+    """
+    return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+def chunk_indices(reps: int, jobs: int, chunk_size: Optional[int] = None) -> list[range]:
+    """Partition ``range(reps)`` into contiguous dispatch chunks.
+
+    The default size targets ~4 chunks per worker so a slow chunk does
+    not straggle the whole experiment; any size yields identical
+    results (determinism is per-rep, not per-chunk).
+    """
+    if reps <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-reps // (jobs * 4)))
+    chunk_size = max(1, int(chunk_size))
+    return [range(lo, min(lo + chunk_size, reps)) for lo in range(0, reps, chunk_size)]
+
+
+# ----------------------------------------------------------------------
+# per-rep outcome
+# ----------------------------------------------------------------------
+@dataclass
+class RepResult:
+    """Outcome of one repetition, tagged with its index."""
+
+    index: int
+    exec_time: float
+    anomaly: Optional[str]
+    #: full :class:`~repro.sim.machine.RunResult` (trace included) when
+    #: the caller asked for it; ``None`` otherwise to keep worker
+    #: payloads small
+    run: Optional["RunResult"] = None
+
+
+def _execute_rep(
+    context: tuple,
+    spec: "ExperimentSpec",
+    noise_config: Optional["NoiseConfig"],
+    index: int,
+) -> "RunResult":
+    """Run repetition ``index`` on a prebuilt (platform, workload, placement)."""
+    from repro.harness.experiment import run_once
+
+    platform, workload, placement = context
+    injecting = noise_config is not None
+    rng = np.random.default_rng(rep_seed(spec.seed, index))
+    return run_once(
+        platform,
+        workload,
+        placement,
+        spec.model,
+        rng,
+        tracing=spec.tracing,
+        rt_throttle=spec.rt_throttle and not injecting,
+        noise_config=noise_config,
+        meta={"run": index, "spec": spec.label()},
+    )
+
+
+def _run_rep_chunk(payload: tuple) -> list[RepResult]:
+    """Worker entry point: simulate one chunk of rep indices.
+
+    Receives only picklable data and rebuilds the simulation context
+    locally — platform presets, workloads and placements are pure
+    functions of the spec, so workers reconstruct the exact objects the
+    parent would have used.
+    """
+    from repro.harness.experiment import _build_context
+
+    spec, noise_config, indices, need_runs = payload
+    context = _build_context(spec)
+    out = []
+    for i in indices:
+        result = _execute_rep(context, spec, noise_config, i)
+        out.append(
+            RepResult(
+                index=i,
+                exec_time=result.exec_time,
+                anomaly=result.anomaly,
+                run=result if need_runs else None,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class Executor(ABC):
+    """Strategy interface: iterate rep outcomes in index order."""
+
+    #: worker count (1 for the serial backend)
+    jobs: int = 1
+
+    @abstractmethod
+    def run_reps(
+        self,
+        spec: "ExperimentSpec",
+        noise_config: Optional["NoiseConfig"],
+        reps: int,
+        need_runs: bool = False,
+    ) -> Iterator[RepResult]:
+        """Yield one :class:`RepResult` per rep, in ascending index order.
+
+        ``need_runs`` asks for the full :class:`RunResult` payload
+        (traces included) on every item — required by ``on_run``
+        consumers such as trace collection.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (no-op for the serial backend)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process rep loop; ``on_run`` consumers observe runs live."""
+
+    jobs = 1
+
+    def run_reps(self, spec, noise_config, reps, need_runs=False):
+        from repro.harness.experiment import _build_context
+
+        context = _build_context(spec)
+        for i in range(reps):
+            result = _execute_rep(context, spec, noise_config, i)
+            # The serial backend always has the full result in hand;
+            # passing it through costs nothing regardless of need_runs.
+            yield RepResult(
+                index=i, exec_time=result.exec_time, anomaly=result.anomaly, run=result
+            )
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Process-pool backend dispatching chunked rep indices.
+
+    The pool is created lazily and kept alive across experiments (a
+    campaign issues thousands of ``run_reps`` calls), and is safe to
+    share between threads — the campaign runners fan independent table
+    cells through it concurrently.  Results are yielded in rep order,
+    so ``on_run`` consumers degrade to *ordered post-hoc delivery*
+    rather than live streaming.
+    """
+
+    def __init__(self, jobs: int, chunk_size: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            # fork keeps worker start-up at milliseconds; fall back to
+            # spawn where fork is unavailable (results are identical —
+            # workers receive all state explicitly).
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        return self._pool
+
+    def run_reps(self, spec, noise_config, reps, need_runs=False):
+        if reps <= 1 or self.jobs <= 1:
+            # Not worth a pool round-trip; the serial path is bit-identical.
+            yield from SerialExecutor().run_reps(spec, noise_config, reps, need_runs)
+            return
+        payloads = [
+            (spec, noise_config, chunk, need_runs)
+            for chunk in chunk_indices(reps, self.jobs, self.chunk_size)
+        ]
+        pool = self._ensure_pool()
+        # Executor.map preserves submission order, which is rep order.
+        for chunk_result in pool.map(_run_rep_chunk, payloads):
+            yield from chunk_result
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+# ----------------------------------------------------------------------
+# selection
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count from an explicit value or ``REPRO_JOBS``.
+
+    ``None`` reads the environment (default 1); ``0`` means one worker
+    per CPU; negative values are rejected.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer (0 = one worker per CPU), got {raw!r}"
+            ) from None
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+#: shared parallel backends keyed by worker count — campaigns issuing
+#: thousands of experiments reuse one warm pool instead of respawning
+_shared: dict[int, ParallelExecutor] = {}
+
+
+@atexit.register
+def _close_shared() -> None:
+    # Shut pools down before interpreter teardown dismantles the
+    # modules their weakref callbacks rely on.
+    for ex in _shared.values():
+        ex.close()
+    _shared.clear()
+
+
+def get_executor(jobs: Optional[int] = None) -> Executor:
+    """Backend for ``jobs`` workers (``None`` → ``REPRO_JOBS``)."""
+    n = resolve_jobs(jobs)
+    if n <= 1:
+        return SerialExecutor()
+    ex = _shared.get(n)
+    if ex is None:
+        ex = _shared[n] = ParallelExecutor(n)
+    return ex

@@ -30,6 +30,7 @@ from repro.workloads.base import Workload, get_workload
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import NoiseConfig
+    from repro.harness.executor import Executor
 
 __all__ = [
     "ExperimentSpec",
@@ -181,6 +182,7 @@ def run_experiment(
     spec: ExperimentSpec,
     noise_config: Optional["NoiseConfig"] = None,
     on_run: Optional[Callable[[int, RunResult], None]] = None,
+    executor: Optional["Executor"] = None,
 ) -> ResultSet:
     """Run a full experiment (``reps`` independent machines).
 
@@ -192,29 +194,26 @@ def run_experiment(
     on_run:
         Optional consumer called per run — e.g. the trace collector.
         Traces are not retained by the ResultSet (a thousand desktop
-        traces would be gigabytes); consume them here.
+        traces would be gigabytes); consume them here.  Always invoked
+        in rep order; under a parallel executor delivery is post-hoc
+        (after the rep's chunk completes) rather than live.
+    executor:
+        Execution backend; defaults to
+        :func:`~repro.harness.executor.get_executor` (``REPRO_JOBS``).
+        ``times[i]`` / ``anomalies[i]`` are bit-identical across
+        backends and worker counts — reps are seeded by index.
     """
-    platform, workload, placement = _build_context(spec)
+    from repro.harness.executor import get_executor
+
+    if executor is None:
+        executor = get_executor()
     injecting = noise_config is not None
     reps = spec.resolved_reps(injecting)
-    seeds = np.random.SeedSequence(spec.seed).spawn(reps)
     times = np.empty(reps)
-    anomalies: list[Optional[str]] = []
-    for i in range(reps):
-        rng = np.random.default_rng(seeds[i])
-        result = run_once(
-            platform,
-            workload,
-            placement,
-            spec.model,
-            rng,
-            tracing=spec.tracing,
-            rt_throttle=spec.rt_throttle and not injecting,
-            noise_config=noise_config,
-            meta={"run": i, "spec": spec.label()},
-        )
-        times[i] = result.exec_time
-        anomalies.append(result.anomaly)
+    anomalies: list[Optional[str]] = [None] * reps
+    for rep in executor.run_reps(spec, noise_config, reps, need_runs=on_run is not None):
+        times[rep.index] = rep.exec_time
+        anomalies[rep.index] = rep.anomaly
         if on_run is not None:
-            on_run(i, result)
+            on_run(rep.index, rep.run)
     return ResultSet(spec=spec, times=times, anomalies=anomalies, injected=injecting)

@@ -18,6 +18,7 @@ from repro.harness.stats import Summary
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import NoiseConfig
+    from repro.harness.executor import Executor
 
 __all__ = ["SweepResult", "sweep"]
 
@@ -69,9 +70,14 @@ def sweep(
     base: ExperimentSpec,
     noise_config: Optional["NoiseConfig"] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
     **axes: Sequence,
 ) -> SweepResult:
     """Run the cartesian grid of ``axes`` values over ``base``.
+
+    ``executor`` selects the execution backend for cache misses
+    (default: ``REPRO_JOBS``); grid points themselves run in order so
+    the result table is stable.
 
     Example::
 
@@ -89,5 +95,5 @@ def sweep(
     for combo in itertools.product(*(axes[n] for n in names)):
         spec = base.with_(**dict(zip(names, combo)))
         points.append(combo)
-        results.append(cache.get_or_run(spec, noise_config=noise_config))
+        results.append(cache.get_or_run(spec, noise_config=noise_config, executor=executor))
     return SweepResult(axes=names, points=points, results=results)

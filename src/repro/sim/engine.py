@@ -33,21 +33,39 @@ class EventHandle:
     Cancellation is *lazy*: the heap entry stays in place and is skipped
     when popped.  This keeps cancellation O(1), which matters because
     the scheduler reschedules task-completion events on every rate
-    change.
+    change.  The owning engine is notified so it can keep an exact
+    count of dead entries (O(1) ``pending_count`` and bounded heap
+    growth) without scanning.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark this event as cancelled; it will be skipped when due."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # The engine nulls our back-reference once we leave the heap,
+        # so a late cancel (after the callback ran) cannot skew the
+        # dead-entry count.
+        if self._engine is not None:
+            self._engine._n_cancelled += 1
+            self._engine = None
         # Drop references eagerly so cancelled handles do not keep big
         # object graphs (tasks, pools) alive inside the heap.
         self.fn = None  # type: ignore[assignment]
@@ -79,6 +97,8 @@ class Engine:
         self._running = False
         self._stopped = False
         self._time_epsilon = float(time_epsilon)
+        #: dead (cancelled but not yet popped) entries in the heap
+        self._n_cancelled = 0
         #: number of callbacks actually executed (cancelled ones excluded)
         self.events_executed: int = 0
 
@@ -98,8 +118,16 @@ class Engine:
                     f"cannot schedule event at t={time!r} before now={self.now!r}"
                 )
             time = self.now
-        handle = EventHandle(time, next(self._seq), fn, args)
+        handle = EventHandle(time, next(self._seq), fn, args, engine=self)
         heapq.heappush(self._heap, handle)
+        # Heavy cancellation (rate-change rescheduling) would otherwise
+        # grow the heap without bound: once dead entries dominate,
+        # compact in place.  In place, because the run loop holds a
+        # reference to this exact list.
+        if self._n_cancelled > 64 and self._n_cancelled * 2 > len(self._heap):
+            self._heap[:] = [h for h in self._heap if not h.cancelled]
+            heapq.heapify(self._heap)
+            self._n_cancelled = 0
         return handle
 
     def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -146,6 +174,7 @@ class Engine:
                 handle = heap[0]
                 if handle.cancelled:
                     heapq.heappop(heap)
+                    self._n_cancelled -= 1
                     continue
                 if until is not None and handle.time > until:
                     break
@@ -154,9 +183,11 @@ class Engine:
                     self.now = handle.time
                 fn, args = handle.fn, handle.args
                 # Free the handle's references before invoking, so a
-                # callback rescheduling itself does not chain handles.
+                # callback rescheduling itself does not chain handles;
+                # detach the engine so a late cancel is a pure no-op.
                 handle.fn = None  # type: ignore[assignment]
                 handle.args = ()
+                handle._engine = None
                 fn(*args)
                 executed += 1
                 self.events_executed += 1
@@ -172,19 +203,23 @@ class Engine:
     # introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1):
+        the engine tracks dead heap entries exactly."""
+        return len(self._heap) - self._n_cancelled
 
     def next_event_time(self) -> Optional[float]:
-        """Time of the earliest live event, or ``None`` if queue is empty."""
-        for h in self._heap:
-            if not h.cancelled:
-                break
-        else:
-            return None
-        # The heap head may be cancelled; scan lazily without mutating.
-        live = [h for h in self._heap if not h.cancelled]
-        return min(live).time if live else None
+        """Time of the earliest live event, or ``None`` if queue is empty.
+
+        Single lazy pass: cancelled heads are popped (and never
+        revisited) until a live event surfaces — the same discipline
+        the run loop uses, so repeated introspection cannot re-scan or
+        retain dead entries.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._n_cancelled -= 1
+        return heap[0].time if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self.now:.9f} pending={len(self._heap)}>"

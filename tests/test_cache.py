@@ -78,6 +78,57 @@ class TestCache:
         assert cache.misses == 2
         assert len(rs.times) == 2
 
+    def test_truncated_entry_evicted_counted_and_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cache.get_or_run(spec())
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        # Truncate mid-payload: the classic interrupted-write artefact.
+        entries[0].write_text(entries[0].read_text()[:10])
+        rs = cache.get_or_run(spec())
+        assert cache.corrupt == 1
+        np.testing.assert_array_equal(first.times, rs.times)
+        # The re-run rewrote a valid entry: next lookup is a clean hit.
+        again = cache.get_or_run(spec())
+        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 1}
+        np.testing.assert_array_equal(first.times, again.times)
+
+    def test_stats_dict(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0}
+        cache.get_or_run(spec())
+        cache.get_or_run(spec())
+        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
+
+    def test_on_run_with_cache_enabled_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError, match="on_run"):
+            cache.get_or_run(spec(), on_run=lambda i, r: None)
+
+    def test_on_run_allowed_when_cache_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path)
+        seen = []
+        cache.get_or_run(spec(), on_run=lambda i, r: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_explicit_executor_used_on_miss(self, tmp_path):
+        from repro.harness.executor import SerialExecutor
+
+        class CountingExecutor(SerialExecutor):
+            def __init__(self):
+                self.calls = 0
+
+            def run_reps(self, *a, **kw):
+                self.calls += 1
+                return super().run_reps(*a, **kw)
+
+        ex = CountingExecutor()
+        cache = ResultCache(tmp_path, executor=ex)
+        cache.get_or_run(spec())
+        cache.get_or_run(spec())  # hit: executor untouched
+        assert ex.calls == 1
+
     def test_disabled_by_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         cache = ResultCache(tmp_path)

@@ -142,3 +142,66 @@ class TestRunControl:
         assert engine.next_event_time() == 3.0
         h.cancel()
         assert engine.next_event_time() == 5.0
+
+
+class TestLazyHeapMaintenance:
+    def test_pending_count_exact_after_cancel_and_run(self, engine):
+        handles = [engine.schedule(float(t + 1), lambda: None) for t in range(6)]
+        assert engine.pending_count() == 6
+        handles[0].cancel()
+        handles[3].cancel()
+        assert engine.pending_count() == 4
+        handles[3].cancel()  # idempotent: must not double-count
+        assert engine.pending_count() == 4
+        engine.run()
+        assert engine.pending_count() == 0
+
+    def test_cancel_after_run_does_not_corrupt_count(self, engine):
+        h = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        h.cancel()  # already executed: a pure no-op
+        assert engine.pending_count() == 1
+
+    def test_next_event_time_pops_cancelled_heads(self, engine):
+        handles = [engine.schedule(float(t + 1), lambda: None) for t in range(5)]
+        for h in handles[:4]:
+            h.cancel()
+        assert engine.next_event_time() == 5.0
+        # The dead heads are gone, not skipped-over on every call.
+        assert len(engine._heap) == 1
+
+    def test_next_event_time_all_cancelled(self, engine):
+        for t in range(3):
+            engine.schedule(float(t + 1), lambda: None).cancel()
+        assert engine.next_event_time() is None
+        assert len(engine._heap) == 0
+
+    def test_heap_bounded_under_heavy_cancellation(self, engine):
+        # Reschedule-and-cancel churn (the scheduler's rate-change
+        # pattern): without compaction the heap grows by one dead entry
+        # per cycle.
+        live = []
+        for i in range(5000):
+            h = engine.schedule(1.0 + i * 1e-6, lambda: None)
+            if i % 100 == 0:
+                live.append(h)
+            else:
+                h.cancel()
+        assert engine.pending_count() == len(live)
+        assert len(engine._heap) < 1000
+        engine.run()
+        assert engine.events_executed == len(live)
+
+    def test_compaction_preserves_execution_order(self, engine):
+        order = []
+        keep = []
+        for i in range(300):
+            h = engine.schedule(1.0 + (i % 7) * 0.1, order.append, i)
+            if i % 3 == 0:
+                keep.append((h.time, i))
+            else:
+                h.cancel()
+        engine.run()
+        expected = [i for _, i in sorted(keep, key=lambda p: (p[0], p[1]))]
+        assert order == expected

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Serial-vs-parallel experiment throughput microbenchmark.
+
+Measures runs/sec of :func:`repro.harness.experiment.run_experiment`
+for a representative baseline spec under the serial backend and under
+process-pool backends of increasing width, verifies the bit-identity
+guarantee on every configuration, and reports the speedup.  Write the
+rendered table into the bench trajectory with ``--publish``
+(``benchmarks/out/bench_throughput.txt``).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_throughput.py            # 1 vs 2 vs 4 workers
+    PYTHONPATH=src python tools/bench_throughput.py --jobs 8 --reps 120 --publish
+
+Expected scaling: reps are embarrassingly parallel, so on an idle
+N-core machine the pool approaches N× (pickling traces back is the
+main tax; ``--tracing`` off shows the ceiling).  On fewer cores than
+workers the pool degrades gracefully to ~1×; the determinism guarantee
+holds at any width.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.harness.executor import ParallelExecutor, SerialExecutor  # noqa: E402
+from repro.harness.experiment import ExperimentSpec, run_experiment  # noqa: E402
+from repro.harness.report import TableBuilder  # noqa: E402
+
+
+def bench(spec: ExperimentSpec, executor, repeats: int) -> tuple[float, np.ndarray]:
+    """Best-of-``repeats`` runs/sec and the result vector."""
+    best = 0.0
+    times = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rs = run_experiment(spec, executor=executor)
+        elapsed = time.perf_counter() - t0
+        best = max(best, len(rs.times) / elapsed)
+        times = rs.times
+    return best, times
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--platform", default="intel-9700kf")
+    ap.add_argument("--workload", default="nbody")
+    ap.add_argument("--reps", type=int, default=60, help="reps per experiment (paper cell: 1000)")
+    ap.add_argument("--seed", type=int, default=2025)
+    ap.add_argument("--jobs", type=int, nargs="*", default=[2, 4], help="pool widths to probe")
+    ap.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    ap.add_argument("--no-tracing", action="store_true", help="measure without the tracer")
+    ap.add_argument("--publish", action="store_true", help="write benchmarks/out/bench_throughput.txt")
+    args = ap.parse_args(argv)
+
+    spec = ExperimentSpec(
+        platform=args.platform,
+        workload=args.workload,
+        reps=args.reps,
+        seed=args.seed,
+        tracing=not args.no_tracing,
+    )
+    serial_rps, reference = bench(spec, SerialExecutor(), args.repeats)
+
+    tb = TableBuilder(["backend", "runs/sec", "speedup", "bit-identical"])
+    tb.add_row("serial", f"{serial_rps:.1f}", "1.00x", "-")
+    for jobs in args.jobs:
+        with ParallelExecutor(jobs) as ex:
+            rps, times = bench(spec, ex, args.repeats)
+        identical = bool((times == reference).all())
+        tb.add_row(f"parallel jobs={jobs}", f"{rps:.1f}", f"{rps / serial_rps:.2f}x", str(identical))
+        if not identical:
+            print("FATAL: parallel results diverged from serial", file=sys.stderr)
+            return 1
+
+    text = (
+        f"Throughput: {spec.label()} x{args.reps} reps "
+        f"(tracing {'on' if spec.tracing else 'off'}, {os.cpu_count()} CPUs)\n" + tb.render()
+    )
+    print(text)
+    if args.publish:
+        out = ROOT / "benchmarks" / "out" / "bench_throughput.txt"
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"\nwritten to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,13 @@ Subcommands mirror the paper's workflow:
 * ``pipeline``  — all three stages end to end;
 * ``table``     — regenerate a paper table (1–7) or ablation;
 * ``figure``    — regenerate a paper figure (1–2);
-* ``platforms`` — list platform presets.
+* ``platforms`` — list platform presets;
+* ``noise``     — list registered noise sources and their parameters.
+
+``inject`` and ``pipeline`` accept repeatable ``--noise KIND[:k=v,...]``
+flags composing any registered sources (I/O bursts, memory hogs,
+HPAS-style anomalies, synthetic background) with — or instead of — the
+trace-replay config, all in one run.
 """
 
 from __future__ import annotations
@@ -57,6 +63,30 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         help="worker processes for repetitions (default: $REPRO_JOBS or 1; "
         "0 = one per CPU; results are bit-identical at any worker count)",
     )
+
+
+def _add_noise_args(p: argparse.ArgumentParser, verb: str) -> None:
+    p.add_argument(
+        "--noise",
+        action="append",
+        default=[],
+        metavar="KIND[:key=val,...]",
+        help=f"additional noise source to {verb} (repeatable; "
+        "see `repro-noise noise` for kinds and parameters; "
+        "CPU lists use `+`, e.g. irq_cpus=0+1)",
+    )
+
+
+def _noise_sources_from(args) -> list:
+    from repro.noise import parse_noise_spec
+
+    sources = []
+    for text in getattr(args, "noise", []):
+        try:
+            sources.append(parse_noise_spec(text))
+        except ValueError as exc:
+            raise SystemExit(f"repro-noise: --noise {text!r}: {exc}")
+    return sources
 
 
 def _executor_from(args):
@@ -111,15 +141,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--merge", choices=["improved", "naive"], default="improved")
     p.add_argument("--out", default="noise_config.json", help="path for the config JSON")
 
-    p = sub.add_parser("inject", help="stage 3: replay a noise config")
+    p = sub.add_parser("inject", help="stage 3: replay noise against a workload")
     _add_spec_args(p)
     _add_exec_args(p)
-    p.add_argument("--config", required=True, help="noise config JSON from `configure`")
+    p.add_argument(
+        "--config",
+        default=None,
+        help="noise config JSON from `configure` (optional when --noise is given)",
+    )
+    _add_noise_args(p, "compose into the injected stack")
 
     p = sub.add_parser("pipeline", help="collect, configure, and inject end to end")
     _add_spec_args(p)
     _add_exec_args(p)
     p.add_argument("--merge", choices=["improved", "naive"], default="improved")
+    _add_noise_args(p, "compose with the replayed worst case")
+
+    p = sub.add_parser("noise", help="list registered noise sources")
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", choices=["1", "2", "3", "4", "5", "6", "7", "ablation", "runlevel3"])
@@ -200,21 +238,31 @@ def _cmd_configure(args) -> int:
 
 
 def _cmd_inject(args) -> int:
-    from repro.core.config import NoiseConfig
     from repro.harness.experiment import run_experiment
+    from repro.noise import NoiseStack, TraceReplaySource
 
-    config = NoiseConfig.load(args.config)
+    sources = _noise_sources_from(args)
+    config = None
+    if args.config is not None:
+        from repro.core.config import NoiseConfig
+
+        config = NoiseConfig.load(args.config)
+        sources.insert(0, TraceReplaySource(config))
+    if not sources:
+        raise SystemExit("repro-noise: inject needs --config and/or at least one --noise")
+    stack = NoiseStack(sources)
     spec = _spec_from(args)
     executor = _executor_from(args)
     baseline = run_experiment(spec, executor=executor)
     injected = run_experiment(
-        spec.with_(seed=spec.seed + 1_000_003), noise_config=config, executor=executor
+        spec.with_(seed=spec.seed + 1_000_003), noise=stack, executor=executor
     )
     delta = (injected.mean / baseline.mean - 1.0) * 100.0
+    print(f"noise stack: {stack.describe()}")
     print(f"baseline: {baseline.summary}")
     print(f"injected: {injected.summary}")
     print(f"degradation: {delta:+.1f}%")
-    anomaly = config.meta.get("worst_case_exec_time")
+    anomaly = config.meta.get("worst_case_exec_time") if config is not None else None
     if anomaly:
         from repro.core.accuracy import replication_accuracy
 
@@ -227,10 +275,31 @@ def _cmd_pipeline(args) -> int:
     from repro.core.pipeline import NoiseInjectionPipeline
 
     pipe = NoiseInjectionPipeline(
-        _spec_from(args), merge=MergeStrategy(args.merge), executor=_executor_from(args)
+        _spec_from(args),
+        merge=MergeStrategy(args.merge),
+        executor=_executor_from(args),
+        extra_noise=_noise_sources_from(args),
     )
     result = pipe.run()
     print(result.summary())
+    return 0
+
+
+def _cmd_noise(args) -> int:
+    from repro.noise import available_sources, get_source_type
+
+    print("registered noise sources (compose with repeatable --noise flags):")
+    for kind in available_sources():
+        cls = get_source_type(kind)
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"\n  {kind}")
+        print(f"      {doc}")
+        params = cls.cli_params()
+        if params:
+            print(f"      params: {', '.join(sorted(params))}")
+        else:
+            print("      params: (none)")
+    print("\nsyntax: --noise KIND[:key=val,key=val,...]   (CPU lists use `+`: irq_cpus=0+1)")
     return 0
 
 
@@ -297,9 +366,7 @@ def _demo_figure(number: int, seed: int) -> None:
         return
     if number == 6:
         print("Figure 6: injector processing overview")
-        injected = run_experiment(
-            spec.with_(seed=seed + 1_000_003, reps=5), noise_config=config
-        )
+        injected = run_experiment(spec.with_(seed=seed + 1_000_003, reps=5), noise=config)
         print(
             f"  spawned {config.n_cpus} injector processes, "
             f"{config.n_events} events, {config.total_busy_time() * 1e3:.1f}ms busy"
@@ -344,6 +411,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "configure": _cmd_configure,
         "inject": _cmd_inject,
         "pipeline": _cmd_pipeline,
+        "noise": _cmd_noise,
         "table": _cmd_table,
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,

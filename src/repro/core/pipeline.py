@@ -5,8 +5,9 @@ Wires the three stages together:
 1. :func:`~repro.core.collection.collect_traces` — trace N runs;
 2. :func:`~repro.core.config.generate_config` — refine the worst case
    and build the per-CPU configuration;
-3. :func:`~repro.harness.experiment.run_experiment` with the
-   :class:`~repro.core.injector.NoiseInjector` — replay it.
+3. :func:`~repro.harness.experiment.run_experiment` with a
+   :class:`~repro.noise.base.NoiseStack` replaying it (optionally
+   composed with further registered sources via ``extra_noise``).
 
 A configuration generated from one workload configuration can be (and
 in the paper's Tables 3–5 *is*) replayed against other configurations:
@@ -24,8 +25,11 @@ from repro.core.collection import CollectionResult, collect_traces
 from repro.core.config import NoiseConfig, generate_config
 from repro.core.merge import MergeStrategy
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
+from repro.noise.base import NoiseSource, NoiseStack
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Sequence
+
     from repro.harness.executor import Executor
 
 __all__ = ["PipelineResult", "NoiseInjectionPipeline"]
@@ -86,12 +90,19 @@ class NoiseInjectionPipeline:
         inject_reps: Optional[int] = None,
         collect_anomaly_prob: Optional[float] = 0.15,
         executor: Optional["Executor"] = None,
+        extra_noise: "Sequence[NoiseSource]" = (),
     ):
         """``collect_anomaly_prob`` accelerates the worst-case hunt
         during collection only (the paper brute-forced rare events over
         1000 runs; scaled-down collections compress that search), while
         baselines and injected runs keep the spec's natural noise.
         Pass ``None`` to collect at the spec's own rate.
+
+        ``extra_noise`` composes additional registered noise sources
+        (I/O interference, memory hogs, synthetic background, ...) on
+        top of the generated trace-replay config during the injection
+        stage — the bottleneck-localisation workflow of composing
+        heterogeneous noise around a replayed worst case.
 
         ``executor`` selects the execution backend for both the
         collection and injection stages (default: ``REPRO_JOBS``);
@@ -102,6 +113,7 @@ class NoiseInjectionPipeline:
         self.inject_reps = inject_reps
         self.collect_anomaly_prob = collect_anomaly_prob
         self.executor = executor
+        self.extra_noise: tuple[NoiseSource, ...] = tuple(extra_noise)
         self.collection: Optional[CollectionResult] = None
         self.config: Optional[NoiseConfig] = None
 
@@ -152,7 +164,8 @@ class NoiseInjectionPipeline:
         # Different seed stream than collection, so injection runs see
         # fresh inherent noise (the paper's uncontrollable residual).
         spec = spec.with_(seed=spec.seed + 1_000_003)
-        return run_experiment(spec, noise_config=config, executor=self.executor)
+        stack = NoiseStack([*(NoiseStack.coerce(config) or ()), *self.extra_noise])
+        return run_experiment(spec, noise=stack, executor=self.executor)
 
     def run(self) -> PipelineResult:
         """Full cycle against the pipeline's own spec."""

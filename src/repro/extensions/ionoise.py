@@ -146,11 +146,19 @@ class IoNoiseInjector:
     #: coalescing quantum for completion interrupts
     IRQ_SLICE = 1e-3
 
-    def __init__(self, config: IoNoiseConfig, seed: int = 0):
+    def __init__(
+        self,
+        config: IoNoiseConfig,
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """``rng`` (e.g. a per-source spawn from the run's generator)
+        takes precedence over ``seed``; the flusher segmentation is the
+        injector's only stochastic element."""
         if config.n_bursts == 0:
             raise ValueError("refusing to inject an empty I/O-noise configuration")
         self.config = config
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.injected_events = 0
         self._launched = False
 

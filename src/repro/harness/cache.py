@@ -1,9 +1,19 @@
 """On-disk result cache for experiment campaigns.
 
 Every run is a deterministic function of its spec (seeds included) and
-the injected noise configuration, so results can be cached and shared
-across table campaigns — Table 6 aggregates the same cells Tables 3–5
-report, and re-simulating them would double the benchmark wall-clock.
+the attached noise stack, so results can be cached and shared across
+table campaigns — Table 6 aggregates the same cells Tables 3–5 report,
+and re-simulating them would double the benchmark wall-clock.
+
+Cache keys are versioned (``_KEY_VERSION``) and source-agnostic: the
+noise part of the key is the canonical serialized
+:class:`~repro.noise.base.NoiseStack`, so any registered source — or
+composition of sources — keys identically whether it arrived via
+``spec.noise``, the ``noise=`` parameter, or the deprecated
+``noise_config`` alias.  Entries written before the current key version
+miss cleanly (the version is hashed into the key **and** stored in the
+entry): stale files found under a current key are evicted and counted
+in :meth:`ResultCache.stats`.
 
 The cache lives in ``$REPRO_CACHE_DIR`` (default ``.repro_cache/`` in
 the working directory); delete the directory to invalidate, or set
@@ -25,10 +35,11 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
+from repro.noise.base import NoiseStack
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.config import NoiseConfig
     from repro.harness.executor import Executor
+    from repro.harness.experiment import NoiseLike
     from repro.sim.machine import RunResult
 
 __all__ = ["ResultCache", "cached_experiment"]
@@ -36,7 +47,13 @@ __all__ = ["ResultCache", "cached_experiment"]
 _log = logging.getLogger(__name__)
 
 #: bump when simulator semantics change enough to invalidate old runs
-_CACHE_SCHEMA = 4
+_CACHE_SCHEMA = 5
+
+#: bump when the *key payload shape* changes (e.g. the noise part moved
+#: from a bespoke NoiseConfig JSON to the unified stack serialization);
+#: hashed into every key and stored in every entry so pre-refactor
+#: entries can never collide with, or masquerade as, current ones
+_KEY_VERSION = 2
 
 
 class ResultCache:
@@ -57,12 +74,14 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.stale = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _key(spec: ExperimentSpec, noise_config: Optional["NoiseConfig"], reps: int) -> str:
+    def _key(spec: ExperimentSpec, noise: Optional[NoiseStack], reps: int) -> str:
         payload = {
+            "key_version": _KEY_VERSION,
             "schema": _CACHE_SCHEMA,
             "spec": {
                 "platform": spec.platform,
@@ -75,15 +94,12 @@ class ResultCache:
                 "runlevel3": spec.runlevel3,
                 "rt_throttle": spec.rt_throttle,
                 "anomaly_prob": spec.anomaly_prob,
+                "n_threads": spec.n_threads,
                 "workload_params": spec.workload_params,
             },
             "reps": reps,
-            "config": noise_config.to_json() if noise_config is not None else None,
+            "noise": noise.to_dict() if noise is not None else None,
         }
-        # Added after schema 4 shipped: only include when set, so the
-        # bulk of existing cache entries (no thread override) stay valid.
-        if spec.n_threads is not None:
-            payload["spec"]["n_threads"] = spec.n_threads
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:32]
 
@@ -91,9 +107,15 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def stats(self) -> dict:
-        """Counters: ``hits``, ``misses``, ``corrupt`` (evicted entries)."""
+        """Counters: ``hits``, ``misses``, ``corrupt``, ``stale``
+        (``corrupt``/``stale`` entries are evicted on discovery)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "stale": self.stale,
+            }
 
     def _count(self, counter: str) -> None:
         with self._lock:
@@ -103,11 +125,17 @@ class ResultCache:
     def get_or_run(
         self,
         spec: ExperimentSpec,
-        noise_config: Optional["NoiseConfig"] = None,
+        noise_config: "NoiseLike" = None,
         executor: Optional["Executor"] = None,
         on_run: Optional[Callable[[int, "RunResult"], None]] = None,
+        noise: "NoiseLike" = None,
     ) -> ResultSet:
         """Return cached results or run the experiment and store them.
+
+        ``noise`` accepts any registered source, a
+        :class:`~repro.noise.base.NoiseStack`, or a legacy config type
+        (``noise_config`` is the pre-registry alias); it defaults to
+        ``spec.noise``.
 
         ``on_run`` consumers are incompatible with caching: a cache hit
         replays no runs, so the consumer would be silently skipped.
@@ -122,22 +150,36 @@ class ResultCache:
                 "observe nothing. Call run_experiment() directly (trace "
                 "collection does), or disable the cache with REPRO_NO_CACHE=1."
             )
-        injecting = noise_config is not None
+        stack = NoiseStack.coerce(noise if noise is not None else noise_config)
+        if stack is None:
+            stack = spec.noise
+        injecting = stack is not None and bool(stack)
         reps = spec.resolved_reps(injecting)
         spec = spec.with_(reps=reps)
-        key = self._key(spec, noise_config, reps)
+        key = self._key(spec, stack, reps)
         path = self._path(key)
         if self.enabled and path.exists():
             try:
                 data = json.loads(path.read_text())
-                rs = ResultSet(
-                    spec=spec,
-                    times=np.asarray(data["times"]),
-                    anomalies=data["anomalies"],
-                    injected=data["injected"],
-                )
-                self._count("hits")
-                return rs
+                if data.get("key_version") != _KEY_VERSION:
+                    self._count("stale")
+                    _log.warning(
+                        "evicting stale cache entry %s (key_version %s != %s) for %s",
+                        path.name,
+                        data.get("key_version"),
+                        _KEY_VERSION,
+                        spec.label(),
+                    )
+                    path.unlink(missing_ok=True)
+                else:
+                    rs = ResultSet(
+                        spec=spec,
+                        times=np.asarray(data["times"]),
+                        anomalies=data["anomalies"],
+                        injected=data["injected"],
+                    )
+                    self._count("hits")
+                    return rs
             except (json.JSONDecodeError, KeyError):
                 self._count("corrupt")
                 _log.warning(
@@ -149,7 +191,7 @@ class ResultCache:
         self._count("misses")
         rs = run_experiment(
             spec,
-            noise_config=noise_config,
+            noise=stack,
             on_run=on_run,
             executor=executor if executor is not None else self.executor,
         )
@@ -159,10 +201,12 @@ class ResultCache:
             tmp.write_text(
                 json.dumps(
                     {
+                        "key_version": _KEY_VERSION,
                         "times": rs.times.tolist(),
                         "anomalies": rs.anomalies,
                         "injected": rs.injected,
                         "label": spec.label(),
+                        "noise": stack.kinds() if stack is not None else None,
                     }
                 )
             )
@@ -175,8 +219,9 @@ _default_cache: Optional[ResultCache] = None
 
 def cached_experiment(
     spec: ExperimentSpec,
-    noise_config: Optional["NoiseConfig"] = None,
+    noise_config: "NoiseLike" = None,
     executor: Optional["Executor"] = None,
+    noise: "NoiseLike" = None,
 ) -> ResultSet:
     """Module-level convenience using a process-wide cache.
 
@@ -190,4 +235,4 @@ def cached_experiment(
     global _default_cache
     if _default_cache is None:
         _default_cache = ResultCache()
-    return _default_cache.get_or_run(spec, noise_config, executor=executor)
+    return _default_cache.get_or_run(spec, noise_config, executor=executor, noise=noise)

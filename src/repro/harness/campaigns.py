@@ -19,7 +19,6 @@ defaults used in CI versus the paper's 1000/200.
 
 from __future__ import annotations
 
-import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -92,7 +91,9 @@ class CampaignSettings:
         """Collection batch size with environment default applied."""
         if self.collect_reps > 0:
             return self.collect_reps
-        return int(os.environ.get("REPRO_COLLECT_REPS", "40"))
+        from repro.harness.experiment import env_int
+
+        return env_int("REPRO_COLLECT_REPS", 40)
 
     def map_cells(self, fn, items: Sequence) -> list:
         """Apply ``fn`` to independent table cells, in order.
@@ -412,7 +413,7 @@ def injection_table(
                 )
                 base = settings.cache.get_or_run(spec)
                 inj = settings.cache.get_or_run(
-                    spec.with_(seed=seed + 1_000_003), noise_config=_cfg
+                    spec.with_(seed=seed + 1_000_003), noise=_cfg
                 )
                 return strat, base, inj
 
@@ -563,7 +564,7 @@ def table7(
             use_smt=use_smt,
             seed=seed,
         )
-        inj = settings.cache.get_or_run(spec, noise_config=info.config)
+        inj = settings.cache.get_or_run(spec, noise=info.config)
         err = signed_replication_error(inj.mean, info.worst_exec_time) * 100.0
         rows.append((workload, label, err, paper.TABLE7[(workload, label)]))
     return Table7Result(rows)
@@ -731,7 +732,7 @@ def merge_ablation(
         )
         seed = settings.spec_seed("ablate", platform, workload, merge.value)
         inj_spec = spec.with_(seed=seed, anomaly_prob=None)
-        inj = settings.cache.get_or_run(inj_spec, noise_config=config)
+        inj = settings.cache.get_or_run(inj_spec, noise=config)
         accuracies[merge] = abs(signed_replication_error(inj.mean, coll.worst_exec_time))
         fifo[merge] = _fifo_busy(config)
     return MergeAblationResult(

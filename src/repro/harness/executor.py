@@ -1,7 +1,7 @@
 """Pluggable execution backends for experiment repetitions.
 
 Every repetition of an experiment is an independent deterministic
-function of ``(spec, noise_config, rep_index)``: the per-rep RNG is
+function of ``(spec, noise, rep_index)``: the per-rep RNG is
 derived from the spec's seed via a ``SeedSequence`` spawn key equal to
 the rep index, and results are written back *by index*.  That makes the
 rep loop embarrassingly parallel — the paper's protocol needs ~1000
@@ -13,9 +13,12 @@ Two backends implement the same iterator contract:
 * :class:`SerialExecutor` — the classic in-process loop (default);
 * :class:`ParallelExecutor` — a ``concurrent.futures``
   ``ProcessPoolExecutor`` dispatching *chunks of rep indices*.  Workers
-  receive only picklable inputs (``spec``, ``noise_config``, the index
-  chunk) and rebuild platform / workload / placement locally, so no
-  simulator state crosses the process boundary.
+  receive only picklable inputs (``spec``, the ``NoiseStack``, the
+  index chunk) and rebuild platform / workload / placement locally, so
+  no simulator state crosses the process boundary.  Noise stacks ride
+  along as pure data; each member source spawns its own child RNG from
+  the rep's ``SeedSequence``, so composite noise stays bit-identical
+  at any worker count.
 
 Worker-invariant determinism contract
 -------------------------------------
@@ -38,13 +41,13 @@ import multiprocessing
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.config import NoiseConfig
     from repro.harness.experiment import ExperimentSpec
+    from repro.noise.base import NoiseStack
     from repro.sim.machine import RunResult
 
 __all__ = [
@@ -106,14 +109,14 @@ class RepResult:
 def _execute_rep(
     context: tuple,
     spec: "ExperimentSpec",
-    noise_config: Optional["NoiseConfig"],
+    noise: Optional["NoiseStack"],
     index: int,
 ) -> "RunResult":
     """Run repetition ``index`` on a prebuilt (platform, workload, placement)."""
     from repro.harness.experiment import run_once
 
     platform, workload, placement = context
-    injecting = noise_config is not None
+    throttle_off = noise is not None and noise.disables_rt_throttle
     rng = np.random.default_rng(rep_seed(spec.seed, index))
     return run_once(
         platform,
@@ -122,8 +125,8 @@ def _execute_rep(
         spec.model,
         rng,
         tracing=spec.tracing,
-        rt_throttle=spec.rt_throttle and not injecting,
-        noise_config=noise_config,
+        rt_throttle=spec.rt_throttle and not throttle_off,
+        noise=noise,
         meta={"run": index, "spec": spec.label()},
     )
 
@@ -138,11 +141,11 @@ def _run_rep_chunk(payload: tuple) -> list[RepResult]:
     """
     from repro.harness.experiment import _build_context
 
-    spec, noise_config, indices, need_runs = payload
+    spec, noise, indices, need_runs = payload
     context = _build_context(spec)
     out = []
     for i in indices:
-        result = _execute_rep(context, spec, noise_config, i)
+        result = _execute_rep(context, spec, noise, i)
         out.append(
             RepResult(
                 index=i,
@@ -167,7 +170,7 @@ class Executor(ABC):
     def run_reps(
         self,
         spec: "ExperimentSpec",
-        noise_config: Optional["NoiseConfig"],
+        noise: Optional["NoiseStack"],
         reps: int,
         need_runs: bool = False,
     ) -> Iterator[RepResult]:
@@ -193,12 +196,12 @@ class SerialExecutor(Executor):
 
     jobs = 1
 
-    def run_reps(self, spec, noise_config, reps, need_runs=False):
+    def run_reps(self, spec, noise, reps, need_runs=False):
         from repro.harness.experiment import _build_context
 
         context = _build_context(spec)
         for i in range(reps):
-            result = _execute_rep(context, spec, noise_config, i)
+            result = _execute_rep(context, spec, noise, i)
             # The serial backend always has the full result in hand;
             # passing it through costs nothing regardless of need_runs.
             yield RepResult(
@@ -239,13 +242,13 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
         return self._pool
 
-    def run_reps(self, spec, noise_config, reps, need_runs=False):
+    def run_reps(self, spec, noise, reps, need_runs=False):
         if reps <= 1 or self.jobs <= 1:
             # Not worth a pool round-trip; the serial path is bit-identical.
-            yield from SerialExecutor().run_reps(spec, noise_config, reps, need_runs)
+            yield from SerialExecutor().run_reps(spec, noise, reps, need_runs)
             return
         payloads = [
-            (spec, noise_config, chunk, need_runs)
+            (spec, noise, chunk, need_runs)
             for chunk in chunk_indices(reps, self.jobs, self.chunk_size)
         ]
         pool = self._ensure_pool()

@@ -3,8 +3,12 @@
 An :class:`ExperimentSpec` is everything needed to reproduce one cell
 of the paper's tables: platform, workload, programming model,
 mitigation strategy, SMT use, repetition count, and a seed.  The same
-spec with ``noise_config`` set becomes an injection experiment
-(stage 3 of the pipeline).
+spec with ``noise`` set (a :class:`~repro.noise.base.NoiseStack` —
+trace replay, I/O interference, memory hogs, synthetic background, or
+any composition of them) becomes an injection experiment (stage 3 of
+the pipeline).  The pre-refactor ``noise_config`` argument is kept as a
+deprecated alias that wraps a bare
+:class:`~repro.core.config.NoiseConfig` into a single-source stack.
 
 Repetition counts default to the environment variables
 ``REPRO_BASELINE_REPS`` / ``REPRO_INJECT_REPS`` so the full-paper
@@ -14,13 +18,15 @@ counts (1000 / 200) can be restored without code changes.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Optional
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
 from repro.harness.stats import Summary, summarize
 from repro.mitigation.strategies import get_strategy
+from repro.noise.base import NoiseStack
 from repro.runtimes import get_runtime
 from repro.runtimes.base import Placement
 from repro.sim.machine import Machine, RunResult
@@ -31,6 +37,9 @@ from repro.workloads.base import Workload, get_workload
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import NoiseConfig
     from repro.harness.executor import Executor
+    from repro.noise.base import NoiseSource
+
+    NoiseLike = Union[NoiseStack, NoiseSource, "NoiseConfig", None]
 
 __all__ = [
     "ExperimentSpec",
@@ -39,20 +48,53 @@ __all__ = [
     "run_once",
     "default_baseline_reps",
     "default_inject_reps",
+    "env_int",
 ]
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment variable with a validating error message.
+
+    Unset or blank values yield ``default``; anything else must parse
+    as an integer, or the error names the offending variable and value
+    instead of ``int()``'s opaque ``ValueError``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
 
 
 def default_baseline_reps() -> int:
     """Baseline repetitions (paper: 1000; default here: 60)."""
-    return int(os.environ.get("REPRO_BASELINE_REPS", "60"))
+    return env_int("REPRO_BASELINE_REPS", 60)
 
 
 def default_inject_reps() -> int:
     """Injection repetitions (paper: 200; default here: 30)."""
-    return int(os.environ.get("REPRO_INJECT_REPS", "30"))
+    return env_int("REPRO_INJECT_REPS", 30)
 
 
-@dataclass(frozen=True)
+def _coerce_noise(noise, noise_config, owner: str) -> Optional[NoiseStack]:
+    """Shared ``noise`` / deprecated ``noise_config`` resolution."""
+    if noise_config is not None:
+        warnings.warn(
+            f"{owner}(noise_config=...) is deprecated; pass noise= (any NoiseSource, "
+            "NoiseStack, or legacy config — see repro.noise)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if noise is None:
+            noise = noise_config
+    return NoiseStack.coerce(noise)
+
+
+@dataclass(frozen=True, init=False)
 class ExperimentSpec:
     """One experiment configuration (a table cell)."""
 
@@ -71,6 +113,49 @@ class ExperimentSpec:
     #: mask); used by the Fig.-2 thread-scaling sweep
     n_threads: Optional[int] = None
     workload_params: dict = field(default_factory=dict)
+    #: noise driven during every run (injection experiment when set);
+    #: any combination of registered sources via a NoiseStack
+    noise: Optional[NoiseStack] = None
+
+    def __init__(
+        self,
+        platform: str,
+        workload: str,
+        model: str = "omp",
+        strategy: str = "Rm",
+        use_smt: bool = True,
+        reps: int = 0,
+        seed: int = 2025,
+        tracing: bool = True,
+        runlevel3: bool = False,
+        rt_throttle: bool = True,
+        anomaly_prob: Optional[float] = None,
+        n_threads: Optional[int] = None,
+        workload_params: Optional[dict] = None,
+        noise: "NoiseLike" = None,
+        noise_config: Optional["NoiseConfig"] = None,
+    ):
+        """``noise_config`` is the deprecated pre-registry alias for
+        ``noise``; it accepts a bare :class:`NoiseConfig` and wraps it
+        into a single-source :class:`NoiseStack`."""
+        object.__setattr__(self, "platform", platform)
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "model", model)
+        object.__setattr__(self, "strategy", strategy)
+        object.__setattr__(self, "use_smt", use_smt)
+        object.__setattr__(self, "reps", reps)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "tracing", tracing)
+        object.__setattr__(self, "runlevel3", runlevel3)
+        object.__setattr__(self, "rt_throttle", rt_throttle)
+        object.__setattr__(self, "anomaly_prob", anomaly_prob)
+        object.__setattr__(self, "n_threads", n_threads)
+        object.__setattr__(
+            self, "workload_params", workload_params if workload_params is not None else {}
+        )
+        object.__setattr__(
+            self, "noise", _coerce_noise(noise, noise_config, "ExperimentSpec")
+        )
 
     def label(self) -> str:
         """Human-readable configuration label (paper row style)."""
@@ -85,7 +170,12 @@ class ExperimentSpec:
 
     def with_(self, **changes) -> "ExperimentSpec":
         """Functional update."""
-        return replace(self, **changes)
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        unknown = set(changes) - set(current)
+        if unknown:
+            raise TypeError(f"unknown ExperimentSpec field(s): {sorted(unknown)}")
+        current.update(changes)
+        return ExperimentSpec(**current)
 
 
 @dataclass
@@ -154,10 +244,17 @@ def run_once(
     *,
     tracing: bool = True,
     rt_throttle: bool = True,
+    noise: "NoiseLike" = None,
     noise_config: Optional["NoiseConfig"] = None,
     meta: Optional[dict] = None,
 ) -> RunResult:
-    """Execute a single simulated run and return its result."""
+    """Execute a single simulated run and return its result.
+
+    ``noise`` accepts any :class:`~repro.noise.base.NoiseSource`,
+    a :class:`~repro.noise.base.NoiseStack`, or a legacy config type;
+    each member source draws from an independent child of ``rng``.
+    """
+    stack = _coerce_noise(noise, noise_config, "run_once")
     machine = Machine(
         platform,
         rng,
@@ -168,29 +265,32 @@ def run_once(
     expected = workload.estimate_duration(platform, placement.n_threads)
 
     def start(m: Machine) -> None:
-        """Launch runtime (and injector) on the fresh machine."""
+        """Launch runtime (and noise sources) on the fresh machine."""
         runtime.launch(m, workload.regions(platform, placement.n_threads), placement)
-        if noise_config is not None:
-            from repro.core.injector import NoiseInjector
-
-            NoiseInjector(noise_config).launch(m)
+        if stack is not None and stack:
+            stack.attach(m, rng).start(expected)
 
     return machine.run(start, expected_duration=expected, meta=meta)
 
 
 def run_experiment(
     spec: ExperimentSpec,
-    noise_config: Optional["NoiseConfig"] = None,
+    noise: "NoiseLike" = None,
     on_run: Optional[Callable[[int, RunResult], None]] = None,
     executor: Optional["Executor"] = None,
+    noise_config: Optional["NoiseConfig"] = None,
 ) -> ResultSet:
     """Run a full experiment (``reps`` independent machines).
 
     Parameters
     ----------
-    noise_config:
-        When given, every run replays this configuration through the
-        injector (with RT throttling disabled, as in the paper).
+    noise:
+        When given (any registered :class:`~repro.noise.base.NoiseSource`,
+        a :class:`~repro.noise.base.NoiseStack`, or a legacy config
+        type), every run drives the composed sources alongside the
+        workload (with RT throttling disabled when any source requires
+        it, as in the paper).  Defaults to ``spec.noise``.
+        ``noise_config`` is the deprecated alias for this parameter.
     on_run:
         Optional consumer called per run — e.g. the trace collector.
         Traces are not retained by the ResultSet (a thousand desktop
@@ -207,11 +307,14 @@ def run_experiment(
 
     if executor is None:
         executor = get_executor()
-    injecting = noise_config is not None
+    stack = _coerce_noise(noise, noise_config, "run_experiment")
+    if stack is None:
+        stack = spec.noise
+    injecting = stack is not None and bool(stack)
     reps = spec.resolved_reps(injecting)
     times = np.empty(reps)
     anomalies: list[Optional[str]] = [None] * reps
-    for rep in executor.run_reps(spec, noise_config, reps, need_runs=on_run is not None):
+    for rep in executor.run_reps(spec, stack, reps, need_runs=on_run is not None):
         times[rep.index] = rep.exec_time
         anomalies[rep.index] = rep.anomaly
         if on_run is not None:

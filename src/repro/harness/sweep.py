@@ -17,8 +17,8 @@ from repro.harness.report import TableBuilder
 from repro.harness.stats import Summary
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.config import NoiseConfig
     from repro.harness.executor import Executor
+    from repro.harness.experiment import NoiseLike
 
 __all__ = ["SweepResult", "sweep"]
 
@@ -68,12 +68,17 @@ class SweepResult:
 
 def sweep(
     base: ExperimentSpec,
-    noise_config: Optional["NoiseConfig"] = None,
+    noise_config: "NoiseLike" = None,
     cache: Optional[ResultCache] = None,
     executor: Optional["Executor"] = None,
+    noise: "NoiseLike" = None,
     **axes: Sequence,
 ) -> SweepResult:
     """Run the cartesian grid of ``axes`` values over ``base``.
+
+    Every grid point replays the same ``noise`` (any registered
+    source, a :class:`~repro.noise.base.NoiseStack`, or a legacy
+    config; ``noise_config`` is the pre-registry alias).
 
     ``executor`` selects the execution backend for cache misses
     (default: ``REPRO_JOBS``); grid points themselves run in order so
@@ -89,11 +94,13 @@ def sweep(
     if unknown:
         raise ValueError(f"cannot sweep over: {sorted(unknown)} (allowed: {sorted(_SWEEPABLE)})")
     cache = cache if cache is not None else ResultCache()
+    if noise is None:
+        noise = noise_config
     names = tuple(axes)
     points: list[tuple] = []
     results: list[ResultSet] = []
     for combo in itertools.product(*(axes[n] for n in names)):
         spec = base.with_(**dict(zip(names, combo)))
         points.append(combo)
-        results.append(cache.get_or_run(spec, noise_config=noise_config, executor=executor))
+        results.append(cache.get_or_run(spec, noise=noise, executor=executor))
     return SweepResult(axes=names, points=points, results=results)

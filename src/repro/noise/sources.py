@@ -1,0 +1,431 @@
+"""Registered :class:`NoiseSource` implementations.
+
+Adapters binding every pre-existing noise mechanism to the unified
+protocol:
+
+* ``trace-replay`` — the paper's per-CPU worst-case replay
+  (:class:`~repro.core.config.NoiseConfig` through
+  :class:`~repro.core.injector.NoiseInjector`);
+* ``io`` — completion-interrupt storms + writeback flusher bursts
+  (:mod:`repro.extensions.ionoise`);
+* ``memory`` — DRAM-bandwidth hogs (:mod:`repro.extensions.memnoise`);
+* ``hpas.cpu_occupy`` / ``hpas.membw`` / ``hpas.cache_thrash`` — the
+  HPAS-style synthetic generators (:mod:`repro.extensions.hpas`),
+  stored by their generator parameters so specs stay small and
+  human-readable;
+* ``background`` lives in :mod:`repro.noise.background` (it wraps the
+  synthetic OS-activity model, which needs environment serialization).
+
+All of them serialize through the common
+``{"kind", "version", "params"}`` envelope, so a single JSON document
+can describe any composition of heterogeneous noise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+from repro.core.config import NoiseConfig
+from repro.extensions.ionoise import IoBurst, IoNoiseConfig, IoNoiseInjector
+from repro.extensions.memnoise import MemoryNoiseConfig, MemoryNoiseEvent, MemoryNoiseInjector
+from repro.noise.base import AttachedSource, NoiseSource, register_source
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+__all__ = [
+    "TraceReplaySource",
+    "IoNoiseSource",
+    "MemoryNoiseSource",
+    "HpasCpuOccupySource",
+    "HpasMemoryBandwidthSource",
+    "HpasCacheThrashSource",
+]
+
+
+class _LaunchOnStart(AttachedSource):
+    """Adapter for single-use injectors armed by ``launch(machine)``."""
+
+    def __init__(self, machine: "Machine", injector):
+        self.machine = machine
+        self.injector = injector
+
+    def start(self, expected_duration: float) -> None:
+        self.injector.launch(self.machine)
+
+
+def _parse_float(key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"noise parameter {key}={value!r} is not a number") from None
+
+
+def _parse_int(key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"noise parameter {key}={value!r} is not an integer") from None
+
+
+def _parse_cpus(key: str, value: str) -> tuple[int, ...]:
+    """CPU lists use ``+`` separators (``,`` splits parameters)."""
+    try:
+        return tuple(int(part) for part in value.split("+") if part != "")
+    except ValueError:
+        raise ValueError(f"noise parameter {key}={value!r} is not a +-separated CPU list") from None
+
+
+# ----------------------------------------------------------------------
+# trace replay (the paper's injector)
+# ----------------------------------------------------------------------
+@register_source
+class TraceReplaySource(NoiseSource):
+    """Replays a per-CPU worst-case noise configuration (paper §4.3)."""
+
+    kind: ClassVar[str] = "trace-replay"
+
+    def __init__(self, config: NoiseConfig):
+        if not isinstance(config, NoiseConfig):
+            raise TypeError(f"TraceReplaySource needs a NoiseConfig, got {type(config).__name__}")
+        self.config = config
+
+    def attach(self, machine: "Machine", rng: np.random.Generator) -> AttachedSource:
+        from repro.core.injector import NoiseInjector
+
+        return _LaunchOnStart(machine, NoiseInjector(self.config))
+
+    def params(self) -> dict:
+        return {"config": json.loads(self.config.to_json())}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "TraceReplaySource":
+        return cls(NoiseConfig.from_json(json.dumps(params["config"])))
+
+    @classmethod
+    def cli_params(cls) -> dict[str, str]:
+        return {"path": "noise config JSON written by `repro-noise configure` (required)"}
+
+    @classmethod
+    def from_cli(cls, **raw: str) -> "TraceReplaySource":
+        path = raw.get("path")
+        if not path:
+            raise ValueError("trace-replay needs path=<config.json>")
+        return cls(NoiseConfig.load(path))
+
+
+# ----------------------------------------------------------------------
+# I/O interference
+# ----------------------------------------------------------------------
+@register_source
+class IoNoiseSource(NoiseSource):
+    """I/O interference: completion IRQ storms + flusher kworkers."""
+
+    kind: ClassVar[str] = "io"
+
+    def __init__(self, config: IoNoiseConfig):
+        if not isinstance(config, IoNoiseConfig):
+            raise TypeError(f"IoNoiseSource needs an IoNoiseConfig, got {type(config).__name__}")
+        self.config = config
+
+    def attach(self, machine: "Machine", rng: np.random.Generator) -> AttachedSource:
+        return _LaunchOnStart(machine, IoNoiseInjector(self.config, rng=rng))
+
+    def params(self) -> dict:
+        return {"config": json.loads(self.config.to_json())}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "IoNoiseSource":
+        return cls(IoNoiseConfig.from_json(json.dumps(params["config"])))
+
+    @classmethod
+    def cli_params(cls) -> dict[str, str]:
+        return {
+            "start": "burst start time in seconds (required)",
+            "duration": "burst window in seconds (required)",
+            "irq_rate": "completion interrupts per second (default 2000)",
+            "irq_duration": "CPU time per interrupt in seconds (default 8e-6)",
+            "irq_cpus": "+-separated CPUs receiving completions (default 0)",
+            "flush_cpu_time": "flusher CPU-seconds over the window (default 0.05)",
+            "flush_segments": "flusher wakeups (default 20)",
+        }
+
+    @classmethod
+    def from_cli(cls, **raw: str) -> "IoNoiseSource":
+        if "start" not in raw or "duration" not in raw:
+            raise ValueError("io needs start=<s> and duration=<s>")
+        burst = IoBurst(
+            start=_parse_float("start", raw["start"]),
+            duration=_parse_float("duration", raw["duration"]),
+            irq_rate=_parse_float("irq_rate", raw.get("irq_rate", "2000")),
+            irq_duration=_parse_float("irq_duration", raw.get("irq_duration", "8e-6")),
+            irq_cpus=_parse_cpus("irq_cpus", raw.get("irq_cpus", "0")),
+            flush_cpu_time=_parse_float("flush_cpu_time", raw.get("flush_cpu_time", "0.05")),
+            flush_segments=_parse_int("flush_segments", raw.get("flush_segments", "20")),
+        )
+        return cls(IoNoiseConfig([burst]))
+
+
+# ----------------------------------------------------------------------
+# memory bandwidth
+# ----------------------------------------------------------------------
+@register_source
+class MemoryNoiseSource(NoiseSource):
+    """Memory-bandwidth hogs pressuring the saturating DRAM model."""
+
+    kind: ClassVar[str] = "memory"
+
+    def __init__(self, config: MemoryNoiseConfig):
+        if not isinstance(config, MemoryNoiseConfig):
+            raise TypeError(
+                f"MemoryNoiseSource needs a MemoryNoiseConfig, got {type(config).__name__}"
+            )
+        self.config = config
+
+    def attach(self, machine: "Machine", rng: np.random.Generator) -> AttachedSource:
+        return _LaunchOnStart(machine, MemoryNoiseInjector(self.config))
+
+    def params(self) -> dict:
+        return {"config": json.loads(self.config.to_json())}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "MemoryNoiseSource":
+        return cls(MemoryNoiseConfig.from_json(json.dumps(params["config"])))
+
+    @classmethod
+    def cli_params(cls) -> dict[str, str]:
+        return {
+            "start": "burst start time in seconds (required)",
+            "duration": "hog CPU-seconds (required)",
+            "bandwidth_gbs": "DRAM bandwidth the hog pulls (required)",
+            "source": "label in traces (default membw-hog)",
+        }
+
+    @classmethod
+    def from_cli(cls, **raw: str) -> "MemoryNoiseSource":
+        missing = [k for k in ("start", "duration", "bandwidth_gbs") if k not in raw]
+        if missing:
+            raise ValueError(f"memory needs {', '.join(missing)}")
+        event = MemoryNoiseEvent(
+            start=_parse_float("start", raw["start"]),
+            duration=_parse_float("duration", raw["duration"]),
+            bandwidth_gbs=_parse_float("bandwidth_gbs", raw["bandwidth_gbs"]),
+            source=raw.get("source", "membw-hog"),
+        )
+        return cls(MemoryNoiseConfig([event]))
+
+
+# ----------------------------------------------------------------------
+# HPAS-style synthetic generators (stored by generator parameters)
+# ----------------------------------------------------------------------
+@register_source
+class HpasCpuOccupySource(NoiseSource):
+    """HPAS ``cpuoccupy``: synthetic (optionally square-wave) CPU hogs."""
+
+    kind: ClassVar[str] = "hpas.cpu_occupy"
+
+    def __init__(
+        self,
+        start: float,
+        duration: float,
+        cpus: tuple[int, ...],
+        utilization: float = 1.0,
+        period: float = 10e-3,
+    ):
+        self.start = float(start)
+        self.duration = float(duration)
+        self.cpus = tuple(int(c) for c in cpus)
+        self.utilization = float(utilization)
+        self.period = float(period)
+        self._build()  # validate eagerly
+
+    def _build(self) -> NoiseConfig:
+        from repro.extensions.hpas import cpu_occupy
+
+        return cpu_occupy(
+            start=self.start,
+            duration=self.duration,
+            cpus=self.cpus,
+            utilization=self.utilization,
+            period=self.period,
+        )
+
+    def attach(self, machine: "Machine", rng: np.random.Generator) -> AttachedSource:
+        from repro.core.injector import NoiseInjector
+
+        return _LaunchOnStart(machine, NoiseInjector(self._build()))
+
+    def params(self) -> dict:
+        return {
+            "start": self.start,
+            "duration": self.duration,
+            "cpus": list(self.cpus),
+            "utilization": self.utilization,
+            "period": self.period,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "HpasCpuOccupySource":
+        return cls(
+            start=params["start"],
+            duration=params["duration"],
+            cpus=tuple(params["cpus"]),
+            utilization=params.get("utilization", 1.0),
+            period=params.get("period", 10e-3),
+        )
+
+    @classmethod
+    def cli_params(cls) -> dict[str, str]:
+        return {
+            "start": "hog start time in seconds (required)",
+            "duration": "hog duration in seconds (required)",
+            "cpus": "+-separated target CPUs (required)",
+            "utilization": "busy fraction per period, (0, 1] (default 1.0)",
+            "period": "square-wave period in seconds (default 0.01)",
+        }
+
+    @classmethod
+    def from_cli(cls, **raw: str) -> "HpasCpuOccupySource":
+        missing = [k for k in ("start", "duration", "cpus") if k not in raw]
+        if missing:
+            raise ValueError(f"hpas.cpu_occupy needs {', '.join(missing)}")
+        return cls(
+            start=_parse_float("start", raw["start"]),
+            duration=_parse_float("duration", raw["duration"]),
+            cpus=_parse_cpus("cpus", raw["cpus"]),
+            utilization=_parse_float("utilization", raw.get("utilization", "1.0")),
+            period=_parse_float("period", raw.get("period", "0.01")),
+        )
+
+
+@register_source
+class HpasMemoryBandwidthSource(NoiseSource):
+    """HPAS ``membw``: streaming hogs saturating DRAM."""
+
+    kind: ClassVar[str] = "hpas.membw"
+
+    def __init__(self, start: float, duration: float, bandwidth_gbs: float, streams: int = 1):
+        self.start = float(start)
+        self.duration = float(duration)
+        self.bandwidth_gbs = float(bandwidth_gbs)
+        self.streams = int(streams)
+        self._build()
+
+    def _build(self) -> MemoryNoiseConfig:
+        from repro.extensions.hpas import memory_bandwidth
+
+        return memory_bandwidth(
+            start=self.start,
+            duration=self.duration,
+            bandwidth_gbs=self.bandwidth_gbs,
+            streams=self.streams,
+        )
+
+    def attach(self, machine: "Machine", rng: np.random.Generator) -> AttachedSource:
+        return _LaunchOnStart(machine, MemoryNoiseInjector(self._build()))
+
+    def params(self) -> dict:
+        return {
+            "start": self.start,
+            "duration": self.duration,
+            "bandwidth_gbs": self.bandwidth_gbs,
+            "streams": self.streams,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "HpasMemoryBandwidthSource":
+        return cls(
+            start=params["start"],
+            duration=params["duration"],
+            bandwidth_gbs=params["bandwidth_gbs"],
+            streams=params.get("streams", 1),
+        )
+
+    @classmethod
+    def cli_params(cls) -> dict[str, str]:
+        return {
+            "start": "hog start time in seconds (required)",
+            "duration": "hog duration in seconds (required)",
+            "bandwidth_gbs": "total DRAM bandwidth pulled (required)",
+            "streams": "number of hog streams (default 1)",
+        }
+
+    @classmethod
+    def from_cli(cls, **raw: str) -> "HpasMemoryBandwidthSource":
+        missing = [k for k in ("start", "duration", "bandwidth_gbs") if k not in raw]
+        if missing:
+            raise ValueError(f"hpas.membw needs {', '.join(missing)}")
+        return cls(
+            start=_parse_float("start", raw["start"]),
+            duration=_parse_float("duration", raw["duration"]),
+            bandwidth_gbs=_parse_float("bandwidth_gbs", raw["bandwidth_gbs"]),
+            streams=_parse_int("streams", raw.get("streams", "1")),
+        )
+
+
+@register_source
+class HpasCacheThrashSource(NoiseSource):
+    """HPAS ``cachecopy``: per-CPU copy loops evicting shared cache."""
+
+    kind: ClassVar[str] = "hpas.cache_thrash"
+
+    def __init__(self, start: float, duration: float, cpus: tuple[int, ...], bandwidth_gbs: float = 8.0):
+        self.start = float(start)
+        self.duration = float(duration)
+        self.cpus = tuple(int(c) for c in cpus)
+        self.bandwidth_gbs = float(bandwidth_gbs)
+        self._build()
+
+    def _build(self) -> MemoryNoiseConfig:
+        from repro.extensions.hpas import cache_thrash
+
+        return cache_thrash(
+            start=self.start,
+            duration=self.duration,
+            cpus=self.cpus,
+            bandwidth_gbs=self.bandwidth_gbs,
+        )
+
+    def attach(self, machine: "Machine", rng: np.random.Generator) -> AttachedSource:
+        return _LaunchOnStart(machine, MemoryNoiseInjector(self._build()))
+
+    def params(self) -> dict:
+        return {
+            "start": self.start,
+            "duration": self.duration,
+            "cpus": list(self.cpus),
+            "bandwidth_gbs": self.bandwidth_gbs,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "HpasCacheThrashSource":
+        return cls(
+            start=params["start"],
+            duration=params["duration"],
+            cpus=tuple(params["cpus"]),
+            bandwidth_gbs=params.get("bandwidth_gbs", 8.0),
+        )
+
+    @classmethod
+    def cli_params(cls) -> dict[str, str]:
+        return {
+            "start": "thrash start time in seconds (required)",
+            "duration": "thrash duration in seconds (required)",
+            "cpus": "+-separated victim CPUs (required)",
+            "bandwidth_gbs": "per-CPU bandwidth draw (default 8.0)",
+        }
+
+    @classmethod
+    def from_cli(cls, **raw: str) -> "HpasCacheThrashSource":
+        missing = [k for k in ("start", "duration", "cpus") if k not in raw]
+        if missing:
+            raise ValueError(f"hpas.cache_thrash needs {', '.join(missing)}")
+        return cls(
+            start=_parse_float("start", raw["start"]),
+            duration=_parse_float("duration", raw["duration"]),
+            cpus=_parse_cpus("cpus", raw["cpus"]),
+            bandwidth_gbs=_parse_float("bandwidth_gbs", raw.get("bandwidth_gbs", "8.0")),
+        )

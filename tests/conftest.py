@@ -8,10 +8,9 @@ import pytest
 from repro.sim.cpu import Topology
 from repro.sim.engine import Engine
 from repro.sim.machine import Machine
-from repro.sim.memory import MemorySystem
 from repro.sim.noise import NoiseEnvironment
 from repro.sim.platform import PlatformSpec, get_platform
-from repro.sim.scheduler import SchedParams, Scheduler
+from repro.sim.scheduler import Scheduler
 
 
 @pytest.fixture

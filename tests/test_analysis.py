@@ -1,6 +1,5 @@
 """Unit tests for the trace-analytics layer."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,5 +1,7 @@
 """Unit tests for the on-disk result cache."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -90,15 +92,62 @@ class TestCache:
         np.testing.assert_array_equal(first.times, rs.times)
         # The re-run rewrote a valid entry: next lookup is a clean hit.
         again = cache.get_or_run(spec())
-        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 1}
+        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 1, "stale": 0}
         np.testing.assert_array_equal(first.times, again.times)
+
+    def test_entries_record_key_version(self, tmp_path):
+        from repro.harness.cache import _KEY_VERSION
+
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec(), noise_config=tiny_config())
+        (entry,) = tmp_path.glob("*.json")
+        data = json.loads(entry.read_text())
+        assert data["key_version"] == _KEY_VERSION
+        assert data["noise"] == ["trace-replay"]
+
+    def test_stale_key_version_evicted_counted_and_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cache.get_or_run(spec())
+        (entry,) = tmp_path.glob("*.json")
+        data = json.loads(entry.read_text())
+        data["key_version"] = 1  # pre-refactor schema
+        data["times"] = [0.0] * len(data["times"])  # must NOT be served
+        entry.write_text(json.dumps(data))
+        rs = cache.get_or_run(spec())
+        assert cache.stats()["stale"] == 1
+        assert cache.misses == 2
+        np.testing.assert_array_equal(first.times, rs.times)
+        # the eviction re-ran and rewrote a current entry: clean hit next
+        again = cache.get_or_run(spec())
+        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 0, "stale": 1}
+        np.testing.assert_array_equal(first.times, again.times)
+
+    def test_missing_key_version_treated_as_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get_or_run(spec())
+        (entry,) = tmp_path.glob("*.json")
+        data = json.loads(entry.read_text())
+        del data["key_version"]
+        entry.write_text(json.dumps(data))
+        cache.get_or_run(spec())
+        assert cache.stats()["stale"] == 1
+
+    def test_noise_param_and_spec_noise_key_identically(self, tmp_path):
+        from repro.noise import NoiseStack, TraceReplaySource
+
+        cache = ResultCache(tmp_path)
+        stack = NoiseStack([TraceReplaySource(tiny_config())])
+        cache.get_or_run(spec(), noise=stack)
+        cache.get_or_run(spec(noise=stack))          # via the spec field
+        cache.get_or_run(spec(), noise_config=tiny_config())  # legacy alias
+        assert cache.stats() == {"hits": 2, "misses": 1, "corrupt": 0, "stale": 0}
 
     def test_stats_dict(self, tmp_path):
         cache = ResultCache(tmp_path)
-        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0, "stale": 0}
         cache.get_or_run(spec())
         cache.get_or_run(spec())
-        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0, "stale": 0}
 
     def test_on_run_with_cache_enabled_rejected(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -66,6 +66,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "replication accuracy" in out
 
+    def test_noise_lists_registered_sources(self, capsys):
+        assert main(["noise"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("trace-replay", "io", "memory", "hpas.membw", "background"):
+            assert kind in out
+        assert "irq_cpus" in out  # per-source parameter docs
+
+    def test_inject_composes_heterogeneous_noise(self, tmp_path, capsys):
+        """One invocation replays the worst case while composing I/O and
+        memory interference on top — the unified-stack acceptance path."""
+        cfg = tmp_path / "cfg.json"
+        main(["configure", "--reps", "3", "--seed", "42", "--out", str(cfg)])
+        assert (
+            main(
+                [
+                    "inject",
+                    "--reps", "2",
+                    "--config", str(cfg),
+                    "--noise", "io:start=0.01,duration=0.1,irq_cpus=0+1",
+                    "--noise", "memory:start=0.0,duration=0.2,bandwidth_gbs=15",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace-replay + io + memory" in out
+        assert "degradation" in out
+
+    def test_inject_noise_only_needs_no_config(self, capsys):
+        assert (
+            main(
+                [
+                    "inject",
+                    "--reps", "2",
+                    "--noise", "hpas.membw:start=0.0,duration=0.1,bandwidth_gbs=10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hpas.membw" in out
+
+    def test_inject_without_any_noise_rejected(self):
+        with pytest.raises(SystemExit, match="--config and/or"):
+            main(["inject", "--reps", "2"])
+
+    def test_inject_bad_noise_spec_rejected(self):
+        with pytest.raises(SystemExit, match="warp-drive"):
+            main(["inject", "--reps", "2", "--noise", "warp-drive:x=1"])
+
+    def test_pipeline_with_extra_noise(self, capsys):
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--reps", "2",
+                    "--seed", "42",
+                    "--noise", "io:start=0.01,duration=0.05",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replication accuracy" in out
+
     def test_table1(self, capsys):
         assert main(["table", "1"]) == 0
         out = capsys.readouterr().out

@@ -125,6 +125,39 @@ class TestEquivalence:
         assert serial.anomalies == parallel.anomalies
         assert parallel.injected
 
+    def test_composite_stack_worker_invariant(self):
+        """A heterogeneous NoiseStack (replay + I/O + memory + ambient)
+        stays bit-identical across backends and worker counts: each
+        source draws from a per-rep, per-source child RNG."""
+        from repro.extensions.ionoise import IoBurst, IoNoiseConfig
+        from repro.noise import (
+            BackgroundNoiseSource,
+            HpasMemoryBandwidthSource,
+            IoNoiseSource,
+            NoiseStack,
+            TraceReplaySource,
+        )
+
+        stack = NoiseStack(
+            [
+                TraceReplaySource(tiny_config()),
+                IoNoiseSource(IoNoiseConfig([IoBurst(start=0.01, duration=0.1, irq_cpus=(0, 1))])),
+                HpasMemoryBandwidthSource(start=0.0, duration=0.15, bandwidth_gbs=12.0),
+                BackgroundNoiseSource.preset("desktop-nogui", intensity=0.5),
+            ]
+        )
+        s = spec(workload="schedbench", reps=6, seed=13)
+        serial = run_experiment(s, noise=stack, executor=SerialExecutor())
+        assert serial.injected
+        for jobs in (2, 3, 4):
+            ex = ParallelExecutor(jobs)
+            try:
+                rs = run_experiment(s, noise=stack, executor=ex)
+            finally:
+                ex.close()
+            np.testing.assert_array_equal(serial.times, rs.times)
+            assert serial.anomalies == rs.anomalies
+
     def test_chunk_size_invariance(self):
         s = spec(reps=5, seed=3)
         reference = run_experiment(s, executor=SerialExecutor())

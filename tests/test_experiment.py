@@ -37,6 +37,21 @@ class TestSpec:
         assert default_baseline_reps() == 9
         assert default_inject_reps() == 4
 
+    @pytest.mark.parametrize(
+        "var,fn",
+        [("REPRO_BASELINE_REPS", default_baseline_reps), ("REPRO_INJECT_REPS", default_inject_reps)],
+    )
+    def test_non_integer_rep_env_names_variable_and_value(self, monkeypatch, var, fn):
+        monkeypatch.setenv(var, "lots")
+        with pytest.raises(ValueError, match=rf"{var}.*'lots'"):
+            fn()
+
+    def test_blank_rep_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BASELINE_REPS", "  ")
+        monkeypatch.delenv("REPRO_INJECT_REPS", raising=False)
+        assert default_baseline_reps() == 60
+        assert default_inject_reps() == 30
+
 
 class TestRun:
     def test_reps_and_positive_times(self):

@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import ConfigEvent, NoiseConfig
 from repro.core.events import EventType
 from repro.core.injector import NoiseInjector
-from repro.sim.task import SchedPolicy, Task
+from repro.sim.task import Task
 
 from conftest import make_machine
 

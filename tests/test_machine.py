@@ -6,7 +6,7 @@ import pytest
 from repro.sim.machine import Machine
 from repro.sim.platform import get_platform
 
-from conftest import make_machine, silent_env
+from conftest import make_machine
 
 
 class TestLifecycle:

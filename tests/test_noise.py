@@ -5,9 +5,7 @@ import pytest
 
 from repro.sim.noise import (
     AnomalySpec,
-    AnomalyType,
     MicroNoiseSpec,
-    NoiseEnvironment,
     NoiseSourceSpec,
     desktop_noise,
     hpc_noise,
@@ -15,7 +13,7 @@ from repro.sim.noise import (
 )
 from repro.sim.task import TaskKind
 
-from conftest import make_machine, silent_env
+from conftest import make_machine
 from repro.sim.platform import get_platform
 
 

@@ -1,0 +1,315 @@
+"""Tests for the unified NoiseSource protocol, registry, and stack.
+
+Every noise mechanism in the repo must (a) be discoverable through the
+registry, (b) round-trip through the common JSON envelope with a stable
+spec hash, and (c) compose with any other source in a
+:class:`~repro.noise.NoiseStack` without losing determinism.
+"""
+
+import json
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConfigEvent, NoiseConfig
+from repro.core.events import EventType
+from repro.extensions.ionoise import IoBurst, IoNoiseConfig
+from repro.extensions.memnoise import MemoryNoiseConfig, MemoryNoiseEvent
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.noise import (
+    BackgroundNoiseSource,
+    HpasCacheThrashSource,
+    HpasCpuOccupySource,
+    HpasMemoryBandwidthSource,
+    IoNoiseSource,
+    MemoryNoiseSource,
+    NoiseStack,
+    TraceReplaySource,
+    available_sources,
+    get_source_type,
+    parse_noise_spec,
+    source_from_json,
+)
+
+ALL_KINDS = [
+    "background",
+    "hpas.cache_thrash",
+    "hpas.cpu_occupy",
+    "hpas.membw",
+    "io",
+    "memory",
+    "trace-replay",
+]
+
+
+def tiny_config():
+    return NoiseConfig(
+        {
+            0: [
+                ConfigEvent(
+                    start=0.05,
+                    duration=2e-3,
+                    policy="SCHED_FIFO",
+                    rt_priority=90,
+                    weight=1.0,
+                    etype=EventType.IRQ,
+                    source="test",
+                )
+            ]
+        }
+    )
+
+
+def one_of_each():
+    """A representative instance of every registered source kind."""
+    return {
+        "trace-replay": TraceReplaySource(tiny_config()),
+        "io": IoNoiseSource(
+            IoNoiseConfig([IoBurst(start=0.02, duration=0.1, irq_cpus=(0, 1))])
+        ),
+        "memory": MemoryNoiseSource(
+            MemoryNoiseConfig(
+                [MemoryNoiseEvent(start=0.0, duration=0.2, bandwidth_gbs=15.0)]
+            )
+        ),
+        "hpas.cpu_occupy": HpasCpuOccupySource(
+            start=0.01, duration=0.1, cpus=(0,), utilization=0.5
+        ),
+        "hpas.membw": HpasMemoryBandwidthSource(
+            start=0.0, duration=0.15, bandwidth_gbs=12.0, streams=2
+        ),
+        "hpas.cache_thrash": HpasCacheThrashSource(
+            start=0.02, duration=0.1, cpus=(0, 1), bandwidth_gbs=6.0
+        ),
+        "background": BackgroundNoiseSource.preset("desktop-nogui", intensity=0.5),
+    }
+
+
+def spec(**kw):
+    defaults = dict(
+        platform="intel-9700kf", workload="schedbench", model="omp", reps=2, seed=11
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_builtin_kinds_registered(self):
+        assert available_sources() == ALL_KINDS
+
+    def test_get_source_type(self):
+        assert get_source_type("io") is IoNoiseSource
+        assert get_source_type("trace-replay") is TraceReplaySource
+
+    def test_unknown_kind_rejected_with_listing(self):
+        with pytest.raises(KeyError, match="io"):
+            get_source_type("does-not-exist")
+
+    def test_every_kind_documents_cli_params(self):
+        for kind in available_sources():
+            params = get_source_type(kind).cli_params()
+            assert isinstance(params, dict) and params
+
+
+# ----------------------------------------------------------------------
+# serialization: the common envelope
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_json_round_trip(self, kind):
+        src = one_of_each()[kind]
+        clone = source_from_json(src.to_json())
+        assert type(clone) is type(src)
+        assert clone.to_dict() == src.to_dict()
+        assert clone == src
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_envelope_shape(self, kind):
+        d = one_of_each()[kind].to_dict()
+        assert set(d) == {"kind", "version", "params"}
+        assert d["kind"] == kind
+        json.dumps(d)  # must be pure-JSON serialisable
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_spec_hash_stable_across_round_trip(self, kind):
+        src = one_of_each()[kind]
+        h = src.spec_hash()
+        assert len(h) == 16 and int(h, 16) >= 0
+        assert source_from_json(src.to_json()).spec_hash() == h
+
+    def test_spec_hash_differs_between_params(self):
+        a = HpasMemoryBandwidthSource(start=0.0, duration=0.1, bandwidth_gbs=10.0)
+        b = HpasMemoryBandwidthSource(start=0.0, duration=0.1, bandwidth_gbs=11.0)
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_stack_round_trip(self):
+        sources = one_of_each()
+        stack = NoiseStack(
+            [sources["trace-replay"], sources["hpas.cache_thrash"], sources["io"]]
+        )
+        clone = NoiseStack.from_json(stack.to_json())
+        assert clone.to_dict() == stack.to_dict()
+        assert clone.kinds() == ["trace-replay", "hpas.cache_thrash", "io"]
+        assert clone.spec_hash() == stack.spec_hash()
+
+    def test_stack_pickles(self):
+        stack = NoiseStack([one_of_each()["memory"]])
+        clone = pickle.loads(pickle.dumps(stack))
+        assert clone.to_dict() == stack.to_dict()
+
+
+# ----------------------------------------------------------------------
+# stack semantics
+# ----------------------------------------------------------------------
+class TestStack:
+    def test_flattens_nested_stacks(self):
+        srcs = one_of_each()
+        inner = NoiseStack([srcs["io"], srcs["memory"]])
+        outer = NoiseStack([srcs["trace-replay"], inner])
+        assert outer.kinds() == ["trace-replay", "io", "memory"]
+
+    def test_coerce_legacy_types(self):
+        assert NoiseStack.coerce(None) is None
+        assert NoiseStack.coerce(tiny_config()).kinds() == ["trace-replay"]
+        io_cfg = IoNoiseConfig([IoBurst(start=0.0, duration=0.1)])
+        assert NoiseStack.coerce(io_cfg).kinds() == ["io"]
+        mem_cfg = MemoryNoiseConfig(
+            [MemoryNoiseEvent(start=0.0, duration=0.1, bandwidth_gbs=5.0)]
+        )
+        assert NoiseStack.coerce(mem_cfg).kinds() == ["memory"]
+
+    def test_coerce_source_and_list(self):
+        src = one_of_each()["io"]
+        assert NoiseStack.coerce(src).kinds() == ["io"]
+        both = NoiseStack.coerce([src, one_of_each()["memory"]])
+        assert both.kinds() == ["io", "memory"]
+
+    def test_coerce_environment(self):
+        from repro.sim.noise import desktop_noise
+
+        stack = NoiseStack.coerce(desktop_noise())
+        assert stack.kinds() == ["background"]
+
+    def test_empty_stack_is_falsy(self):
+        assert not NoiseStack([])
+        assert len(NoiseStack([])) == 0
+
+    def test_rt_throttle_policy(self):
+        srcs = one_of_each()
+        assert NoiseStack([srcs["trace-replay"]]).disables_rt_throttle
+        assert NoiseStack([srcs["io"]]).disables_rt_throttle
+        assert not NoiseStack([srcs["background"]]).disables_rt_throttle
+        assert NoiseStack([srcs["background"], srcs["io"]]).disables_rt_throttle
+
+
+# ----------------------------------------------------------------------
+# composed execution (extensions generators under the protocol)
+# ----------------------------------------------------------------------
+class TestComposedExecution:
+    def test_hpas_and_replay_compose_in_one_run(self):
+        srcs = one_of_each()
+        stack = NoiseStack(
+            [srcs["trace-replay"], srcs["hpas.cache_thrash"], srcs["hpas.membw"]]
+        )
+        baseline = run_experiment(spec())
+        injected = run_experiment(spec(), noise=stack)
+        assert injected.injected and not baseline.injected
+        assert injected.times.mean() > baseline.times.mean()
+
+    def test_composite_run_is_deterministic(self):
+        srcs = one_of_each()
+        stack = NoiseStack([srcs["io"], srcs["memory"], srcs["background"]])
+        a = run_experiment(spec(), noise=stack)
+        b = run_experiment(spec(), noise=stack)
+        np.testing.assert_array_equal(a.times, b.times)
+
+    def test_source_order_is_part_of_the_seed_contract(self):
+        # Child RNGs key off stack position: reordering stochastic
+        # sources is a different (still deterministic) experiment.
+        srcs = one_of_each()
+        ab = run_experiment(spec(), noise=NoiseStack([srcs["io"], srcs["background"]]))
+        ab2 = run_experiment(spec(), noise=NoiseStack([srcs["io"], srcs["background"]]))
+        np.testing.assert_array_equal(ab.times, ab2.times)
+
+    def test_single_source_equivalent_to_stack_of_one(self):
+        src = TraceReplaySource(tiny_config())
+        a = run_experiment(spec(), noise=src)
+        b = run_experiment(spec(), noise=NoiseStack([src]))
+        np.testing.assert_array_equal(a.times, b.times)
+
+
+# ----------------------------------------------------------------------
+# spec integration and the deprecated alias
+# ----------------------------------------------------------------------
+class TestSpecIntegration:
+    def test_spec_noise_field_drives_runs(self):
+        s = spec(noise=TraceReplaySource(tiny_config()))
+        rs = run_experiment(s)
+        assert rs.injected
+
+    def test_noise_config_alias_warns_and_is_equivalent(self):
+        config = tiny_config()
+        with pytest.warns(DeprecationWarning, match="noise_config"):
+            legacy = ExperimentSpec(
+                platform="intel-9700kf", workload="schedbench", reps=2, seed=11,
+                noise_config=config,
+            )
+        modern = spec(noise=config)
+        assert legacy.noise is not None
+        assert legacy.noise.to_dict() == modern.noise.to_dict()
+        np.testing.assert_array_equal(
+            run_experiment(legacy).times, run_experiment(modern).times
+        )
+
+    def test_run_experiment_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="noise_config"):
+            run_experiment(spec(), noise_config=tiny_config())
+
+    def test_spec_with_preserves_noise(self):
+        s = spec(noise=tiny_config())
+        assert s.with_(seed=99).noise is s.noise
+
+    def test_spec_with_noise_pickles(self):
+        s = spec(noise=NoiseStack([one_of_each()["io"]]))
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.noise.to_dict() == s.noise.to_dict()
+
+    def test_modern_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_experiment(spec(), noise=tiny_config())
+
+
+# ----------------------------------------------------------------------
+# CLI spec grammar
+# ----------------------------------------------------------------------
+class TestParseNoiseSpec:
+    def test_bare_kind_with_defaults(self):
+        src = parse_noise_spec("background:preset=hpc")
+        assert isinstance(src, BackgroundNoiseSource)
+
+    def test_params_and_cpu_lists(self):
+        src = parse_noise_spec("io:start=0.01,duration=0.1,irq_cpus=0+2")
+        assert isinstance(src, IoNoiseSource)
+        assert src.config.bursts[0].irq_cpus == (0, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown noise source"):
+            parse_noise_spec("warp-drive:x=1")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="frobnicate"):
+            parse_noise_spec("memory:start=0,duration=0.1,bandwidth_gbs=5,frobnicate=1")
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ValueError, match="duration"):
+            parse_noise_spec("memory:start=0")
+
+    def test_malformed_pair(self):
+        with pytest.raises(ValueError):
+            parse_noise_spec("io:start")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.noise import runlevel3
-from repro.sim.platform import PlatformSpec, available_platforms, get_platform
+from repro.sim.platform import available_platforms, get_platform
 
 
 class TestRegistry:

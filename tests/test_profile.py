@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.events import EventType
-from repro.core.profile import NoiseProfile, ProfileAccumulator, build_profile
+from repro.core.profile import ProfileAccumulator, build_profile
 from repro.core.trace import Trace
 
 

@@ -4,7 +4,6 @@ findings rest on."""
 import pytest
 
 from repro.sim.cpu import Topology
-from repro.sim.engine import Engine
 from repro.sim.memory import MemorySystem
 from repro.sim.scheduler import SchedParams, Scheduler
 from repro.sim.task import SchedPolicy, Task, TaskKind, WorkPool

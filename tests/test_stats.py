@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.harness.stats import Summary, outlier_mask, relative_change, summarize
+from repro.harness.stats import outlier_mask, relative_change, summarize
 
 
 class TestSummarize:

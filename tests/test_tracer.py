@@ -4,13 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.events import EventType
-from repro.sim.machine import Machine
 from repro.sim.noise import MicroNoiseSpec
 from repro.sim.platform import get_platform
 from repro.sim.task import SchedPolicy, Task, TaskKind
 from repro.sim.tracer import OSNoiseTracer
 
-from conftest import make_machine, silent_env
+from conftest import make_machine
 
 
 def run_noise_burst(tracing=True, seed=0):

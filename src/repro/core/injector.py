@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.config import ConfigEvent, NoiseConfig
 from repro.core.events import EventType
 from repro.sim.machine import Machine
@@ -37,47 +39,76 @@ _POLICY_SWITCH_COST = 2e-6
 
 
 class _InjectorProcess:
-    """Replays one CPU's event list (Listing 1's loop)."""
+    """Replays one CPU's event list (Listing 1's loop).
+
+    The event list is unpacked into parallel per-field arrays up front
+    (the numpy columns for the timing fields, resolved enums and
+    interned names for the rest), so replaying a worst-case
+    configuration with thousands of events per CPU is an index walk
+    rather than per-event dataclass attribute traffic.  Values are
+    taken back out as plain Python floats, keeping every downstream
+    computation bit-identical to the direct walk.
+    """
 
     def __init__(self, injector: "NoiseInjector", home_cpu: int, events: list[ConfigEvent]):
         self.injector = injector
         self.home_cpu = home_cpu
-        self.events = events
+        self.n_events = len(events)
+        n = self.n_events
+        self._starts = np.fromiter((e.start for e in events), dtype=np.float64, count=n).tolist()
+        self._durations = np.fromiter(
+            (e.duration for e in events), dtype=np.float64, count=n
+        ).tolist()
+        self._weights = [e.weight for e in events]
+        self._fifo = [e.policy == "SCHED_FIFO" for e in events]
+        self._prios = [e.rt_priority if e.policy == "SCHED_FIFO" else 0 for e in events]
+        self._kinds = [_ETYPE_TO_KIND[e.etype] for e in events]
+        names: dict[str, str] = {}
+        self._names = [
+            names.setdefault(e.source, f"inject:{e.source}") for e in events
+        ]
         self._idx = 0
         self._policy: Optional[str] = None
+        self._policies = [e.policy for e in events]
 
     def start(self, machine: Machine) -> None:
         self.machine = machine
         self._next()
 
     def _next(self) -> None:
-        if self._idx >= len(self.events):
+        i = self._idx
+        if i >= self.n_events:
             return
-        event = self.events[self._idx]
-        start = event.start
-        if self._policy != event.policy:
+        start = self._starts[i]
+        now = self.machine.engine.now
+        policy = self._policies[i]
+        if self._policy != policy:
             # SetPolicy() before SleepUntil() (Listing 1): the switch
             # happens while waiting, but a switch landing exactly on
             # the event start delays it slightly.
-            self._policy = event.policy
-            start = max(start, self.machine.engine.now + _POLICY_SWITCH_COST)
-        start = max(start, self.machine.engine.now)
-        self.machine.engine.schedule(start, self._fire, event)
+            self._policy = policy
+            switched = now + _POLICY_SWITCH_COST
+            if switched > start:
+                start = switched
+        if now > start:
+            start = now
+        self.machine.engine.schedule(start, self._fire, i)
 
-    def _fire(self, event: ConfigEvent) -> None:
-        self._idx += 1
+    def _fire(self, i: int) -> None:
+        self._idx = i + 1
+        duration = self._durations[i]
         task = Task(
-            f"inject:{event.source}",
-            policy=SchedPolicy.FIFO if event.policy == "SCHED_FIFO" else SchedPolicy.OTHER,
-            rt_priority=event.rt_priority if event.policy == "SCHED_FIFO" else 0,
-            weight=event.weight,
+            self._names[i],
+            policy=SchedPolicy.FIFO if self._fifo[i] else SchedPolicy.OTHER,
+            rt_priority=self._prios[i],
+            weight=self._weights[i],
             affinity=None,  # injector processes roam (§4.3)
-            kind=_ETYPE_TO_KIND[event.etype],
-            work=event.duration,
+            kind=self._kinds[i],
+            work=duration,
             on_complete=self._done,
         )
         self.injector.injected_events += 1
-        self.injector.injected_busy += event.duration
+        self.injector.injected_busy += duration
         self.machine.scheduler.submit(task, hint=self.home_cpu)
 
     def _done(self, task: Task) -> None:

@@ -11,13 +11,22 @@ Determinism contract
 Two runs that schedule the same callbacks at the same times in the same
 order execute identically: ties are broken by a monotonically increasing
 sequence number, never by object identity or hash order.
+
+Performance notes
+-----------------
+Heap entries are ``(time, seq, handle)`` tuples, so every sift
+comparison is a C-level tuple compare (``seq`` is unique — the handle
+itself is never compared).  The scheduler cancels and reschedules
+completion events on every rate change, which at paper scale means
+millions of comparisons per run; keeping them out of Python-level
+``__lt__`` is one of the largest single wins on the simulator hot path.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Engine", "EventHandle", "SimulationError"]
@@ -72,7 +81,11 @@ class EventHandle:
         self.args = ()
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Heap entries are tuples, so this is only reached by explicit
+        # handle comparisons (tests, debugging) — never on the hot path.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -92,13 +105,20 @@ class Engine:
 
     def __init__(self, time_epsilon: float = 1e-12):
         self.now: float = 0.0
-        self._heap: list[EventHandle] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq = 0
         self._running = False
         self._stopped = False
         self._time_epsilon = float(time_epsilon)
         #: dead (cancelled but not yet popped) entries in the heap
         self._n_cancelled = 0
+        #: heap size below which compaction is suppressed; doubled after
+        #: every compaction so repeated reschedule bursts hovering near
+        #: the dead-entry threshold cannot thrash O(n) rebuilds
+        self._compact_floor = 128
+        #: number of in-place heap compactions performed (observability
+        #: for the thrash regression test and perf triage)
+        self.compactions: int = 0
         #: number of callbacks actually executed (cancelled ones excluded)
         self.events_executed: int = 0
 
@@ -112,22 +132,30 @@ class Engine:
         """
         if not math.isfinite(time):
             raise SimulationError(f"non-finite event time: {time!r}")
-        if time < self.now:
-            if self.now - time > self._time_epsilon + 1e-9 * abs(self.now):
+        now = self.now
+        if time < now:
+            if now - time > self._time_epsilon + 1e-9 * abs(now):
                 raise SimulationError(
                     f"cannot schedule event at t={time!r} before now={self.now!r}"
                 )
-            time = self.now
-        handle = EventHandle(time, next(self._seq), fn, args, engine=self)
-        heapq.heappush(self._heap, handle)
+            time = now
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, engine=self)
+        heappush(self._heap, (time, seq, handle))
         # Heavy cancellation (rate-change rescheduling) would otherwise
         # grow the heap without bound: once dead entries dominate,
         # compact in place.  In place, because the run loop holds a
-        # reference to this exact list.
-        if self._n_cancelled > 64 and self._n_cancelled * 2 > len(self._heap):
-            self._heap[:] = [h for h in self._heap if not h.cancelled]
+        # reference to this exact list.  The floor provides hysteresis:
+        # after a rebuild the heap must double before the next one, so
+        # churn sitting just past the dead-entry threshold stays
+        # amortized O(1) per schedule instead of O(n).
+        if self._n_cancelled > 64 and self._n_cancelled * 2 > len(self._heap) >= self._compact_floor:
+            self._heap[:] = [e for e in self._heap if not e[2].cancelled]
             heapq.heapify(self._heap)
             self._n_cancelled = 0
+            self.compactions += 1
+            self._compact_floor = 2 * len(self._heap) + 128
         return handle
 
     def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -171,16 +199,16 @@ class Engine:
         try:
             heap = self._heap
             while heap and not self._stopped:
-                handle = heap[0]
+                t, _, handle = heap[0]
                 if handle.cancelled:
-                    heapq.heappop(heap)
+                    heappop(heap)
                     self._n_cancelled -= 1
                     continue
-                if until is not None and handle.time > until:
+                if until is not None and t > until:
                     break
-                heapq.heappop(heap)
-                if handle.time > self.now:
-                    self.now = handle.time
+                heappop(heap)
+                if t > self.now:
+                    self.now = t
                 fn, args = handle.fn, handle.args
                 # Free the handle's references before invoking, so a
                 # callback rescheduling itself does not chain handles;
@@ -190,13 +218,35 @@ class Engine:
                 handle._engine = None
                 fn(*args)
                 executed += 1
-                self.events_executed += 1
                 if max_events is not None and executed > max_events:
+                    self.events_executed += executed
+                    executed = 0
                     raise SimulationError(f"exceeded max_events={max_events}")
+                # Drain the rest of this timestamp group without
+                # re-checking `until` or advancing the clock — the
+                # scheduler's deferred rescales and barrier releases
+                # cluster many events on one instant.  Pop order is
+                # still (time, seq), so semantics are unchanged.
+                while heap and heap[0][0] == t and not self._stopped:
+                    _, _, handle = heappop(heap)
+                    if handle.cancelled:
+                        self._n_cancelled -= 1
+                        continue
+                    fn, args = handle.fn, handle.args
+                    handle.fn = None  # type: ignore[assignment]
+                    handle.args = ()
+                    handle._engine = None
+                    fn(*args)
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        self.events_executed += executed
+                        executed = 0
+                        raise SimulationError(f"exceeded max_events={max_events}")
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
             return self.now
         finally:
+            self.events_executed += executed
             self._running = False
 
     # ------------------------------------------------------------------
@@ -216,10 +266,10 @@ class Engine:
         retain dead entries.
         """
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
             self._n_cancelled -= 1
-        return heap[0].time if heap else None
+        return heap[0][0] if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self.now:.9f} pending={len(self._heap)}>"

@@ -265,6 +265,14 @@ class NoiseModel:
         self._cpu_factors: Optional[np.ndarray] = None
         self._handles: list = []
         self._started = False
+        # Per-fire allocation trims: arrival streams construct one Task
+        # per event, so everything reusable (formatted names, affinity
+        # frozensets) is resolved once instead of per arrival.
+        n_cpu = machine.topology.n_logical
+        self._cpu_affinity = [frozenset((c,)) for c in range(n_cpu)]
+        self._os_affinity = frozenset(env.os_affinity) if env.os_affinity else None
+        self._name_cache: dict[tuple[str, Optional[int]], str] = {}
+        self._log_median = {s: np.log(s.duration_median) for s in env.sources}
 
     # -------------------------------------------------- lifecycle
     def start(self, expected_duration: float) -> None:
@@ -279,14 +287,17 @@ class NoiseModel:
             0.2, 1.0 + self.rng.normal(0.0, micro.cpu_factor_sd, size=n_cpu)
         )
         wander = max(0.0, micro.speed_wander_mean + self.rng.normal(0.0, micro.speed_wander_sd))
+        # One batched recompute for all CPUs: at t=0 the machine is
+        # still empty (workload launch follows noise start), so the
+        # per-CPU update passes would each be no-ops anyway.
+        steals = {}
         for cpu in range(n_cpu):
             frac = micro.steal_fraction(
                 self.machine.platform.tick_hz,
                 self._run_factor * float(self._cpu_factors[cpu]),
             )
-            self.machine.scheduler.set_steal(
-                cpu, min(0.5, frac + wander + self.machine.extra_steal(cpu))
-            )
+            steals[cpu] = min(0.5, frac + wander + self.machine.extra_steal(cpu))
+        self.machine.scheduler.set_steal_many(steals)
         for spec in self.env.sources:
             if spec.per_cpu:
                 for cpu in range(n_cpu):
@@ -314,14 +325,17 @@ class NoiseModel:
 
     def _fire_source(self, spec: NoiseSourceSpec, cpu: Optional[int]) -> None:
         duration = float(
-            self.rng.lognormal(np.log(spec.duration_median), spec.duration_sigma)
+            self.rng.lognormal(self._log_median[spec], spec.duration_sigma)
         )
-        name = spec.name.format(cpu=cpu) if cpu is not None else spec.name
-        affinity: Optional[frozenset[int]] = None
+        key = (spec.name, cpu)
+        name = self._name_cache.get(key)
+        if name is None:
+            name = spec.name.format(cpu=cpu) if cpu is not None else spec.name
+            self._name_cache[key] = name
         if cpu is not None:
-            affinity = frozenset({cpu})
-        elif self.env.os_affinity:
-            affinity = frozenset(self.env.os_affinity)
+            affinity = self._cpu_affinity[cpu]
+        else:
+            affinity = self._os_affinity
         task = Task(
             name,
             policy=_POLICY_FOR_KIND[spec.kind],
@@ -361,7 +375,7 @@ class NoiseModel:
             self._handles.append(h)
 
     def _fire_anomaly_segment(self, name: str, kind: TaskKind, duration: float) -> None:
-        affinity = frozenset(self.env.os_affinity) if self.env.os_affinity else None
+        affinity = self._os_affinity
         task = Task(
             name,
             policy=_POLICY_FOR_KIND[kind],

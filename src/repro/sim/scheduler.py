@@ -37,6 +37,10 @@ __all__ = ["Scheduler", "SchedParams"]
 _DONE_EPS = 1e-12
 
 
+def _by_tid(t: "Task") -> int:
+    return t.tid
+
+
 class SchedParams:
     """Tunable scheduler constants (all in seconds unless noted)."""
 
@@ -132,7 +136,17 @@ class Scheduler:
         self.rt_throttle = rt_throttle
         #: callback(task, cpu, start, cpu_time) fired when a noise task leaves
         self.on_noise_interval = on_noise_interval
-        self._cpus = [_CpuState() for _ in range(topology.n_logical)]
+        n = topology.n_logical
+        self._cpus = [_CpuState() for _ in range(n)]
+        # Topology lookups are pure functions of the CPU id; resolving
+        # them once keeps range checks out of every rate recompute.
+        self._sibling: tuple[Optional[int], ...] = tuple(topology.sibling(c) for c in range(n))
+        self._numa: tuple[int, ...] = tuple(topology.numa_node(c) for c in range(n))
+        self._all_cpu_list = list(range(n))
+        #: monotonically increasing rate-recompute generation; a task's
+        #: ``_share_epoch`` marks whether its ``_new_share`` slot was
+        #: written by the current `_update` (replacing a per-call dict)
+        self._epoch = 0
         self._mem_running: dict[int, Task] = {}  # tid -> task with demand & share > 0
         self._mem_scale = 1.0
         self._mem_rescale_pending = False
@@ -188,6 +202,10 @@ class Scheduler:
             state.other.remove(task)
         task.cpu = None
         task.rate = 0.0
+        # Off-CPU tasks stop pulling bandwidth; dropping them here (the
+        # only sleep/exit path) keeps the rescale loop free of dead
+        # entries without a straggler scan per update.
+        self._mem_running.pop(task.tid, None)
         self._cancel_completion(task)
         self._update({cpu})
 
@@ -244,6 +262,22 @@ class Scheduler:
         self._cpus[cpu].steal = fraction
         self._update({cpu})
 
+    def set_steal_many(self, fractions: dict[int, float]) -> None:
+        """Set steal fractions for several CPUs in one rate recompute.
+
+        Equivalent to calling :meth:`set_steal` per CPU when the
+        machine is still empty (each CPU's share depends only on its
+        own steal), which is how the noise model initialises all CPUs
+        at t=0 without n full update passes.
+        """
+        for cpu, fraction in fractions.items():
+            if not 0.0 <= fraction < 1.0:
+                raise ValueError(f"steal fraction out of range: {fraction!r}")
+        for cpu, fraction in fractions.items():
+            self._cpus[cpu].steal = fraction
+        if fractions:
+            self._update(set(fractions))
+
     def idle_cpus(self) -> list[int]:
         """Logical CPUs with no runnable task."""
         return [i for i, s in enumerate(self._cpus) if not s.busy()]
@@ -261,7 +295,8 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _allowed(self, task: Task) -> list[int]:
         if task.affinity is None:
-            return list(range(self.topology.n_logical))
+            # Shared read-only list: callers only iterate.
+            return self._all_cpu_list
         return sorted(task.affinity)
 
     def _pick_cpu(self, task: Task, hint: Optional[int]) -> int:
@@ -290,7 +325,7 @@ class Scheduler:
             # Prefer an idle CPU whose sibling is also idle (full-speed),
             # least-recently-used among equals.
             def idle_key(c: int) -> tuple:
-                sib = self.topology.sibling(c)
+                sib = self._sibling[c]
                 sib_busy = sib is not None and self._cpus[sib].busy()
                 return (sib_busy, stamp[c], c)
 
@@ -324,79 +359,175 @@ class Scheduler:
     # rate computation
     # ------------------------------------------------------------------
     def _update(self, cpus: set[int]) -> None:
-        """Advance + recompute rates for ``cpus`` (and coupled CPUs)."""
+        """Advance + recompute rates for ``cpus`` (and coupled CPUs).
+
+        This is *the* simulator hot path — it runs once per scheduler
+        event (hundreds of thousands of times per rep at paper scale),
+        so it trades a little readability for allocation-free inner
+        loops: shares live in task slots validated by an epoch counter
+        instead of a per-call dict, :meth:`Task.advance` is inlined,
+        and topology/param lookups are hoisted.  Every float expression
+        matches the reference implementation operation-for-operation;
+        the golden-equivalence suite holds this bit-exact.
+        """
         now = self.engine.now
+        cpu_states = self._cpus
+        sibling = self._sibling
+        last_busy = self._last_busy
         # Sibling speeds depend only on our busy-ness: pull a sibling
         # into the recompute set only when that flipped.
         affected = set()
         for c in cpus:
             affected.add(c)
-            sib = self.topology.sibling(c)
+            sib = sibling[c]
             if sib is not None:
-                busy = self._cpus[c].busy()
-                if busy != self._last_busy[c]:
-                    self._last_busy[c] = busy
+                s = cpu_states[c]
+                busy = bool(s.fifo or s.other)
+                if busy != last_busy[c]:
+                    last_busy[c] = busy
                     affected.add(sib)
+        order = sorted(affected) if len(affected) > 1 else tuple(affected)
 
-        # Phase 1: integrate progress at old rates.
+        self._epoch = epoch = self._epoch + 1
+        params = self.params
+        smt_factor = params.smt_factor
+        fifo_share = params.rt_throttle_share if self.rt_throttle else 1.0
+
+        # Phases 1+2 fused per CPU: integrate progress at the old rates,
+        # then stamp each task's new raw share (shares depend only on
+        # queue membership / weights / steal, never on the integration,
+        # so fusing preserves the reference evaluation order exactly).
         touched: list[Task] = []
-        for c in sorted(affected):
-            for t in self._cpus[c].tasks():
-                t.advance(now)
-                touched.append(t)
-
-        # Phase 2: compute new raw CPU shares.
-        shares: dict[int, float] = {}
-        for c in sorted(affected):
-            self._compute_shares(c, shares)
+        append = touched.append
+        for c in order:
+            state = cpu_states[c]
+            fifo = state.fifo
+            other = state.other
+            for t in fifo:
+                # inlined Task.advance(now)
+                dt = now - t._last_update
+                if dt >= 0:
+                    if dt and t.rate > 0.0:
+                        consumed = t.rate * dt
+                        t.total_cpu_time += consumed
+                        if t.pool is not None:
+                            t.pool.consume(consumed)
+                        elif t.work_remaining is not None:
+                            t.work_remaining -= consumed
+                            if t.work_remaining < 0.0:
+                                t.work_remaining = 0.0
+                    t._last_update = now
+                append(t)
+            for t in other:
+                dt = now - t._last_update
+                if dt >= 0:
+                    if dt and t.rate > 0.0:
+                        consumed = t.rate * dt
+                        t.total_cpu_time += consumed
+                        if t.pool is not None:
+                            t.pool.consume(consumed)
+                        elif t.work_remaining is not None:
+                            t.work_remaining -= consumed
+                            if t.work_remaining < 0.0:
+                                t.work_remaining = 0.0
+                    t._last_update = now
+                append(t)
+            # raw shares (mirrors _compute_shares, writing task slots)
+            speed = 1.0 - state.steal
+            sib = sibling[c]
+            if sib is not None and (fifo or other):
+                sstate = cpu_states[sib]
+                if sstate.fifo or sstate.other:
+                    speed *= smt_factor
+            if fifo:
+                head = fifo[0]
+                head._new_share = speed * fifo_share
+                head._share_epoch = epoch
+                for t in fifo[1:]:
+                    t._new_share = 0.0
+                    t._share_epoch = epoch
+                leftover = speed * (1.0 - fifo_share)
+                total_w = 0.0
+                for t in other:
+                    total_w += t.weight
+                if total_w > 0:
+                    for t in other:
+                        t._new_share = leftover * t.weight / total_w
+                        t._share_epoch = epoch
+                else:
+                    for t in other:
+                        t._new_share = 0.0
+                        t._share_epoch = epoch
+            elif other:
+                total_w = 0.0
+                for t in other:
+                    total_w += t.weight
+                if total_w > 0:
+                    for t in other:
+                        t._new_share = speed * t.weight / total_w
+                        t._share_epoch = epoch
+                else:
+                    for t in other:
+                        t._new_share = 0.0
+                        t._share_epoch = epoch
 
         # Phase 3: memory bandwidth rescale.  Demand is weighted by CPU
         # share: a task holding 65% of an SMT sibling (or starved by
         # FIFO noise) only pulls that fraction of its bandwidth, so the
         # freed bandwidth flows to the other streaming threads.
-        for t in touched:
-            share = shares.get(t.tid, t.cpu_share)
-            if t.mem_demand > 0.0 and share > 0.0:
-                self._mem_running[t.tid] = t
-            else:
-                self._mem_running.pop(t.tid, None)
-        # Drop dead/sleeping stragglers.
-        for tid in [tid for tid, t in self._mem_running.items() if t.cpu is None or not t.alive]:
-            del self._mem_running[tid]
-        total_demand = 0.0
-        for t in self._mem_running.values():
-            total_demand += t.mem_demand * shares.get(t.tid, t.cpu_share)
-        new_scale = self.memory.scale_for(total_demand)
-        # Propagating a rescale costs O(all streaming tasks).  Large
-        # jumps (a region starting or draining) apply immediately; the
-        # small per-completion cascade at a region's tail is coalesced
-        # into one deferred rescale so it stays O(n log n) per region.
-        drift = abs(new_scale - self._mem_scale) / self._mem_scale
-        scale_changed = drift > 0.25 or (drift > 1e-12 and len(self._mem_running) <= 4)
-        if drift > self.params.mem_rescale_tolerance and not scale_changed:
-            self._arm_mem_rescale()
-        if scale_changed:
-            # Advance mem tasks outside the affected set at their old rates
-            # before applying the new scale.
-            for t in sorted(self._mem_running.values(), key=lambda t: t.tid):
-                if t.tid not in shares:
-                    t.advance(now)
-                    touched.append(t)
-                    shares[t.tid] = t.cpu_share
-            self._mem_scale = new_scale
+        # Compute-only updates (no streaming task anywhere, scale at
+        # 1.0) skip the phase outright.
+        mem_running = self._mem_running
+        need_mem = bool(mem_running) or self._mem_scale != 1.0
+        if not need_mem:
+            for t in touched:
+                if t.mem_demand > 0.0:
+                    need_mem = True
+                    break
+        if need_mem:
+            for t in touched:
+                if t.mem_demand > 0.0 and t._new_share > 0.0:
+                    mem_running[t.tid] = t
+                else:
+                    mem_running.pop(t.tid, None)
+            total_demand = 0.0
+            for t in mem_running.values():
+                total_demand += t.mem_demand * (
+                    t._new_share if t._share_epoch == epoch else t.cpu_share
+                )
+            new_scale = self.memory.scale_for(total_demand)
+            # Propagating a rescale costs O(all streaming tasks).  Large
+            # jumps (a region starting or draining) apply immediately; the
+            # small per-completion cascade at a region's tail is coalesced
+            # into one deferred rescale so it stays O(n log n) per region.
+            drift = abs(new_scale - self._mem_scale) / self._mem_scale
+            scale_changed = drift > 0.25 or (drift > 1e-12 and len(mem_running) <= 4)
+            if drift > params.mem_rescale_tolerance and not scale_changed:
+                self._arm_mem_rescale()
+            if scale_changed:
+                # Advance mem tasks outside the affected set at their old
+                # rates before applying the new scale.
+                for t in sorted(mem_running.values(), key=_by_tid):
+                    if t._share_epoch != epoch:
+                        t.advance(now)
+                        append(t)
+                        t._new_share = t.cpu_share
+                        t._share_epoch = epoch
+                self._mem_scale = new_scale
 
         # Phase 4: assign effective rates and reschedule completions.
         # A completion event stays valid while the rate is unchanged
         # (it was computed from the same constant-rate trajectory), so
         # only genuinely re-rated tasks pay the heap churn.
+        mem_scale = self._mem_scale
+        engine = self.engine
+        schedule = engine.schedule
         pools: dict[int, WorkPool] = {}
-        seen: set[int] = set()
         for t in touched:
-            if t.tid in seen:
-                continue
-            seen.add(t.tid)
-            share = shares.get(t.tid, 0.0)
-            eff = share * (self._mem_scale if t.mem_demand > 0.0 else 1.0)
+            share = t._new_share
+            # share * 1.0 is bit-exact, so the no-demand branch skips
+            # the multiply without changing results.
+            eff = share * mem_scale if t.mem_demand > 0.0 else share
             if t.speed_penalty != 1.0:
                 eff *= t.speed_penalty
             rate_changed = eff != t.rate
@@ -404,26 +535,36 @@ class Scheduler:
             t.rate = eff
             if t._run_started is None and eff > 0.0:
                 t._run_started = now
-            if t.pool is not None:
+            pool = t.pool
+            if pool is not None:
                 if rate_changed:
-                    pools[id(t.pool)] = t.pool
+                    pools[id(pool)] = pool
             elif rate_changed or (t._completion_event is None and t.work_remaining is not None):
-                self._reschedule_task(t)
+                # inlined _reschedule_task (engine.now == now throughout
+                # _update, so schedule_after(wr / eff) == schedule(now + wr / eff))
+                ev = t._completion_event
+                if ev is not None:
+                    ev.cancel()
+                    t._completion_event = None
+                wr = t.work_remaining
+                if wr is not None and eff > 0.0:
+                    t._completion_event = schedule(now + wr / eff, self._task_done, t)
             if (
                 eff == 0.0
                 and t.cpu is not None
                 and t.policy is SchedPolicy.OTHER
                 and not t.pinned
                 and not t.spin
-                and self._cpus[t.cpu].fifo
+                and cpu_states[t.cpu].fifo
             ):
                 self._arm_starvation_check(t)
         for pool in pools.values():
             self._reschedule_pool(pool)
 
         # Phase 5: idle CPUs may pull starved/shared work.
-        for c in sorted(affected):
-            if not self._cpus[c].busy():
+        for c in order:
+            state = cpu_states[c]
+            if not (state.fifo or state.other):
                 self._try_pull(c)
 
     def _arm_mem_rescale(self) -> None:
@@ -467,7 +608,7 @@ class Scheduler:
     def _cpu_speed(self, cpu: int) -> float:
         state = self._cpus[cpu]
         speed = 1.0 - state.steal
-        sib = self.topology.sibling(cpu)
+        sib = self._sibling[cpu]
         if sib is not None and self._cpus[sib].busy() and state.busy():
             speed *= self.params.smt_factor
         return speed
@@ -604,7 +745,7 @@ class Scheduler:
 
     def _best_migration_target(self, task: Task) -> Optional[int]:
         cur = task.cpu
-        home_node = self.topology.numa_node(cur) if cur is not None else 0
+        home_node = self._numa[cur] if cur is not None else 0
         best: Optional[int] = None
         best_key: Optional[tuple] = None
         for c in self._allowed(task):
@@ -619,7 +760,7 @@ class Scheduler:
             # Prefer staying in the home NUMA node unless a remote CPU
             # offers a substantially better share (CFS's NUMA-aware
             # balancing reluctance).
-            remote = self.topology.numa_node(c) != home_node
+            remote = self._numa[c] != home_node
             key = (-(share * (0.7 if remote else 1.0)), c)
             if share > 1e-12 and (best_key is None or key < best_key):
                 best_key = key
@@ -629,7 +770,7 @@ class Scheduler:
     def _cpu_speed_if_joined(self, cpu: int) -> float:
         state = self._cpus[cpu]
         speed = 1.0 - state.steal
-        sib = self.topology.sibling(cpu)
+        sib = self._sibling[cpu]
         if sib is not None and self._cpus[sib].busy():
             speed *= self.params.smt_factor
         return speed
@@ -648,13 +789,16 @@ class Scheduler:
             state.other.remove(task)
         task.cpu = None
         task.rate = 0.0
+        # Mid-flight tasks are off-CPU: no bandwidth demand until
+        # re-placement (mirrors the pop in remove()).
+        self._mem_running.pop(task.tid, None)
         self._cancel_completion(task)
         self._update({src})
         # The migration cost is paid as off-CPU latency (cache refill,
         # runqueue hop); crossing NUMA nodes costs far more.
         cost = (
             self.params.numa_migration_cost
-            if self.topology.numa_node(src) != self.topology.numa_node(target)
+            if self._numa[src] != self._numa[target]
             else self.params.migration_cost
         )
         self._migration_origin[task.tid] = src
@@ -675,7 +819,7 @@ class Scheduler:
         # pay off on large multi-socket systems (§6).
         origin = self._migration_origin.pop(task.tid, None)
         if origin is not None and task.cpu is None:
-            if self.topology.numa_node(origin) != self.topology.numa_node(target):
+            if self._numa[origin] != self._numa[target]:
                 task.speed_penalty = min(task.speed_penalty, self.params.numa_remote_speed)
             else:
                 task.speed_penalty = min(task.speed_penalty, self.params.post_migration_speed)
@@ -686,19 +830,20 @@ class Scheduler:
         best: Optional[Task] = None
         best_key: Optional[tuple] = None
         now = self.engine.now
-        for c in range(self.topology.n_logical):
+        last_migration = self._last_migration
+        min_interval = self.params.min_migration_interval
+        for c, state in enumerate(self._cpus):
             if c == cpu:
                 continue
-            state = self._cpus[c]
-            crowded = bool(state.fifo) or len(state.other) > 1
-            if not crowded:
+            other = state.other
+            if not (state.fifo or len(other) > 1):  # not crowded
                 continue
-            for t in state.other:
+            for t in other:
                 if t.pinned or t.spin:
                     continue
                 if t.affinity is not None and cpu not in t.affinity:
                     continue
-                if now - self._last_migration.get(t.tid, -1e18) < self.params.min_migration_interval:
+                if now - last_migration.get(t.tid, -1e18) < min_interval:
                     continue
                 key = (t.rate, t.tid)  # most starved first
                 if best_key is None or key < best_key:

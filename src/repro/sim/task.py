@@ -89,6 +89,8 @@ class Task:
         "cpu",
         "rate",
         "cpu_share",
+        "_new_share",
+        "_share_epoch",
         "speed_penalty",
         "_last_update",
         "_completion_event",
@@ -140,6 +142,10 @@ class Task:
         self.rate: float = 0.0
         #: raw CPU-time share before memory throttling (scheduler-set)
         self.cpu_share: float = 0.0
+        #: scratch share staged by the scheduler's rate recompute; only
+        #: valid while ``_share_epoch`` matches the scheduler's epoch
+        self._new_share: float = 0.0
+        self._share_epoch: int = 0
         #: locality factor after a migration (cold caches / remote
         #: memory); resets when the task picks up new work
         self.speed_penalty: float = 1.0

@@ -193,6 +193,38 @@ class TestLazyHeapMaintenance:
         engine.run()
         assert engine.events_executed == len(live)
 
+    def test_compaction_count_bounded_by_hysteresis(self, engine):
+        # Regression test for compaction thrash: a churn pattern that
+        # hovers just past the dead-entry threshold must not trigger an
+        # O(n) rebuild on every schedule.  The floor guarantees at least
+        # ~128 schedules of accumulation between rebuilds, so each
+        # rebuild's O(heap) cost is paid for by the entries that caused
+        # it — amortized O(1) per schedule, never per-call O(n).
+        churn = 20_000
+        for i in range(churn):
+            engine.schedule(1.0 + i * 1e-7, lambda: None).cancel()
+        assert engine.compactions > 0  # the mechanism did engage
+        assert engine.compactions <= churn // 128 + 2  # ...at the amortized rate
+        assert len(engine._heap) < 1024
+        assert engine.pending_count() == 0
+
+    def test_compaction_floor_resets_growth_budget(self, engine):
+        # After a compaction the surviving heap sets the next floor:
+        # a large live population must not be rebuilt repeatedly by
+        # small amounts of follow-on churn.
+        live = [engine.schedule(10.0 + i * 1e-6, lambda: None) for i in range(2000)]
+        for i in range(5000):
+            engine.schedule(1.0 + i * 1e-7, lambda: None).cancel()
+        after_burst = engine.compactions
+        # Follow-on churn below the (now raised) floor: no new rebuilds
+        # until dead entries again dominate the bigger heap.
+        for i in range(500):
+            engine.schedule(2.0 + i * 1e-7, lambda: None).cancel()
+        assert engine.compactions == after_burst
+        assert engine.pending_count() == len(live)
+        engine.run()
+        assert engine.events_executed == len(live)
+
     def test_compaction_preserves_execution_order(self, engine):
         order = []
         keep = []

@@ -1,0 +1,59 @@
+"""Golden-equivalence suite: the simulator must be bit-identical.
+
+The fixtures in ``tests/fixtures/golden_equivalence.json`` were
+recorded (via ``tools/gen_golden_fixtures.py``) from the reference
+implementation *before* the fast-path optimizations.  Every case here
+re-runs the same spec and asserts the exact same observables:
+
+* per-rep execution times, compared as ``float.hex()`` strings — any
+  change in float operation order fails;
+* anomaly labels and migration/preemption counters — any change in
+  scheduler decision order fails;
+* a sha256 of the full tracer output (event arrays + interned source
+  table) — any change in the emitted noise-event stream fails.
+
+The matrix spans >20 seeds over all five platform topologies, both
+programming models, the mitigation strategies, and every noise
+mechanism, so an optimization that perturbs any scheduler path shows
+up as a concrete case name rather than a statistical drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden_cases import FIXTURE_PATH, build_cases, run_case
+
+_FIXTURES = Path(__file__).resolve().parent.parent / FIXTURE_PATH
+
+
+def _load():
+    data = json.loads(_FIXTURES.read_text())
+    assert data["format"] == 1
+    return {c["name"]: c for c in data["cases"]}
+
+
+_CASES = build_cases()
+
+
+def test_fixture_covers_every_case_and_enough_seeds():
+    recorded = _load()
+    names = [c["name"] for c in _CASES]
+    assert sorted(recorded) == sorted(names)
+    seeds = {c["seed"] for c in _CASES}
+    assert len(seeds) >= 20, "bit-identity contract requires >= 20 distinct seeds"
+
+
+@pytest.mark.parametrize("case", _CASES, ids=lambda c: c["name"])
+def test_bit_identical_to_golden_fixture(case):
+    expected = _load()[case["name"]]
+    actual = run_case(case)
+    assert len(actual["reps"]) == len(expected["reps"])
+    for i, (got, want) in enumerate(zip(actual["reps"], expected["reps"])):
+        assert got == want, (
+            f"{case['name']} rep {i} diverged from the golden fixture:\n"
+            f"  expected {want}\n  got      {got}"
+        )

@@ -1,20 +1,39 @@
 #!/usr/bin/env python3
-"""Serial-vs-parallel experiment throughput microbenchmark.
+"""Simulator performance harness: throughput, profiling, regression gates.
 
 Measures runs/sec of :func:`repro.harness.experiment.run_experiment`
-for a representative baseline spec under the serial backend and under
-process-pool backends of increasing width, verifies the bit-identity
-guarantee on every configuration, and reports the speedup.  Write the
-rendered table into the bench trajectory with ``--publish``
-(``benchmarks/out/bench_throughput.txt``).
+for a named scenario under the serial backend (and optionally under
+process-pool backends of increasing width, verifying the bit-identity
+guarantee on every configuration).  Three output modes grow it beyond
+a one-off microbenchmark:
+
+* ``--profile N`` — cProfile the serial run and print the top ``N``
+  functions by cumulative time (the first stop for hot-path triage);
+* ``--json PATH`` — machine-readable record (scenario, reps/sec, a
+  machine-speed calibration, normalized throughput, git revision);
+  the committed baseline lives at ``benchmarks/out/bench_sim.json``;
+* ``--check-against BASELINE`` — exit non-zero when normalized
+  throughput regressed more than ``--max-regression`` (default 20%)
+  vs. a previous ``--json`` record.  CI runs this as the perf smoke
+  gate (see ``.github/workflows/ci.yml``).
+
+Scenarios::
+
+    baseline   intel-9700kf/nbody     — engine + placement dominated
+    sim-bound  a64fx/minife           — scheduler rate-recompute and
+                                        memory-rescale dominated (the
+                                        paper-scale hot path)
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_throughput.py            # 1 vs 2 vs 4 workers
-    PYTHONPATH=src python tools/bench_throughput.py --jobs 8 --reps 120 --publish
+    PYTHONPATH=src python tools/bench_throughput.py                     # serial vs pools
+    PYTHONPATH=src python tools/bench_throughput.py --scenario sim-bound --serial-only
+    PYTHONPATH=src python tools/bench_throughput.py --scenario sim-bound --profile 25
+    PYTHONPATH=src python tools/bench_throughput.py --scenario sim-bound \
+        --json /tmp/now.json --check-against benchmarks/out/bench_sim.json
 
-Expected scaling: reps are embarrassingly parallel, so on an idle
-N-core machine the pool approaches N× (pickling traces back is the
+Expected parallel scaling: reps are embarrassingly parallel, so on an
+idle N-core machine the pool approaches N× (pickling traces back is the
 main tax; ``--tracing`` off shows the ceiling).  On fewer cores than
 workers the pool degrades gracefully to ~1×; the determinism guarantee
 holds at any width.
@@ -23,7 +42,9 @@ holds at any width.
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -36,6 +57,53 @@ import numpy as np  # noqa: E402
 from repro.harness.executor import ParallelExecutor, SerialExecutor  # noqa: E402
 from repro.harness.experiment import ExperimentSpec, run_experiment  # noqa: E402
 from repro.harness.report import TableBuilder  # noqa: E402
+
+#: named benchmark scenarios (platform, workload, params, default reps)
+SCENARIOS = {
+    "baseline": {
+        "platform": "intel-9700kf",
+        "workload": "nbody",
+        "workload_params": {},
+        "reps": 60,
+    },
+    # The scheduler-bound case: 48 streaming threads on A64FX drive the
+    # memory-rescale cascade on nearly every completion event.
+    "sim-bound": {
+        "platform": "a64fx",
+        "workload": "minife",
+        "workload_params": {"cg_iters": 40},
+        "reps": 12,
+    },
+}
+
+
+def calibrate() -> float:
+    """Machine-speed proxy in Mops/s: a fixed pure-Python loop.
+
+    Deliberately exercises none of the simulator's code, so the
+    normalized throughput (reps/sec ÷ calibration) cancels host speed
+    differences between the committed baseline and a CI runner while
+    still tracking real simulator regressions.
+    """
+    n = 300_000
+    best = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0.0
+        for i in range(n):
+            acc += 1.0000001 * i - acc * 0.5
+        best = max(best, n / (time.perf_counter() - t0))
+    return best / 1e6
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
 
 
 def bench(spec: ExperimentSpec, executor, repeats: int) -> tuple[float, np.ndarray]:
@@ -51,48 +119,132 @@ def bench(spec: ExperimentSpec, executor, repeats: int) -> tuple[float, np.ndarr
     return best, times
 
 
+def profile_serial(spec: ExperimentSpec, top: int) -> None:
+    import cProfile
+    import pstats
+
+    pr = cProfile.Profile()
+    pr.enable()
+    run_experiment(spec, executor=SerialExecutor())
+    pr.disable()
+    stats = pstats.Stats(pr)
+    stats.sort_stats("cumulative")
+    print(f"cProfile: {spec.label()}, top {top} by cumulative time")
+    stats.print_stats(top)
+
+
+def check_against(baseline_path: Path, record: dict, max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("scenario") != record["scenario"]:
+        print(
+            f"FATAL: baseline scenario {baseline.get('scenario')!r} != "
+            f"measured {record['scenario']!r}",
+            file=sys.stderr,
+        )
+        return 1
+    base = baseline["normalized_rps"]
+    now = record["normalized_rps"]
+    change = (now - base) / base
+    print(
+        f"perf gate [{record['scenario']}]: normalized {base:.3f} -> {now:.3f} "
+        f"({change:+.1%}; raw {record['reps_per_sec']:.2f} reps/s, "
+        f"calibration {record['calibration_mops']:.2f} Mops/s)"
+    )
+    if change < -max_regression:
+        print(
+            f"FAIL: normalized throughput regressed {-change:.1%} "
+            f"(> {max_regression:.0%} allowed). If this is expected (e.g. a "
+            "deliberate model change), refresh benchmarks/out/bench_sim.json "
+            "or apply the skip-perf label (see README).",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--platform", default="intel-9700kf")
-    ap.add_argument("--workload", default="nbody")
-    ap.add_argument("--reps", type=int, default=60, help="reps per experiment (paper cell: 1000)")
+    ap.add_argument("--scenario", choices=sorted(SCENARIOS), default="baseline")
+    ap.add_argument("--platform", default=None, help="override scenario platform")
+    ap.add_argument("--workload", default=None, help="override scenario workload")
+    ap.add_argument("--reps", type=int, default=None, help="reps per experiment (paper cell: 1000)")
     ap.add_argument("--seed", type=int, default=2025)
     ap.add_argument("--jobs", type=int, nargs="*", default=[2, 4], help="pool widths to probe")
+    ap.add_argument("--serial-only", action="store_true", help="skip the pool backends")
     ap.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
     ap.add_argument("--no-tracing", action="store_true", help="measure without the tracer")
+    ap.add_argument("--profile", type=int, metavar="N", default=0,
+                    help="cProfile the serial run; print top N by cumtime")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write a machine-readable record (reps/sec, calibration, git rev)")
+    ap.add_argument("--check-against", metavar="BASELINE", default=None,
+                    help="fail if normalized reps/sec regressed vs. a --json baseline")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed fractional regression for --check-against (default 0.20)")
     ap.add_argument("--publish", action="store_true", help="write benchmarks/out/bench_throughput.txt")
     args = ap.parse_args(argv)
 
+    scenario = SCENARIOS[args.scenario]
     spec = ExperimentSpec(
-        platform=args.platform,
-        workload=args.workload,
-        reps=args.reps,
+        platform=args.platform or scenario["platform"],
+        workload=args.workload or scenario["workload"],
+        reps=args.reps if args.reps is not None else scenario["reps"],
         seed=args.seed,
         tracing=not args.no_tracing,
+        workload_params=dict(scenario["workload_params"]),
     )
+
+    if args.profile:
+        profile_serial(spec, args.profile)
+        return 0
+
     serial_rps, reference = bench(spec, SerialExecutor(), args.repeats)
 
     tb = TableBuilder(["backend", "runs/sec", "speedup", "bit-identical"])
     tb.add_row("serial", f"{serial_rps:.1f}", "1.00x", "-")
-    for jobs in args.jobs:
-        with ParallelExecutor(jobs) as ex:
-            rps, times = bench(spec, ex, args.repeats)
-        identical = bool((times == reference).all())
-        tb.add_row(f"parallel jobs={jobs}", f"{rps:.1f}", f"{rps / serial_rps:.2f}x", str(identical))
-        if not identical:
-            print("FATAL: parallel results diverged from serial", file=sys.stderr)
-            return 1
+    if not args.serial_only:
+        for jobs in args.jobs:
+            with ParallelExecutor(jobs) as ex:
+                rps, times = bench(spec, ex, args.repeats)
+            identical = bool((times == reference).all())
+            tb.add_row(f"parallel jobs={jobs}", f"{rps:.1f}", f"{rps / serial_rps:.2f}x", str(identical))
+            if not identical:
+                print("FATAL: parallel results diverged from serial", file=sys.stderr)
+                return 1
 
     text = (
-        f"Throughput: {spec.label()} x{args.reps} reps "
+        f"Throughput [{args.scenario}]: {spec.label()} x{spec.reps} reps "
         f"(tracing {'on' if spec.tracing else 'off'}, {os.cpu_count()} CPUs)\n" + tb.render()
     )
     print(text)
+
+    record = None
+    if args.json or args.check_against:
+        calib = calibrate()
+        record = {
+            "scenario": args.scenario,
+            "platform": spec.platform,
+            "workload": spec.workload,
+            "workload_params": dict(spec.workload_params),
+            "reps": spec.reps,
+            "tracing": spec.tracing,
+            "reps_per_sec": round(serial_rps, 4),
+            "calibration_mops": round(calib, 4),
+            "normalized_rps": round(serial_rps / calib, 4),
+            "git_rev": git_rev(),
+        }
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, indent=1) + "\n")
+        print(f"json record written to {out}")
     if args.publish:
         out = ROOT / "benchmarks" / "out" / "bench_throughput.txt"
         out.parent.mkdir(exist_ok=True)
         out.write_text(text + "\n")
         print(f"\nwritten to {out}")
+    if args.check_against:
+        return check_against(Path(args.check_against), record, args.max_regression)
     return 0
 
 

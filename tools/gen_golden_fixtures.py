@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Record the golden-equivalence fixtures for the simulator fast path.
+
+Runs every case in ``tests/golden_cases.py`` and writes their exact
+observable signatures (float-hex exec times, trace content hashes,
+scheduler counters) to ``tests/fixtures/golden_equivalence.json``.
+
+The fixtures define the bit-identity contract that scheduler/engine
+optimizations must honour: ``tests/test_golden_equivalence.py`` replays
+the same cases and asserts exact equality.  Regenerate **only** when a
+change is *meant* to alter simulation results (a model change, not an
+optimization) — and say so in the commit message.
+
+Usage::
+
+    PYTHONPATH=src:tests python tools/gen_golden_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.golden_cases import FIXTURE_PATH, build_cases, run_case  # noqa: E402
+
+
+def main() -> int:
+    out = {"format": 1, "cases": []}
+    t0 = time.perf_counter()
+    for case in build_cases():
+        t1 = time.perf_counter()
+        sig = run_case(case)
+        print(f"  {case['name']:32s} {time.perf_counter() - t1:6.2f}s", flush=True)
+        out["cases"].append(sig)
+    path = REPO / FIXTURE_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(out, indent=1) + "\n")
+    print(f"wrote {len(out['cases'])} cases to {path} "
+          f"in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ Subcommands mirror the paper's workflow:
 * ``pipeline``  — all three stages end to end;
 * ``table``     — regenerate a paper table (1–7) or ablation;
 * ``figure``    — regenerate a paper figure (1–2);
+* ``campaign``  — run whole artefact campaigns with a checkpoint
+  journal and ``--resume``;
 * ``platforms`` — list platform presets;
 * ``noise``     — list registered noise sources and their parameters.
 
@@ -17,6 +19,11 @@ Subcommands mirror the paper's workflow:
 flags composing any registered sources (I/O bursts, memory hogs,
 HPAS-style anomalies, synthetic background) with — or instead of — the
 trace-replay config, all in one run.
+
+Experiment-running subcommands accept ``--timeout`` / ``--retries`` /
+``--on-failure`` fault-containment flags (see docs/robustness.md);
+results recovered through retries stay bit-identical to undisturbed
+runs.
 """
 
 from __future__ import annotations
@@ -63,6 +70,53 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         help="worker processes for repetitions (default: $REPRO_JOBS or 1; "
         "0 = one per CPU; results are bit-identical at any worker count)",
     )
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("fault tolerance")
+    g.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-repetition wall-time budget (default: none)",
+    )
+    g.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed repetition; retried reps are "
+        "bit-identical to clean runs (implies --on-failure retry)",
+    )
+    g.add_argument(
+        "--on-failure",
+        choices=["raise", "skip", "retry"],
+        default=None,
+        help="terminal action once retries are exhausted: raise (fail "
+        "fast, default), retry (then raise), or skip (record the "
+        "failure, continue with partial results)",
+    )
+
+
+def _policy_from(args) -> Optional["FaultPolicy"]:
+    """Build a FaultPolicy from CLI flags (None when none were given)."""
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", None)
+    on_failure = getattr(args, "on_failure", None)
+    if timeout is None and retries is None and on_failure is None:
+        return None
+    from repro.harness.faults import FaultPolicy
+
+    if on_failure is None:
+        on_failure = "retry" if retries is not None else "raise"
+    kwargs = {"timeout": timeout, "on_failure": on_failure}
+    if retries is not None:
+        kwargs["max_retries"] = retries
+    try:
+        return FaultPolicy(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"repro-noise: {exc}")
 
 
 def _add_noise_args(p: argparse.ArgumentParser, verb: str) -> None:
@@ -128,22 +182,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("baseline", help="run a baseline experiment")
     _add_spec_args(p)
     _add_exec_args(p)
+    _add_fault_args(p)
     p.add_argument("--no-tracing", action="store_true", help="disable the OSnoise tracer")
 
     p = sub.add_parser("trace", help="stage 1: collect traces, save the worst case")
     _add_spec_args(p)
     _add_exec_args(p)
+    _add_fault_args(p)
     p.add_argument("--out", default="worst_case.json", help="path for the worst-case trace JSON")
 
     p = sub.add_parser("configure", help="stage 2: generate a noise config")
     _add_spec_args(p)
     _add_exec_args(p)
+    _add_fault_args(p)
     p.add_argument("--merge", choices=["improved", "naive"], default="improved")
     p.add_argument("--out", default="noise_config.json", help="path for the config JSON")
 
     p = sub.add_parser("inject", help="stage 3: replay noise against a workload")
     _add_spec_args(p)
     _add_exec_args(p)
+    _add_fault_args(p)
     p.add_argument(
         "--config",
         default=None,
@@ -154,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pipeline", help="collect, configure, and inject end to end")
     _add_spec_args(p)
     _add_exec_args(p)
+    _add_fault_args(p)
     p.add_argument("--merge", choices=["improved", "naive"], default="improved")
     _add_noise_args(p, "compose with the replayed worst case")
 
@@ -168,6 +227,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", choices=["1", "2", "3", "4", "5", "6"])
     p.add_argument("--seed", type=int, default=2025)
     _add_exec_args(p)
+
+    p = sub.add_parser(
+        "campaign", help="run artefact campaigns with checkpoint/resume"
+    )
+    p.add_argument(
+        "target",
+        choices=[
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "ablation", "runlevel3", "figure1", "figure2", "all",
+        ],
+        help="which artefact campaign to run",
+    )
+    p.add_argument("--seed", type=int, default=2025)
+    _add_exec_args(p)
+    _add_fault_args(p)
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint journal of completed cells (written as the "
+        "campaign progresses; enables a later --resume)",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume an interrupted campaign from its journal: completed "
+        "cells are skipped, only the missing ones run (results stay "
+        "bit-identical to an uninterrupted campaign)",
+    )
 
     p = sub.add_parser("analyze", help="analyse a saved trace JSON")
     p.add_argument("trace", help="trace JSON from `repro-noise trace`")
@@ -195,16 +284,20 @@ def _cmd_baseline(args) -> int:
     from repro.harness.experiment import run_experiment
 
     spec = _spec_from(args).with_(tracing=not args.no_tracing)
-    rs = run_experiment(spec, executor=_executor_from(args))
+    rs = run_experiment(spec, executor=_executor_from(args), policy=_policy_from(args))
     print(f"{spec.label()}: {rs.summary}")
     print(f"natural anomalies observed: {rs.anomaly_count()}/{len(rs.times)} runs")
+    if rs.failures:
+        print(f"contained failures: {rs.failure_count()}/{len(rs.times)} reps skipped")
     return 0
 
 
 def _cmd_trace(args) -> int:
     from repro.core.collection import collect_traces
 
-    coll = collect_traces(_spec_from(args), executor=_executor_from(args))
+    coll = collect_traces(
+        _spec_from(args), executor=_executor_from(args), policy=_policy_from(args)
+    )
     worst = coll.worst_trace
     print(
         f"collected {len(coll.exec_times)} runs, mean {coll.mean_exec_time:.4f}s, "
@@ -222,7 +315,9 @@ def _cmd_configure(args) -> int:
     from repro.core.config import generate_config
     from repro.core.merge import MergeStrategy
 
-    coll = collect_traces(_spec_from(args), executor=_executor_from(args))
+    coll = collect_traces(
+        _spec_from(args), executor=_executor_from(args), policy=_policy_from(args)
+    )
     config = generate_config(
         coll.worst_trace,
         coll.profile,
@@ -253,9 +348,13 @@ def _cmd_inject(args) -> int:
     stack = NoiseStack(sources)
     spec = _spec_from(args)
     executor = _executor_from(args)
-    baseline = run_experiment(spec, executor=executor)
+    policy = _policy_from(args)
+    baseline = run_experiment(spec, executor=executor, policy=policy)
     injected = run_experiment(
-        spec.with_(seed=spec.seed + 1_000_003), noise=stack, executor=executor
+        spec.with_(seed=spec.seed + 1_000_003),
+        noise=stack,
+        executor=executor,
+        policy=policy,
     )
     delta = (injected.mean / baseline.mean - 1.0) * 100.0
     print(f"noise stack: {stack.describe()}")
@@ -279,6 +378,7 @@ def _cmd_pipeline(args) -> int:
         merge=MergeStrategy(args.merge),
         executor=_executor_from(args),
         extra_noise=_noise_sources_from(args),
+        fault_policy=_policy_from(args),
     )
     result = pipe.run()
     print(result.summary())
@@ -374,6 +474,61 @@ def _demo_figure(number: int, seed: int) -> None:
         print(f"  baseline mean {coll.mean_exec_time:.4f}s -> injected mean {injected.mean:.4f}s")
 
 
+def _cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.harness import campaigns
+    from repro.harness.cache import ResultCache
+    from repro.harness.faults import CampaignJournal
+
+    journal_path = args.resume if args.resume is not None else args.journal
+    cache = ResultCache()
+    journal = None
+    if journal_path is not None:
+        journal = CampaignJournal(Path(journal_path))
+        if args.resume is not None:
+            present, missing = journal.verify_against_cache(cache)
+            print(
+                f"resuming from {journal.path}: {len(journal.completed)} cells "
+                f"journaled ({present} cached, {missing} re-run)"
+            )
+    settings = campaigns.default_settings(
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        fault_policy=_policy_from(args),
+        journal=journal,
+    )
+    targets = {
+        "table1": campaigns.table1,
+        "table2": campaigns.table2,
+        "table3": campaigns.table3,
+        "table4": campaigns.table4,
+        "table5": campaigns.table5,
+        "table6": campaigns.table6,
+        "table7": campaigns.table7,
+        "ablation": campaigns.merge_ablation,
+        "runlevel3": campaigns.runlevel3_study,
+        "figure1": campaigns.figure1,
+        "figure2": campaigns.figure2,
+    }
+    names = list(targets) if args.target == "all" else [args.target]
+    for name in names:
+        print(targets[name](settings).render())
+        print()
+    stats = settings.cache.stats()
+    print(
+        f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['corrupt']} salvaged, {stats['partial']} partial"
+    )
+    ex_stats = settings.executor.stats()
+    if ex_stats:
+        print(f"executor: {ex_stats}")
+    if journal is not None:
+        print(f"journal: {len(journal.completed)} completed cells -> {journal.path}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import busiest_window, noise_timeline, top_sources
     from repro.core.trace import Trace
@@ -414,6 +569,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "noise": _cmd_noise,
         "table": _cmd_table,
         "figure": _cmd_figure,
+        "campaign": _cmd_campaign,
         "analyze": _cmd_analyze,
     }
     return dispatch[args.command](args)

@@ -21,6 +21,7 @@ from repro.sim.machine import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.executor import Executor
+    from repro.harness.faults import FaultPolicy
 
 __all__ = ["CollectionResult", "collect_traces"]
 
@@ -66,6 +67,7 @@ def collect_traces(
     max_batches: int = 5,
     profile_excludes_anomalies: bool = False,
     executor: Optional["Executor"] = None,
+    policy: Optional["FaultPolicy"] = None,
 ) -> CollectionResult:
     """Run the collection campaign for one workload configuration.
 
@@ -83,6 +85,10 @@ def collect_traces(
     Under a parallel backend the trace consumer receives each batch's
     runs in order once their chunks complete; the streamed profile and
     worst-case selection are order-insensitive either way.
+
+    ``policy`` contains per-rep failures during collection
+    (:class:`~repro.harness.faults.FaultPolicy`); skipped reps simply
+    contribute nothing to the profile or the worst-case hunt.
 
     ``profile_excludes_anomalies`` keeps anomalous runs out of the
     average-noise profile.  Use it when collecting under an
@@ -111,9 +117,16 @@ def collect_traces(
     all_anomalies: list[Optional[str]] = []
     for batch in range(max_batches):
         batch_spec = spec.with_(seed=spec.seed + batch * 7919)
-        rs = run_experiment(batch_spec, on_run=consume, executor=executor)
-        all_times.append(rs.times)
-        all_anomalies.extend(rs.anomalies)
+        rs = run_experiment(batch_spec, on_run=consume, executor=executor, policy=policy)
+        if rs.failures:
+            # Skipped reps carry NaN — drop them (and their anomaly
+            # slots) so the worst-case hunt and profile stay finite.
+            keep = ~np.isnan(rs.times)
+            all_times.append(rs.times[keep])
+            all_anomalies.extend(a for a, k in zip(rs.anomalies, keep) if k)
+        else:
+            all_times.append(rs.times)
+            all_anomalies.extend(rs.anomalies)
         times = np.concatenate(all_times)
         worst = state["worst"]
         if worst is not None and worst.exec_time / times.mean() - 1.0 >= min_degradation:

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from typing import Sequence
 
     from repro.harness.executor import Executor
+    from repro.harness.faults import FaultPolicy
 
 __all__ = ["PipelineResult", "NoiseInjectionPipeline"]
 
@@ -91,6 +92,7 @@ class NoiseInjectionPipeline:
         collect_anomaly_prob: Optional[float] = 0.15,
         executor: Optional["Executor"] = None,
         extra_noise: "Sequence[NoiseSource]" = (),
+        fault_policy: Optional["FaultPolicy"] = None,
     ):
         """``collect_anomaly_prob`` accelerates the worst-case hunt
         during collection only (the paper brute-forced rare events over
@@ -106,13 +108,18 @@ class NoiseInjectionPipeline:
 
         ``executor`` selects the execution backend for both the
         collection and injection stages (default: ``REPRO_JOBS``);
-        results are bit-identical across backends."""
+        results are bit-identical across backends.
+
+        ``fault_policy`` contains per-rep failures in both stages
+        (:class:`~repro.harness.faults.FaultPolicy`): timeouts, retries
+        with deterministic backoff, and ``skip`` partial results."""
         self.spec = spec
         self.merge = merge
         self.collect_reps = collect_reps
         self.inject_reps = inject_reps
         self.collect_anomaly_prob = collect_anomaly_prob
         self.executor = executor
+        self.fault_policy = fault_policy
         self.extra_noise: tuple[NoiseSource, ...] = tuple(extra_noise)
         self.collection: Optional[CollectionResult] = None
         self.config: Optional[NoiseConfig] = None
@@ -134,6 +141,7 @@ class NoiseInjectionPipeline:
             reps=self.collect_reps,
             profile_excludes_anomalies=accelerated,
             executor=self.executor,
+            policy=self.fault_policy,
         )
         self.config = generate_config(
             self.collection.worst_trace,
@@ -165,7 +173,9 @@ class NoiseInjectionPipeline:
         # fresh inherent noise (the paper's uncontrollable residual).
         spec = spec.with_(seed=spec.seed + 1_000_003)
         stack = NoiseStack([*(NoiseStack.coerce(config) or ()), *self.extra_noise])
-        return run_experiment(spec, noise=stack, executor=self.executor)
+        return run_experiment(
+            spec, noise=stack, executor=self.executor, policy=self.fault_policy
+        )
 
     def run(self) -> PipelineResult:
         """Full cycle against the pipeline's own spec."""

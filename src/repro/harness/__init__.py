@@ -8,6 +8,13 @@ from repro.harness.executor import (
     resolve_jobs,
 )
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment, run_once
+from repro.harness.faults import (
+    CampaignJournal,
+    FailureRecord,
+    FaultPolicy,
+    RepExecutionError,
+    RepTimeoutError,
+)
 from repro.harness.stats import summarize, Summary
 
 __all__ = [
@@ -22,4 +29,9 @@ __all__ = [
     "ParallelExecutor",
     "get_executor",
     "resolve_jobs",
+    "FaultPolicy",
+    "FailureRecord",
+    "RepExecutionError",
+    "RepTimeoutError",
+    "CampaignJournal",
 ]

@@ -20,6 +20,15 @@ the working directory); delete the directory to invalidate, or set
 ``REPRO_NO_CACHE=1`` to bypass entirely.  Corrupt entries (truncated
 writes, stale schemas) are evicted, logged, counted in
 :meth:`ResultCache.stats`, and transparently re-run.
+
+Durability: entries are written atomically (same-directory temp file +
+``os.replace``), so a crash mid-write can never leave a torn entry
+under a valid key — the torn-entry salvage path exists for files
+damaged *after* the write (disk faults, the deterministic chaos
+harness's ``corrupt`` profile).  Partial results (a ``skip``
+fault policy left NaN reps) are never stored under the primary key;
+they land in a ``<key>.partial.json`` quarantine envelope — failure
+records included — and the cell re-runs next time.
 """
 
 from __future__ import annotations
@@ -35,11 +44,13 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
+from repro.harness.faults import FailureRecord, atomic_write_text
 from repro.noise.base import NoiseStack
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.executor import Executor
     from repro.harness.experiment import NoiseLike
+    from repro.harness.faults import CampaignJournal, FaultPolicy
     from repro.sim.machine import RunResult
 
 __all__ = ["ResultCache", "cached_experiment"]
@@ -65,16 +76,28 @@ class ResultCache:
     counters are lock-protected).
     """
 
-    def __init__(self, root: Optional[Path] = None, executor: Optional["Executor"] = None):
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        executor: Optional["Executor"] = None,
+        policy: Optional["FaultPolicy"] = None,
+        journal: Optional["CampaignJournal"] = None,
+    ):
         if root is None:
             root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
         self.root = Path(root)
         self.enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
         self.executor = executor
+        #: default fault policy for cache misses; per-call overrides win
+        self.policy = policy
+        #: optional campaign checkpoint journal; completed cells are
+        #: recorded by key, contained failures by record
+        self.journal = journal
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.stale = 0
+        self.partial = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -106,15 +129,23 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def has_entry(self, key: str) -> bool:
+        """Whether a (possibly stale/torn) entry exists for ``key``."""
+        return self.enabled and self._path(key).exists()
+
     def stats(self) -> dict:
-        """Counters: ``hits``, ``misses``, ``corrupt``, ``stale``
-        (``corrupt``/``stale`` entries are evicted on discovery)."""
+        """Counters: ``hits``, ``misses``, ``corrupt``, ``stale``,
+        ``partial``.  ``corrupt`` counts torn entries salvaged (evicted
+        on discovery and transparently re-run); ``stale`` counts
+        key-version evictions; ``partial`` counts results quarantined
+        instead of cached because a skip policy left failed reps."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "corrupt": self.corrupt,
                 "stale": self.stale,
+                "partial": self.partial,
             }
 
     def _count(self, counter: str) -> None:
@@ -129,6 +160,7 @@ class ResultCache:
         executor: Optional["Executor"] = None,
         on_run: Optional[Callable[[int, "RunResult"], None]] = None,
         noise: "NoiseLike" = None,
+        policy: Optional["FaultPolicy"] = None,
     ) -> ResultSet:
         """Return cached results or run the experiment and store them.
 
@@ -142,6 +174,13 @@ class ResultCache:
         Passing one while the cache is enabled raises ``ValueError``
         (with ``REPRO_NO_CACHE=1`` every call re-runs, so live
         consumption is honest again and allowed through).
+
+        ``policy`` governs fault containment on a miss (default:
+        ``self.policy``).  It never enters the cache key — a retried or
+        recovered run is bit-identical to a clean one, so the same cell
+        keys identically under any policy.  Partial results (skipped
+        reps) are returned but quarantined to ``<key>.partial.json``
+        rather than cached, so the cell re-runs on the next call.
         """
         if on_run is not None and self.enabled:
             raise ValueError(
@@ -177,13 +216,18 @@ class ResultCache:
                         times=np.asarray(data["times"]),
                         anomalies=data["anomalies"],
                         injected=data["injected"],
+                        failures=[
+                            FailureRecord.from_dict(f) for f in data.get("failures", [])
+                        ],
                     )
                     self._count("hits")
+                    if self.journal is not None:
+                        self.journal.record_done(key, label=spec.label())
                     return rs
             except (json.JSONDecodeError, KeyError):
                 self._count("corrupt")
                 _log.warning(
-                    "evicting corrupt cache entry %s for %s (re-running)",
+                    "salvaging torn/corrupt cache entry %s for %s (evict + re-run)",
                     path.name,
                     spec.label(),
                 )
@@ -194,23 +238,34 @@ class ResultCache:
             noise=stack,
             on_run=on_run,
             executor=executor if executor is not None else self.executor,
+            policy=policy if policy is not None else self.policy,
         )
+        envelope = json.dumps(
+            {
+                "key_version": _KEY_VERSION,
+                "times": rs.times.tolist(),
+                "anomalies": rs.anomalies,
+                "injected": rs.injected,
+                "label": spec.label(),
+                "noise": stack.kinds() if stack is not None else None,
+                "failures": [f.to_dict() for f in rs.failures],
+            }
+        )
+        if rs.failures:
+            # Partial results never enter the primary keyspace: the
+            # quarantine envelope keeps the failure records for
+            # post-mortems while the cell stays re-runnable.
+            self._count("partial")
+            if self.enabled:
+                atomic_write_text(self.root / f"{key}.partial.json", envelope)
+            if self.journal is not None:
+                for record in rs.failures:
+                    self.journal.record_failure(key, record, label=spec.label())
+            return rs
         if self.enabled:
-            self.root.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(
-                json.dumps(
-                    {
-                        "key_version": _KEY_VERSION,
-                        "times": rs.times.tolist(),
-                        "anomalies": rs.anomalies,
-                        "injected": rs.injected,
-                        "label": spec.label(),
-                        "noise": stack.kinds() if stack is not None else None,
-                    }
-                )
-            )
-            tmp.replace(path)
+            atomic_write_text(path, envelope)
+        if self.journal is not None:
+            self.journal.record_done(key, label=spec.label())
         return rs
 
 

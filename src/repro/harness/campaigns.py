@@ -31,6 +31,12 @@ from repro.core.config import NoiseConfig, generate_config
 from repro.core.merge import MergeStrategy
 from repro.harness.cache import ResultCache
 from repro.harness.experiment import ExperimentSpec
+from repro.harness.faults import (
+    CampaignJournal,
+    FailureRecord,
+    FaultPolicy,
+    atomic_write_text,
+)
 from repro.harness import paper_reference as paper
 from repro.harness.report import InjectionRow, TableBuilder, render_injection_table, render_series_figure
 from repro.harness.stats import summarize
@@ -72,6 +78,14 @@ class CampaignSettings:
     draining no longer leaves workers idle.  Results stay bit-identical
     to a serial campaign: per-rep seeding is index-based and cells are
     collected in submission order.
+
+    ``fault_policy`` contains per-rep failures (timeouts, retries with
+    deterministic backoff, ``skip`` partial results) for every cell the
+    campaign runs; ``journal`` checkpoints completed cells to a JSONL
+    file so an interrupted campaign can be resumed with
+    ``repro-noise campaign --resume`` (completed cells are skipped via
+    the cache; the journal records exactly which those are, plus every
+    contained failure).
     """
 
     seed: int = 2025
@@ -79,6 +93,8 @@ class CampaignSettings:
     collect_batches: int = 5
     jobs: Optional[int] = None
     cache: ResultCache = field(default_factory=ResultCache)
+    fault_policy: Optional["FaultPolicy"] = None
+    journal: Optional["CampaignJournal"] = None
 
     def __post_init__(self) -> None:
         from repro.harness.executor import get_executor
@@ -86,6 +102,10 @@ class CampaignSettings:
         self.executor = get_executor(self.jobs)
         if self.cache.executor is None:
             self.cache.executor = self.executor
+        if self.fault_policy is not None and self.cache.policy is None:
+            self.cache.policy = self.fault_policy
+        if self.journal is not None and self.cache.journal is None:
+            self.cache.journal = self.journal
 
     def resolved_collect_reps(self) -> int:
         """Collection batch size with environment default applied."""
@@ -102,14 +122,39 @@ class CampaignSettings:
         overlaps the cells' cache lookups and rep dispatch (the reps
         themselves run in the shared worker processes).  Output order
         always matches ``items`` order.
+
+        A cell that raises still aborts the campaign (partial *tables*
+        would be silently wrong), but when a ``journal`` is attached the
+        failure is checkpointed first — a resumed campaign re-runs only
+        the missing cells because every completed one hit the journal
+        via the cache.
         """
         items = list(items)
+        fn = self._journaled(fn)
         if self.executor.jobs <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=min(self.executor.jobs, len(items))) as tp:
             return list(tp.map(fn, items))
+
+    def _journaled(self, fn):
+        """Wrap a cell function to checkpoint failures before re-raising."""
+        if self.journal is None:
+            return fn
+
+        def wrapped(item):
+            try:
+                return fn(item)
+            except Exception as exc:
+                self.journal.record_failure(
+                    f"cell:{item!r}",
+                    FailureRecord.from_exception(-1, "cell", exc, attempts=1, wall_time=0.0),
+                    item=repr(item),
+                )
+                raise
+
+        return wrapped
 
     def spec_seed(self, *parts) -> int:
         """Stable per-cell seed derived from the campaign seed."""
@@ -165,15 +210,21 @@ def build_noise_config(
     if settings.cache.enabled and cache_path.exists():
         import json
 
-        data = json.loads(cache_path.read_text())
-        return ConfigInfo(
-            config=NoiseConfig.from_json(data["config"]),
-            worst_exec_time=data["worst_exec_time"],
-            mean_exec_time=data["mean_exec_time"],
-            anomaly=data["anomaly"],
-            n_runs=data["n_runs"],
-            source_label=data["source_label"],
-        )
+        try:
+            data = json.loads(cache_path.read_text())
+            return ConfigInfo(
+                config=NoiseConfig.from_json(data["config"]),
+                worst_exec_time=data["worst_exec_time"],
+                mean_exec_time=data["mean_exec_time"],
+                anomaly=data["anomaly"],
+                n_runs=data["n_runs"],
+                source_label=data["source_label"],
+            )
+        except (json.JSONDecodeError, KeyError):
+            # Torn config entry (crash mid-session, disk fault, chaos
+            # corruption): salvage by evicting and re-collecting.
+            settings.cache._count("corrupt")
+            cache_path.unlink(missing_ok=True)
     spec = ExperimentSpec(
         platform=platform,
         workload=workload,
@@ -190,6 +241,7 @@ def build_noise_config(
         max_batches=settings.collect_batches,
         profile_excludes_anomalies=anomaly_prob is not None,
         executor=settings.executor,
+        policy=settings.fault_policy,
     )
     config = generate_config(
         coll.worst_trace,
@@ -208,8 +260,8 @@ def build_noise_config(
     if settings.cache.enabled:
         import json
 
-        settings.cache.root.mkdir(parents=True, exist_ok=True)
-        cache_path.write_text(
+        atomic_write_text(
+            cache_path,
             json.dumps(
                 {
                     "config": config.to_json(),
@@ -219,7 +271,7 @@ def build_noise_config(
                     "n_runs": info.n_runs,
                     "source_label": label,
                 }
-            )
+            ),
         )
     return info
 
@@ -723,6 +775,7 @@ def merge_ablation(
         max_batches=1,
         min_degradation=0.0,
         executor=settings.executor,
+        policy=settings.fault_policy,
     )
     accuracies = {}
     fifo = {}

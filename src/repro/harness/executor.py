@@ -29,6 +29,27 @@ the ``i``-th child of ``SeedSequence(spec.seed).spawn(reps)`` — and the
 chunk map preserves index order.  ``tests/test_executor.py`` enforces
 the guarantee bitwise.
 
+Fault tolerance
+---------------
+Both backends accept a :class:`~repro.harness.faults.FaultPolicy` and
+run every repetition through the same contained attempt loop: per-rep
+``SIGALRM`` timeouts, bounded retries with deterministic backoff, and
+``skip`` semantics that convert a terminally failing rep into a
+NaN-timed :class:`RepResult` carrying a structured
+:class:`~repro.harness.faults.FailureRecord`.  A retried rep rebuilds
+its RNG from the *original* per-rep spawn key, so a rep that succeeds
+on attempt *k* is bit-identical to one that succeeded immediately — the
+golden-equivalence suite proves it under injected chaos.
+
+The parallel backend additionally survives infrastructure failure:
+chunks are dispatched as individual futures with deadlines, a
+``BrokenProcessPool`` (e.g. a worker killed by the OOM killer — or by
+the :mod:`~repro.harness.chaos` harness) causes the pool to be rebuilt
+and only the unfinished chunks re-dispatched, and after
+``max_pool_breaks`` consecutive breakages the executor degrades to
+in-process serial execution for the remainder (logged, visible in
+:meth:`Executor.stats`).
+
 Backend selection is spec-independent: ``--jobs N`` on the CLI or the
 ``REPRO_JOBS`` environment variable (default ``1``; ``0`` means one
 worker per CPU).
@@ -37,13 +58,27 @@ worker per CPU).
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing
 import os
+import threading
+import time
 from abc import ABC, abstractmethod
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
+
+from repro.harness.chaos import get_chaos, mark_worker
+from repro.harness.faults import (
+    DEFAULT_POLICY,
+    FailureRecord,
+    FaultPolicy,
+    RepExecutionError,
+    rep_deadline,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.experiment import ExperimentSpec
@@ -60,6 +95,8 @@ __all__ = [
     "rep_seed",
     "chunk_indices",
 ]
+
+_log = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +141,12 @@ class RepResult:
     #: the caller asked for it; ``None`` otherwise to keep worker
     #: payloads small
     run: Optional["RunResult"] = None
+    #: terminal failure under a ``skip`` policy (``exec_time`` is NaN);
+    #: ``None`` for a successful rep — including one that succeeded
+    #: after retries, which is bit-identical to a clean first run
+    error: Optional[FailureRecord] = None
+    #: attempts consumed (1 = clean first run)
+    attempts: int = 1
 
 
 def _execute_rep(
@@ -131,30 +174,118 @@ def _execute_rep(
     )
 
 
+def _run_one_rep(
+    context: tuple,
+    spec: "ExperimentSpec",
+    noise: Optional["NoiseStack"],
+    index: int,
+    need_runs: bool,
+    policy: FaultPolicy,
+    base_attempt: int = 0,
+) -> RepResult:
+    """Contained attempt loop for one repetition.
+
+    Every attempt rebuilds the rep RNG from its original spawn key, so
+    a success on attempt *k* is bit-identical to a clean first run.
+    ``base_attempt`` counts prior *dispatches* of this rep (a chunk
+    re-dispatched after a pool breakage), letting deterministic chaos
+    injectors distinguish first attempts from recovery attempts.
+    """
+    started = time.perf_counter()
+    local_attempt = 0
+    while True:
+        attempt = base_attempt + local_attempt
+        local_attempt += 1
+        try:
+            chaos = get_chaos()
+            with rep_deadline(policy.timeout):
+                if chaos is not None:
+                    chaos.rep_fault(spec.seed, index, attempt, policy.timeout)
+                result = _execute_rep(context, spec, noise, index)
+            return RepResult(
+                index=index,
+                exec_time=result.exec_time,
+                anomaly=result.anomaly,
+                run=result if need_runs else None,
+                attempts=local_attempt,
+            )
+        except Exception as exc:
+            wall = time.perf_counter() - started
+            if local_attempt <= policy.retries:
+                _log.warning(
+                    "rep %d of %s failed (attempt %d, %s: %s); retrying",
+                    index,
+                    spec.label(),
+                    local_attempt,
+                    type(exc).__name__,
+                    exc,
+                )
+                delay = policy.backoff_delay(spec.seed, index, local_attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            record = FailureRecord.from_exception(index, "rep", exc, local_attempt, wall)
+            if policy.on_failure == "skip":
+                _log.warning(
+                    "rep %d of %s failed terminally after %d attempt(s) (%s: %s); skipping",
+                    index,
+                    spec.label(),
+                    local_attempt,
+                    type(exc).__name__,
+                    exc,
+                )
+                return RepResult(
+                    index=index,
+                    exec_time=float("nan"),
+                    anomaly=None,
+                    run=None,
+                    error=record,
+                    attempts=local_attempt,
+                )
+            if policy.on_failure == "raise" and local_attempt == 1:
+                # Fail-fast default: the original exception, unchanged.
+                raise
+            raise RepExecutionError(
+                f"rep {index} of {spec.label()} failed terminally after "
+                f"{local_attempt} attempt(s) in pid {os.getpid()}: "
+                f"{type(exc).__name__}: {exc}",
+                record,
+            ) from exc
+
+
 def _run_rep_chunk(payload: tuple) -> list[RepResult]:
     """Worker entry point: simulate one chunk of rep indices.
 
     Receives only picklable data and rebuilds the simulation context
     locally — platform presets, workloads and placements are pure
     functions of the spec, so workers reconstruct the exact objects the
-    parent would have used.
+    parent would have used.  Any escaping exception is wrapped in a
+    :class:`RepExecutionError` naming the spec, the chunk's rep
+    indices, and the worker pid, so pool failures are attributable.
     """
     from repro.harness.experiment import _build_context
 
-    spec, noise, indices, need_runs = payload
-    context = _build_context(spec)
-    out = []
-    for i in indices:
-        result = _execute_rep(context, spec, noise, i)
-        out.append(
-            RepResult(
-                index=i,
-                exec_time=result.exec_time,
-                anomaly=result.anomaly,
-                run=result if need_runs else None,
-            )
+    spec, noise, indices, need_runs, policy, base_attempt = payload
+    mark_worker(True)
+    try:
+        context = _build_context(spec)
+        return [
+            _run_one_rep(context, spec, noise, i, need_runs, policy, base_attempt)
+            for i in indices
+        ]
+    except RepExecutionError as exc:
+        raise RepExecutionError(
+            f"{exc.args[0]} (chunk reps {list(indices)})", exc.record
+        ) from exc
+    except Exception as exc:
+        record = FailureRecord.from_exception(
+            indices[0] if len(indices) else -1, "chunk", exc, base_attempt + 1, 0.0
         )
-    return out
+        raise RepExecutionError(
+            f"chunk reps {list(indices)} of {spec.label()} failed in worker pid "
+            f"{os.getpid()}: {type(exc).__name__}: {exc}",
+            record,
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -173,15 +304,21 @@ class Executor(ABC):
         noise: Optional["NoiseStack"],
         reps: int,
         need_runs: bool = False,
+        policy: Optional[FaultPolicy] = None,
     ) -> Iterator[RepResult]:
         """Yield one :class:`RepResult` per rep, in ascending index order.
 
         ``need_runs`` asks for the full :class:`RunResult` payload
         (traces included) on every item — required by ``on_run``
-        consumers such as trace collection.
+        consumers such as trace collection.  ``policy`` governs
+        containment of failing reps (default: fail fast).
         """
 
-    def close(self) -> None:
+    def stats(self) -> dict:
+        """Fault/recovery counters (empty for backends without any)."""
+        return {}
+
+    def close(self, force: bool = False) -> None:
         """Release backend resources (no-op for the serial backend)."""
 
     def __enter__(self) -> "Executor":
@@ -196,17 +333,32 @@ class SerialExecutor(Executor):
 
     jobs = 1
 
-    def run_reps(self, spec, noise, reps, need_runs=False):
+    # class-level defaults so lightweight subclasses that skip
+    # __init__ (test doubles) still account correctly
+    _retries = 0
+    _failures = 0
+
+    def __init__(self) -> None:
+        self._retries = 0
+        self._failures = 0
+
+    def stats(self) -> dict:
+        """``rep_retries`` / ``rep_failures`` observed by this instance."""
+        return {"rep_retries": self._retries, "rep_failures": self._failures}
+
+    def run_reps(self, spec, noise, reps, need_runs=False, policy=None):
         from repro.harness.experiment import _build_context
 
+        policy = policy if policy is not None else DEFAULT_POLICY
         context = _build_context(spec)
         for i in range(reps):
-            result = _execute_rep(context, spec, noise, i)
             # The serial backend always has the full result in hand;
             # passing it through costs nothing regardless of need_runs.
-            yield RepResult(
-                index=i, exec_time=result.exec_time, anomaly=result.anomaly, run=result
-            )
+            rep = _run_one_rep(context, spec, noise, i, True, policy)
+            self._retries += rep.attempts - 1
+            if rep.error is not None:
+                self._failures += 1
+            yield rep
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -221,7 +373,18 @@ class ParallelExecutor(Executor):
     cells through it concurrently.  Results are yielded in rep order,
     so ``on_run`` consumers degrade to *ordered post-hoc delivery*
     rather than live streaming.
+
+    Failure containment: chunks are dispatched as individual futures.
+    A broken pool (worker death) is rebuilt and only unfinished chunks
+    are re-dispatched; a chunk that exceeds its policy deadline has its
+    workers killed and is re-dispatched likewise.  After
+    ``max_pool_breaks`` *consecutive* breakages the executor degrades
+    to in-process serial execution (the pool infrastructure itself is
+    deemed unhealthy).  All of it is counted in :meth:`stats`.
     """
+
+    #: consecutive pool breakages tolerated before degrading to serial
+    max_pool_breaks: int = 3
 
     def __init__(self, jobs: int, chunk_size: Optional[int] = None):
         if jobs < 1:
@@ -229,37 +392,236 @@ class ParallelExecutor(Executor):
         self.jobs = int(jobs)
         self.chunk_size = chunk_size
         self._pool = None
+        self._lock = threading.Lock()
+        self._shared = False
+        self._degraded = False
+        self._consecutive_breaks = 0
+        self._stats = {
+            "pool_rebuilds": 0,
+            "chunk_timeouts": 0,
+            "chunk_redispatches": 0,
+            "rep_retries": 0,
+            "rep_failures": 0,
+        }
 
+    def stats(self) -> dict:
+        """Recovery counters plus the current ``degraded`` flag."""
+        with self._lock:
+            return {**self._stats, "degraded": self._degraded}
+
+    # ------------------------------------------------------------------
     def _ensure_pool(self):
-        if self._pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+        with self._lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
 
-            # fork keeps worker start-up at milliseconds; fall back to
-            # spawn where fork is unavailable (results are identical —
-            # workers receive all state explicitly).
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
-        return self._pool
+                # fork keeps worker start-up at milliseconds; fall back to
+                # spawn where fork is unavailable (results are identical —
+                # workers receive all state explicitly).
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+            return self._pool
 
-    def run_reps(self, spec, noise, reps, need_runs=False):
-        if reps <= 1 or self.jobs <= 1:
-            # Not worth a pool round-trip; the serial path is bit-identical.
-            yield from SerialExecutor().run_reps(spec, noise, reps, need_runs)
-            return
-        payloads = [
-            (spec, noise, chunk, need_runs)
-            for chunk in chunk_indices(reps, self.jobs, self.chunk_size)
-        ]
-        pool = self._ensure_pool()
-        # Executor.map preserves submission order, which is rep order.
-        for chunk_result in pool.map(_run_rep_chunk, payloads):
-            yield from chunk_result
+    def _note_pool_break(self, pool) -> None:
+        """Account one pool breakage and retire the broken pool.
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        Idempotent per pool object so concurrent threads observing the
+        same breakage count it once.
+        """
+        with self._lock:
+            if pool is not self._pool:
+                return  # another thread already retired it
             self._pool = None
+            self._stats["pool_rebuilds"] += 1
+            self._consecutive_breaks += 1
+            if self._consecutive_breaks >= self.max_pool_breaks and not self._degraded:
+                self._degraded = True
+                _log.error(
+                    "process pool broke %d consecutive times; degrading to "
+                    "serial in-process execution",
+                    self._consecutive_breaks,
+                )
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    def _kill_pool(self, pool) -> None:
+        """Forcibly terminate a pool whose workers are hung."""
+        with self._lock:
+            if pool is self._pool:
+                self._pool = None
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    def _note_healthy_round(self) -> None:
+        with self._lock:
+            self._consecutive_breaks = 0
+
+    def _account(self, rep: RepResult) -> None:
+        if rep.attempts > 1 or rep.error is not None:
+            with self._lock:
+                self._stats["rep_retries"] += rep.attempts - 1
+                if rep.error is not None:
+                    self._stats["rep_failures"] += 1
+
+    def _terminal_chunk(
+        self, spec, chunk: range, policy: FaultPolicy, reason: str
+    ) -> list[RepResult]:
+        """Resolve a chunk that exhausted its dispatch budget."""
+        message = (
+            f"chunk reps {list(chunk)} of {spec.label()} {reason} after "
+            f"{policy.retries + 1} dispatch(es)"
+        )
+        if policy.on_failure != "skip":
+            raise RepExecutionError(message)
+        _log.warning("%s; skipping per policy", message)
+        out = []
+        for i in chunk:
+            record = FailureRecord(
+                index=i,
+                phase="chunk",
+                error="ChunkTimeout",
+                message=message,
+                traceback_digest="-",
+                attempts=policy.retries + 1,
+                wall_time=0.0,
+            )
+            out.append(
+                RepResult(
+                    index=i,
+                    exec_time=float("nan"),
+                    anomaly=None,
+                    error=record,
+                    attempts=policy.retries + 1,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def run_reps(self, spec, noise, reps, need_runs=False, policy=None):
+        policy = policy if policy is not None else DEFAULT_POLICY
+        if reps <= 1 or self.jobs <= 1 or self._degraded:
+            # Not worth a pool round-trip (or the pool infrastructure is
+            # unhealthy); the serial path is bit-identical.
+            yield from self._serial_remainder(spec, noise, range(reps), need_runs, policy)
+            return
+        chunks = chunk_indices(reps, self.jobs, self.chunk_size)
+        dispatches = {cid: 0 for cid in range(len(chunks))}
+        done: set[int] = set()
+        while len(done) < len(chunks):
+            if self._degraded:
+                for cid in range(len(chunks)):
+                    if cid in done:
+                        continue
+                    yield from self._serial_remainder(
+                        spec, noise, chunks[cid], need_runs, policy, dispatches[cid]
+                    )
+                    done.add(cid)
+                return
+            pending = [cid for cid in range(len(chunks)) if cid not in done]
+            pool = self._ensure_pool()
+            try:
+                futures = {
+                    cid: pool.submit(
+                        _run_rep_chunk,
+                        (spec, noise, chunks[cid], need_runs, policy, dispatches[cid]),
+                    )
+                    for cid in pending
+                }
+            except (BrokenProcessPool, RuntimeError):
+                self._note_pool_break(pool)
+                for cid in pending:
+                    dispatches[cid] += 1
+                    with self._lock:
+                        self._stats["chunk_redispatches"] += 1
+                continue
+            broke = False
+            # In-order consumption streams completed chunks to the
+            # caller while later chunks are still running (rep order is
+            # chunk order).
+            for cid in pending:
+                deadline = policy.chunk_deadline(len(chunks[cid]))
+                try:
+                    chunk_result = futures[cid].result(timeout=deadline)
+                except BrokenProcessPool:
+                    _log.warning(
+                        "process pool broke while running chunk reps %s of %s; "
+                        "rebuilding and re-dispatching unfinished chunks",
+                        list(chunks[cid]),
+                        spec.label(),
+                    )
+                    self._note_pool_break(pool)
+                    broke = True
+                    break
+                except FuturesTimeout:
+                    with self._lock:
+                        self._stats["chunk_timeouts"] += 1
+                    _log.warning(
+                        "chunk reps %s of %s exceeded its %.1fs deadline; "
+                        "killing workers and re-dispatching",
+                        list(chunks[cid]),
+                        spec.label(),
+                        deadline,
+                    )
+                    self._kill_pool(pool)
+                    if dispatches[cid] >= policy.retries:
+                        for rep in self._terminal_chunk(
+                            spec, chunks[cid], policy, "kept timing out"
+                        ):
+                            self._account(rep)
+                            yield rep
+                        done.add(cid)
+                    broke = True
+                    break
+                else:
+                    for rep in chunk_result:
+                        self._account(rep)
+                        yield rep
+                    done.add(cid)
+            if broke:
+                for cid in pending:
+                    if cid in done:
+                        continue
+                    futures[cid].cancel()
+                    dispatches[cid] += 1
+                    with self._lock:
+                        self._stats["chunk_redispatches"] += 1
+            else:
+                self._note_healthy_round()
+
+    def _serial_remainder(self, spec, noise, indices, need_runs, policy, base_attempt=0):
+        """In-process execution of ``indices`` (degraded / tiny runs)."""
+        from repro.harness.experiment import _build_context
+
+        context = _build_context(spec)
+        for i in indices:
+            rep = _run_one_rep(context, spec, noise, i, True, policy, base_attempt)
+            self._account(rep)
+            yield rep
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down.
+
+        Shared instances (handed out by :func:`get_executor`) survive
+        ``close()`` / ``with`` blocks: other campaign threads may still
+        hold them.  They are torn down at interpreter exit (or with
+        ``force=True``).
+        """
+        if self._shared and not force:
+            return
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"
@@ -300,16 +662,22 @@ def _close_shared() -> None:
     # Shut pools down before interpreter teardown dismantles the
     # modules their weakref callbacks rely on.
     for ex in _shared.values():
-        ex.close()
+        ex.close(force=True)
     _shared.clear()
 
 
 def get_executor(jobs: Optional[int] = None) -> Executor:
-    """Backend for ``jobs`` workers (``None`` → ``REPRO_JOBS``)."""
+    """Backend for ``jobs`` workers (``None`` → ``REPRO_JOBS``).
+
+    Parallel backends are pooled per worker count and *shared*: their
+    ``close()`` is a no-op (other callers may still hold the same
+    instance), and the warm pool is torn down at interpreter exit.
+    """
     n = resolve_jobs(jobs)
     if n <= 1:
         return SerialExecutor()
     ex = _shared.get(n)
     if ex is None:
         ex = _shared[n] = ParallelExecutor(n)
+        ex._shared = True
     return ex

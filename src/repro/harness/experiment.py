@@ -37,6 +37,7 @@ from repro.workloads.base import Workload, get_workload
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import NoiseConfig
     from repro.harness.executor import Executor
+    from repro.harness.faults import FailureRecord, FaultPolicy
     from repro.noise.base import NoiseSource
 
     NoiseLike = Union[NoiseStack, NoiseSource, "NoiseConfig", None]
@@ -180,31 +181,58 @@ class ExperimentSpec:
 
 @dataclass
 class ResultSet:
-    """Execution times and metadata of one experiment."""
+    """Execution times and metadata of one experiment.
+
+    Under a ``skip`` :class:`~repro.harness.faults.FaultPolicy` an
+    experiment may complete *partially*: terminally failed reps carry
+    NaN in ``times`` and a structured
+    :class:`~repro.harness.faults.FailureRecord` in ``failures``.  The
+    statistics properties then aggregate over the completed reps only;
+    with no failures they are bit-identical to the pre-fault-tolerance
+    behaviour.
+    """
 
     spec: ExperimentSpec
     times: np.ndarray
     anomalies: list[Optional[str]]
     injected: bool = False
+    #: terminal per-rep failures contained by a ``skip`` policy
+    failures: list["FailureRecord"] = field(default_factory=list)
+
+    @property
+    def ok_times(self) -> np.ndarray:
+        """Execution times of the reps that completed."""
+        if not self.failures:
+            return self.times
+        return self.times[~np.isnan(self.times)]
 
     @property
     def summary(self) -> Summary:
-        """Descriptive statistics of the execution times."""
-        return summarize(self.times)
+        """Descriptive statistics of the (completed) execution times."""
+        return summarize(self.ok_times)
 
     @property
     def mean(self) -> float:
         """Mean execution time in seconds."""
-        return float(self.times.mean())
+        # The no-failure fast path preserves exact float behaviour
+        # (cache envelopes and golden comparisons depend on it).
+        if not self.failures:
+            return float(self.times.mean())
+        return float(self.ok_times.mean())
 
     @property
     def sd(self) -> float:
         """Sample standard deviation in seconds."""
-        return float(self.times.std(ddof=1)) if len(self.times) > 1 else 0.0
+        times = self.times if not self.failures else self.ok_times
+        return float(times.std(ddof=1)) if len(times) > 1 else 0.0
 
     def anomaly_count(self) -> int:
         """Runs in which a natural anomaly fired."""
         return sum(1 for a in self.anomalies if a)
+
+    def failure_count(self) -> int:
+        """Reps that failed terminally (skipped under the policy)."""
+        return len(self.failures)
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +307,7 @@ def run_experiment(
     on_run: Optional[Callable[[int, RunResult], None]] = None,
     executor: Optional["Executor"] = None,
     noise_config: Optional["NoiseConfig"] = None,
+    policy: Optional["FaultPolicy"] = None,
 ) -> ResultSet:
     """Run a full experiment (``reps`` independent machines).
 
@@ -302,6 +331,15 @@ def run_experiment(
         :func:`~repro.harness.executor.get_executor` (``REPRO_JOBS``).
         ``times[i]`` / ``anomalies[i]`` are bit-identical across
         backends and worker counts — reps are seeded by index.
+    policy:
+        Fault containment (:class:`~repro.harness.faults.FaultPolicy`):
+        per-rep timeouts, retries with deterministic backoff, and
+        ``skip`` semantics producing a partial ResultSet with attached
+        :class:`~repro.harness.faults.FailureRecord` entries instead of
+        raising mid-experiment.  Default: fail fast (pre-existing
+        behaviour).  A rep that succeeds after retries is bit-identical
+        to a clean first run — retries re-seed from the original
+        per-rep spawn key.
     """
     from repro.harness.executor import get_executor
 
@@ -314,9 +352,20 @@ def run_experiment(
     reps = spec.resolved_reps(injecting)
     times = np.empty(reps)
     anomalies: list[Optional[str]] = [None] * reps
-    for rep in executor.run_reps(spec, stack, reps, need_runs=on_run is not None):
+    failures: list["FailureRecord"] = []
+    for rep in executor.run_reps(
+        spec, stack, reps, need_runs=on_run is not None, policy=policy
+    ):
         times[rep.index] = rep.exec_time
         anomalies[rep.index] = rep.anomaly
-        if on_run is not None:
+        if rep.error is not None:
+            failures.append(rep.error)
+        elif on_run is not None:
             on_run(rep.index, rep.run)
-    return ResultSet(spec=spec, times=times, anomalies=anomalies, injected=injecting)
+    return ResultSet(
+        spec=spec,
+        times=times,
+        anomalies=anomalies,
+        injected=injecting,
+        failures=failures,
+    )

@@ -19,6 +19,7 @@ from repro.harness.stats import Summary
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.executor import Executor
     from repro.harness.experiment import NoiseLike
+    from repro.harness.faults import FaultPolicy
 
 __all__ = ["SweepResult", "sweep"]
 
@@ -72,6 +73,7 @@ def sweep(
     cache: Optional[ResultCache] = None,
     executor: Optional["Executor"] = None,
     noise: "NoiseLike" = None,
+    policy: Optional["FaultPolicy"] = None,
     **axes: Sequence,
 ) -> SweepResult:
     """Run the cartesian grid of ``axes`` values over ``base``.
@@ -83,6 +85,11 @@ def sweep(
     ``executor`` selects the execution backend for cache misses
     (default: ``REPRO_JOBS``); grid points themselves run in order so
     the result table is stable.
+
+    ``policy`` contains per-point rep failures
+    (:class:`~repro.harness.faults.FaultPolicy`); under ``skip`` a grid
+    point may return a partial :class:`ResultSet` whose statistics
+    aggregate its completed reps only.
 
     Example::
 
@@ -102,5 +109,7 @@ def sweep(
     for combo in itertools.product(*(axes[n] for n in names)):
         spec = base.with_(**dict(zip(names, combo)))
         points.append(combo)
-        results.append(cache.get_or_run(spec, noise=noise, executor=executor))
+        results.append(
+            cache.get_or_run(spec, noise=noise, executor=executor, policy=policy)
+        )
     return SweepResult(axes=names, points=points, results=results)

@@ -189,13 +189,17 @@ def digest_trace(trace) -> str:
     return h.hexdigest()
 
 
-def run_case(case: dict, reps: int = 2) -> dict:
+def run_case(case: dict, reps: int = 2, policy=None, executor=None) -> dict:
     """Execute one golden case and return its observable signature.
 
     The signature pins everything an optimization could perturb:
     per-rep execution times (exact float hex), anomaly labels,
     migration/preemption counters, and a content hash of the full
     tracer output.
+
+    ``policy`` / ``executor`` let the chaos suite replay the matrix
+    through recovery paths — signatures must match the fixtures
+    bitwise regardless.
     """
     from repro.harness.executor import SerialExecutor
     from repro.harness.experiment import run_experiment
@@ -217,5 +221,11 @@ def run_case(case: dict, reps: int = 2) -> dict:
             }
         )
 
-    run_experiment(spec, noise=noise, executor=SerialExecutor(), on_run=on_run)
+    run_experiment(
+        spec,
+        noise=noise,
+        executor=executor if executor is not None else SerialExecutor(),
+        on_run=on_run,
+        policy=policy,
+    )
     return {"name": case["name"], "reps": runs}

@@ -104,6 +104,27 @@ class TestPrimitives:
         b = get_executor(2)
         assert a is b and isinstance(a, ParallelExecutor) and a.jobs == 2
 
+    def test_shared_executor_survives_other_callers_close(self):
+        """Regression: ``with get_executor(n):`` in one caller must not
+        shut down the warm pool other callers still hold."""
+        ex = get_executor(2)
+        run_experiment(spec(reps=4), executor=ex)  # warm the pool
+        pool = ex._pool
+        assert pool is not None
+        with get_executor(2) as same:
+            assert same is ex
+        assert ex._pool is pool  # __exit__ did not tear it down
+        ex.close()
+        assert ex._pool is pool  # explicit close() is a no-op too
+        rs = run_experiment(spec(reps=4), executor=ex)
+        assert len(rs.times) == 4
+
+    def test_private_executor_close_still_real(self):
+        ex = ParallelExecutor(2)
+        run_experiment(spec(reps=2), executor=ex)
+        ex.close()
+        assert ex._pool is None
+
 
 # ----------------------------------------------------------------------
 # worker-invariant determinism

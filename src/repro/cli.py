@@ -13,7 +13,9 @@ Subcommands mirror the paper's workflow:
 * ``campaign``  — run whole artefact campaigns with a checkpoint
   journal and ``--resume``;
 * ``platforms`` — list platform presets;
-* ``noise``     — list registered noise sources and their parameters.
+* ``noise``     — list registered noise sources and their parameters;
+* ``telemetry`` — summarize or re-export a telemetry log collected with
+  ``--telemetry DIR`` / ``REPRO_TELEMETRY`` (see docs/observability.md).
 
 ``inject`` and ``pipeline`` accept repeatable ``--noise KIND[:k=v,...]``
 flags composing any registered sources (I/O bursts, memory hogs,
@@ -69,6 +71,15 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for repetitions (default: $REPRO_JOBS or 1; "
         "0 = one per CPU; results are bit-identical at any worker count)",
+    )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="collect spans/counters during the run and export them to DIR "
+        "(events.jsonl, trace.json, counters.prom); equivalent to "
+        "REPRO_TELEMETRY=DIR; results are bit-identical either way "
+        "(see docs/observability.md)",
     )
 
 
@@ -262,6 +273,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="trace JSON from `repro-noise trace`")
     p.add_argument("--top", type=int, default=10, help="sources to show")
     p.add_argument("--bins", type=int, default=20, help="timeline bins")
+
+    p = sub.add_parser(
+        "telemetry", help="summarize or re-export a collected telemetry log"
+    )
+    p.add_argument(
+        "action",
+        choices=["summarize", "export"],
+        help="summarize: print a where-did-the-time-go span/counter "
+        "breakdown; export: convert the event log to another format",
+    )
+    p.add_argument(
+        "path",
+        help="telemetry directory from --telemetry/REPRO_TELEMETRY (or the "
+        "events.jsonl file itself)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["chrome", "prom", "jsonl"],
+        default="chrome",
+        dest="fmt",
+        help="export format: chrome trace-event JSON (Perfetto-loadable, "
+        "default), Prometheus text, or normalized JSONL",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output file for `export` (default: trace.json / counters.prom "
+        "/ events.jsonl in the working directory)",
+    )
 
     return parser
 
@@ -556,9 +597,51 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from pathlib import Path
+
+    from repro import telemetry
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    if not path.exists():
+        raise SystemExit(
+            f"repro-noise: no telemetry log at {path} (run a command with "
+            "--telemetry DIR, or point at an events.jsonl)"
+        )
+    events, counters = telemetry.load_events_jsonl(path)
+    if args.action == "summarize":
+        print(f"telemetry log: {path} ({len(events)} spans)")
+        print(telemetry.summarize_text(events, counters))
+        return 0
+    defaults = {"chrome": "trace.json", "prom": "counters.prom", "jsonl": "events.jsonl"}
+    out = Path(args.out) if args.out is not None else Path(defaults[args.fmt])
+    if args.fmt == "chrome":
+        telemetry.write_chrome_trace(out, events)
+    elif args.fmt == "prom":
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(telemetry.prometheus_text(counters))
+    else:
+        telemetry.write_events_jsonl(out, events, counters)
+    print(f"telemetry: wrote {args.fmt} export ({len(events)} spans) to {out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        import os
+
+        from repro import telemetry
+
+        # The environment carries the directive so pool workers under a
+        # spawn start method re-read it on import; fork workers inherit
+        # the module flag directly.
+        os.environ["REPRO_TELEMETRY"] = str(telemetry_dir)
+        telemetry.refresh_from_env()
     dispatch = {
         "platforms": _cmd_platforms,
         "baseline": _cmd_baseline,
@@ -571,8 +654,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
         "analyze": _cmd_analyze,
+        "telemetry": _cmd_telemetry,
     }
-    return dispatch[args.command](args)
+    try:
+        return dispatch[args.command](args)
+    finally:
+        if telemetry_dir is not None:
+            from repro import telemetry
+
+            paths = telemetry.export_all()
+            print(
+                "telemetry: exported "
+                + ", ".join(str(paths[k]) for k in ("events", "chrome", "prometheus"))
+            )
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro import telemetry as _telemetry
 from repro.core.accuracy import replication_accuracy
 from repro.core.collection import CollectionResult, collect_traces
 from repro.core.config import NoiseConfig, generate_config
@@ -136,19 +137,21 @@ class NoiseInjectionPipeline:
         accelerated = self.collect_anomaly_prob is not None
         if accelerated:
             cspec = cspec.with_(anomaly_prob=self.collect_anomaly_prob)
-        self.collection = collect_traces(
-            cspec,
-            reps=self.collect_reps,
-            profile_excludes_anomalies=accelerated,
-            executor=self.executor,
-            policy=self.fault_policy,
-        )
-        self.config = generate_config(
-            self.collection.worst_trace,
-            self.collection.profile,
-            merge=self.merge,
-            meta={"collected_from": self.spec.label()},
-        )
+        with _telemetry.span("collect", spec=cspec.label()):
+            self.collection = collect_traces(
+                cspec,
+                reps=self.collect_reps,
+                profile_excludes_anomalies=accelerated,
+                executor=self.executor,
+                policy=self.fault_policy,
+            )
+        with _telemetry.span("configure", spec=self.spec.label(), merge=self.merge.value):
+            self.config = generate_config(
+                self.collection.worst_trace,
+                self.collection.profile,
+                merge=self.merge,
+                meta={"collected_from": self.spec.label()},
+            )
         return self.config
 
     def inject(
@@ -173,13 +176,15 @@ class NoiseInjectionPipeline:
         # fresh inherent noise (the paper's uncontrollable residual).
         spec = spec.with_(seed=spec.seed + 1_000_003)
         stack = NoiseStack([*(NoiseStack.coerce(config) or ()), *self.extra_noise])
-        return run_experiment(
-            spec, noise=stack, executor=self.executor, policy=self.fault_policy
-        )
+        with _telemetry.span("inject", spec=spec.label()):
+            return run_experiment(
+                spec, noise=stack, executor=self.executor, policy=self.fault_policy
+            )
 
     def run(self) -> PipelineResult:
         """Full cycle against the pipeline's own spec."""
-        self.build_config()
-        injected = self.inject()
+        with _telemetry.span("pipeline", spec=self.spec.label()):
+            self.build_config()
+            injected = self.inject()
         assert self.collection is not None and self.config is not None
         return PipelineResult(collection=self.collection, config=self.config, injected=injected)

@@ -37,12 +37,13 @@ import hashlib
 import json
 import logging
 import os
-import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
 from repro.harness.faults import FailureRecord, atomic_write_text
 from repro.noise.base import NoiseStack
@@ -91,14 +92,32 @@ class ResultCache:
         #: default fault policy for cache misses; per-call overrides win
         self.policy = policy
         #: optional campaign checkpoint journal; completed cells are
-        #: recorded by key, contained failures by record
+        #: recorded by key, completed failures by record
         self.journal = journal
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
-        self.stale = 0
-        self.partial = 0
-        self._lock = threading.Lock()
+        #: the telemetry registry entry backing the counters; the
+        #: hits/misses/... attributes and stats() are thin views over it
+        self._counters = _telemetry.new_group("cache")
+
+    # read-only counter views (the historical public attributes)
+    @property
+    def hits(self) -> int:
+        return int(self._counters.get("hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._counters.get("misses"))
+
+    @property
+    def corrupt(self) -> int:
+        return int(self._counters.get("corrupt"))
+
+    @property
+    def stale(self) -> int:
+        return int(self._counters.get("stale"))
+
+    @property
+    def partial(self) -> int:
+        return int(self._counters.get("partial"))
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -138,19 +157,21 @@ class ResultCache:
         ``partial``.  ``corrupt`` counts torn entries salvaged (evicted
         on discovery and transparently re-run); ``stale`` counts
         key-version evictions; ``partial`` counts results quarantined
-        instead of cached because a skip policy left failed reps."""
-        with self._lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "corrupt": self.corrupt,
-                "stale": self.stale,
-                "partial": self.partial,
-            }
+        instead of cached because a skip policy left failed reps.
+
+        The counts live in the telemetry counter registry; this view
+        preserves the pre-telemetry return shape exactly."""
+        counts = self._counters.as_dict()
+        return {
+            "hits": int(counts.get("hits", 0)),
+            "misses": int(counts.get("misses", 0)),
+            "corrupt": int(counts.get("corrupt", 0)),
+            "stale": int(counts.get("stale", 0)),
+            "partial": int(counts.get("partial", 0)),
+        }
 
     def _count(self, counter: str) -> None:
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + 1)
+        self._counters.inc(counter)
 
     # ------------------------------------------------------------------
     def get_or_run(
@@ -197,6 +218,7 @@ class ResultCache:
         spec = spec.with_(reps=reps)
         key = self._key(spec, stack, reps)
         path = self._path(key)
+        t0 = time.perf_counter()
         if self.enabled and path.exists():
             try:
                 data = json.loads(path.read_text())
@@ -222,7 +244,13 @@ class ResultCache:
                     )
                     self._count("hits")
                     if self.journal is not None:
-                        self.journal.record_done(key, label=spec.label())
+                        # attempt 0 marks a cache hit: no simulation ran
+                        self.journal.record_done(
+                            key,
+                            label=spec.label(),
+                            duration_s=time.perf_counter() - t0,
+                            attempt=0,
+                        )
                     return rs
             except (json.JSONDecodeError, KeyError):
                 self._count("corrupt")
@@ -259,13 +287,21 @@ class ResultCache:
             if self.enabled:
                 atomic_write_text(self.root / f"{key}.partial.json", envelope)
             if self.journal is not None:
+                duration = time.perf_counter() - t0
                 for record in rs.failures:
-                    self.journal.record_failure(key, record, label=spec.label())
+                    self.journal.record_failure(
+                        key, record, label=spec.label(), duration_s=duration
+                    )
             return rs
         if self.enabled:
             atomic_write_text(path, envelope)
         if self.journal is not None:
-            self.journal.record_done(key, label=spec.label())
+            self.journal.record_done(
+                key,
+                label=spec.label(),
+                duration_s=time.perf_counter() - t0,
+                attempt=1,
+            )
         return rs
 
 

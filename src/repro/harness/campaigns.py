@@ -19,12 +19,14 @@ defaults used in CI versus the paper's 1000/200.
 
 from __future__ import annotations
 
+import functools
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.core.accuracy import signed_replication_error
 from repro.core.collection import collect_traces
 from repro.core.config import NoiseConfig, generate_config
@@ -64,6 +66,24 @@ _WORKLOADS = ("nbody", "babelstream", "minife")
 
 def _stable_hash(*parts) -> int:
     return zlib.crc32("|".join(str(p) for p in parts).encode()) & 0x7FFFFF
+
+
+def _traced_campaign(fn):
+    """Wrap a campaign entry point in a root ``campaign`` span.
+
+    The span is the top of the timeline hierarchy the trace exporters
+    render (campaign → cell → experiment → chunk → rep); when telemetry
+    is disabled the wrapper adds one branch and nothing else.
+    """
+
+    @functools.wraps(fn)
+    def wrapped(*args, **kwargs):
+        if not _telemetry.enabled():
+            return fn(*args, **kwargs)
+        with _telemetry.span("campaign", target=fn.__name__):
+            return fn(*args, **kwargs)
+
+    return wrapped
 
 
 @dataclass
@@ -131,6 +151,8 @@ class CampaignSettings:
         """
         items = list(items)
         fn = self._journaled(fn)
+        if _telemetry.enabled():
+            fn = _traced_cell(fn)
         if self.executor.jobs <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         from concurrent.futures import ThreadPoolExecutor
@@ -159,6 +181,24 @@ class CampaignSettings:
     def spec_seed(self, *parts) -> int:
         """Stable per-cell seed derived from the campaign seed."""
         return self.seed + _stable_hash(*parts)
+
+
+def _traced_cell(fn):
+    """Wrap a cell function in a ``cell`` span linked to the dispatcher.
+
+    Cells may run on thread-pool threads that have no span stack of
+    their own; they adopt the dispatching thread's current span as base
+    parent so the timeline stays connected across the fan-out.
+    """
+    parent = _telemetry.current_span_id()
+
+    def wrapped(item):
+        if _telemetry.current_span_id() is None:
+            _telemetry.set_base_parent(parent)
+        with _telemetry.span("cell", item=repr(item)):
+            return fn(item)
+
+    return wrapped
 
 
 def default_settings(**kwargs) -> CampaignSettings:
@@ -294,6 +334,7 @@ class Table1Result:
         return "Table 1: tracing overhead\n" + tb.render()
 
 
+@_traced_campaign
 def table1(settings: Optional[CampaignSettings] = None, platform: str = "intel-9700kf") -> Table1Result:
     """Average execution time with tracing off and on (Table 1)."""
     settings = settings or default_settings()
@@ -331,6 +372,7 @@ class Table2Result:
         )
 
 
+@_traced_campaign
 def table2(
     settings: Optional[CampaignSettings] = None,
     platforms: Sequence[str] = ("intel-9700kf", "amd-9950x3d"),
@@ -428,6 +470,7 @@ class InjectionTableResult:
         return out
 
 
+@_traced_campaign
 def injection_table(
     workload: str,
     settings: Optional[CampaignSettings] = None,
@@ -530,6 +573,7 @@ class Table6Result:
         return float(np.mean(gaps))
 
 
+@_traced_campaign
 def table6(
     settings: Optional[CampaignSettings] = None,
     tables: Optional[Sequence[InjectionTableResult]] = None,
@@ -596,6 +640,7 @@ class Table7Result:
         return float(np.mean([abs(a) for _, _, a, _ in self.rows]))
 
 
+@_traced_campaign
 def table7(
     settings: Optional[CampaignSettings] = None,
     merge: MergeStrategy = MergeStrategy.IMPROVED,
@@ -650,6 +695,7 @@ class FigureResult:
         return float(np.mean([u / r for u, r in zip(unres, res)]))
 
 
+@_traced_campaign
 def figure1(
     settings: Optional[CampaignSettings] = None,
     schedules: Sequence[str] = ("static", "dynamic", "guided"),
@@ -684,6 +730,7 @@ def figure1(
     )
 
 
+@_traced_campaign
 def figure2(
     settings: Optional[CampaignSettings] = None,
     thread_counts: Sequence[int] = (12, 24, 36, 48),
@@ -746,6 +793,7 @@ def _fifo_busy(config: NoiseConfig) -> float:
     )
 
 
+@_traced_campaign
 def merge_ablation(
     settings: Optional[CampaignSettings] = None,
     platform: str = "amd-9950x3d",
@@ -817,6 +865,7 @@ class Runlevel3Result:
         )
 
 
+@_traced_campaign
 def runlevel3_study(
     settings: Optional[CampaignSettings] = None,
     platform: str = "intel-9700kf",

@@ -43,6 +43,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro import telemetry as _telemetry
+
 __all__ = ["ChaosError", "ChaosSpec", "get_chaos", "parse_chaos", "CHAOS_PROFILES"]
 
 _log = logging.getLogger(__name__)
@@ -120,6 +122,11 @@ class ChaosSpec:
         mode = self._mode(spec_seed, index)
         if mode is None or mode == "corrupt":
             return
+        # Counted before injecting: a crash fault never returns.  Shared
+        # group, so worker-side injections flush back with the chunk.
+        group = _telemetry.get_group("chaos")
+        group.inc("injected_faults")
+        group.inc(mode)
         if mode == "crash":
             if in_worker():
                 _log.warning("chaos: killing worker %d at rep %d", os.getpid(), index)
@@ -158,6 +165,9 @@ class ChaosSpec:
             path.write_bytes(raw[: max(1, len(raw) // 2)])
         except OSError:
             return False
+        group = _telemetry.get_group("chaos")
+        group.inc("injected_faults")
+        group.inc("corrupt_files")
         _log.warning("chaos: tore freshly written file %s", path)
         return True
 

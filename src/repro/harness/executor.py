@@ -71,6 +71,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.harness.chaos import get_chaos, mark_worker
 from repro.harness.faults import (
     DEFAULT_POLICY,
@@ -198,10 +199,25 @@ def _run_one_rep(
         local_attempt += 1
         try:
             chaos = get_chaos()
-            with rep_deadline(policy.timeout):
-                if chaos is not None:
-                    chaos.rep_fault(spec.seed, index, attempt, policy.timeout)
-                result = _execute_rep(context, spec, noise, index)
+            if not _telemetry.enabled():
+                # Disabled fast path: no span object, no attr dict.
+                with rep_deadline(policy.timeout):
+                    if chaos is not None:
+                        chaos.rep_fault(spec.seed, index, attempt, policy.timeout)
+                    result = _execute_rep(context, spec, noise, index)
+            else:
+                # The span wraps the deadline and any chaos injection, so
+                # failed/timed-out attempts surface as error-tagged spans.
+                with _telemetry.span(
+                    "rep" if attempt == 0 else "retry",
+                    spec=spec.label(),
+                    rep=index,
+                    attempt=attempt,
+                ):
+                    with rep_deadline(policy.timeout):
+                        if chaos is not None:
+                            chaos.rep_fault(spec.seed, index, attempt, policy.timeout)
+                        result = _execute_rep(context, spec, noise, index)
             return RepResult(
                 index=index,
                 exec_time=result.exec_time,
@@ -253,7 +269,7 @@ def _run_one_rep(
             ) from exc
 
 
-def _run_rep_chunk(payload: tuple) -> list[RepResult]:
+def _run_rep_chunk(payload: tuple):
     """Worker entry point: simulate one chunk of rep indices.
 
     Receives only picklable data and rebuilds the simulation context
@@ -262,17 +278,39 @@ def _run_rep_chunk(payload: tuple) -> list[RepResult]:
     parent would have used.  Any escaping exception is wrapped in a
     :class:`RepExecutionError` naming the spec, the chunk's rep
     indices, and the worker pid, so pool failures are attributable.
+
+    The optional 7th payload element is the telemetry context
+    ``{"parent": span_id}``: when present, the worker buffers its spans
+    and counter deltas during the chunk and flushes them back through
+    the return channel as ``(results, blob)`` instead of a bare result
+    list (pre-telemetry 6-tuples still work — tests build them).
     """
     from repro.harness.experiment import _build_context
 
-    spec, noise, indices, need_runs, policy, base_attempt = payload
+    spec, noise, indices, need_runs, policy, base_attempt = payload[:6]
+    telem = payload[6] if len(payload) > 6 else None
     mark_worker(True)
+    token = None
+    if telem is not None:
+        if not _telemetry.enabled():
+            # Spawn-start workers re-read REPRO_TELEMETRY on import; a
+            # programmatic parent-side enable arrives via the payload.
+            _telemetry.configure(enabled=True)
+        token = _telemetry.worker_capture_begin(telem.get("parent"))
     try:
-        context = _build_context(spec)
-        return [
-            _run_one_rep(context, spec, noise, i, need_runs, policy, base_attempt)
-            for i in indices
-        ]
+        with _telemetry.span("chunk", spec=spec.label(), reps=len(indices)) if (
+            token is not None
+        ) else _nullcontext():
+            context = _build_context(spec)
+            results = [
+                _run_one_rep(context, spec, noise, i, need_runs, policy, base_attempt)
+                for i in indices
+            ]
+        if token is not None:
+            blob = _telemetry.worker_capture_end(token)
+            token = None
+            return results, blob
+        return results
     except RepExecutionError as exc:
         raise RepExecutionError(
             f"{exc.args[0]} (chunk reps {list(indices)})", exc.record
@@ -286,6 +324,36 @@ def _run_rep_chunk(payload: tuple) -> list[RepResult]:
             f"{os.getpid()}: {type(exc).__name__}: {exc}",
             record,
         ) from exc
+    finally:
+        if token is not None:
+            # Failed chunk: the exception is the only thing that can
+            # cross back, so discard the partial capture (and restore
+            # the worker's base parent for the next chunk).
+            _telemetry.worker_capture_end(token)
+
+
+class _nullcontext:
+    """Minimal inline ``contextlib.nullcontext`` (kwarg-free, reusable)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _split_chunk_result(chunk_result) -> tuple[list[RepResult], Optional[dict]]:
+    """Normalize a worker return: ``(results, telemetry_blob_or_None)``."""
+    if (
+        isinstance(chunk_result, tuple)
+        and len(chunk_result) == 2
+        and isinstance(chunk_result[0], list)
+        and isinstance(chunk_result[1], dict)
+    ):
+        return chunk_result
+    return chunk_result, None
 
 
 # ----------------------------------------------------------------------
@@ -333,31 +401,48 @@ class SerialExecutor(Executor):
 
     jobs = 1
 
-    # class-level defaults so lightweight subclasses that skip
-    # __init__ (test doubles) still account correctly
-    _retries = 0
-    _failures = 0
+    # class-level default so lightweight subclasses that skip __init__
+    # (test doubles) still account correctly — the counter group is
+    # created lazily on first use in that case
+    _counters = None
 
     def __init__(self) -> None:
-        self._retries = 0
-        self._failures = 0
+        self._counters = _telemetry.new_group("executor")
+
+    def _group(self) -> "_telemetry.CounterGroup":
+        group = self._counters
+        if group is None:
+            group = self._counters = _telemetry.new_group("executor")
+        return group
 
     def stats(self) -> dict:
-        """``rep_retries`` / ``rep_failures`` observed by this instance."""
-        return {"rep_retries": self._retries, "rep_failures": self._failures}
+        """``rep_retries`` / ``rep_failures`` observed by this instance.
+
+        A thin view over the telemetry counter registry — the shape is
+        unchanged from the pre-telemetry ad-hoc dict.
+        """
+        group = self._counters
+        if group is None:
+            return {"rep_retries": 0, "rep_failures": 0}
+        return {
+            "rep_retries": int(group.get("rep_retries")),
+            "rep_failures": int(group.get("rep_failures")),
+        }
 
     def run_reps(self, spec, noise, reps, need_runs=False, policy=None):
         from repro.harness.experiment import _build_context
 
         policy = policy if policy is not None else DEFAULT_POLICY
+        group = self._group()
         context = _build_context(spec)
         for i in range(reps):
             # The serial backend always has the full result in hand;
             # passing it through costs nothing regardless of need_runs.
             rep = _run_one_rep(context, spec, noise, i, True, policy)
-            self._retries += rep.attempts - 1
+            if rep.attempts > 1:
+                group.inc("rep_retries", rep.attempts - 1)
             if rep.error is not None:
-                self._failures += 1
+                group.inc("rep_failures")
             yield rep
 
     def __repr__(self) -> str:
@@ -396,18 +481,30 @@ class ParallelExecutor(Executor):
         self._shared = False
         self._degraded = False
         self._consecutive_breaks = 0
-        self._stats = {
-            "pool_rebuilds": 0,
-            "chunk_timeouts": 0,
-            "chunk_redispatches": 0,
-            "rep_retries": 0,
-            "rep_failures": 0,
-        }
+        #: recovery counters, kept in the telemetry registry (this is
+        #: the registry entry ``stats()`` is a thin view over)
+        self._counters = _telemetry.new_group("executor")
+
+    #: the keys stats() has always exposed, in their historical order
+    _STAT_KEYS = (
+        "pool_rebuilds",
+        "chunk_timeouts",
+        "chunk_redispatches",
+        "rep_retries",
+        "rep_failures",
+    )
 
     def stats(self) -> dict:
-        """Recovery counters plus the current ``degraded`` flag."""
+        """Recovery counters plus the current ``degraded`` flag.
+
+        The counts live in the telemetry counter registry; this view
+        preserves the pre-telemetry return shape exactly.
+        """
+        counts = self._counters.as_dict()
+        out = {key: int(counts.get(key, 0)) for key in self._STAT_KEYS}
         with self._lock:
-            return {**self._stats, "degraded": self._degraded}
+            out["degraded"] = self._degraded
+        return out
 
     # ------------------------------------------------------------------
     def _ensure_pool(self):
@@ -433,7 +530,7 @@ class ParallelExecutor(Executor):
             if pool is not self._pool:
                 return  # another thread already retired it
             self._pool = None
-            self._stats["pool_rebuilds"] += 1
+            self._counters.inc("pool_rebuilds")
             self._consecutive_breaks += 1
             if self._consecutive_breaks >= self.max_pool_breaks and not self._degraded:
                 self._degraded = True
@@ -468,10 +565,9 @@ class ParallelExecutor(Executor):
 
     def _account(self, rep: RepResult) -> None:
         if rep.attempts > 1 or rep.error is not None:
-            with self._lock:
-                self._stats["rep_retries"] += rep.attempts - 1
-                if rep.error is not None:
-                    self._stats["rep_failures"] += 1
+            self._counters.inc("rep_retries", rep.attempts - 1)
+            if rep.error is not None:
+                self._counters.inc("rep_failures")
 
     def _terminal_chunk(
         self, spec, chunk: range, policy: FaultPolicy, reason: str
@@ -529,11 +625,17 @@ class ParallelExecutor(Executor):
                 return
             pending = [cid for cid in range(len(chunks)) if cid not in done]
             pool = self._ensure_pool()
+            # Telemetry context rides in the payload so worker spans
+            # parent to the dispatching span; None keeps the disabled
+            # path allocation-free in the workers.
+            telem = (
+                {"parent": _telemetry.current_span_id()} if _telemetry.enabled() else None
+            )
             try:
                 futures = {
                     cid: pool.submit(
                         _run_rep_chunk,
-                        (spec, noise, chunks[cid], need_runs, policy, dispatches[cid]),
+                        (spec, noise, chunks[cid], need_runs, policy, dispatches[cid], telem),
                     )
                     for cid in pending
                 }
@@ -541,8 +643,7 @@ class ParallelExecutor(Executor):
                 self._note_pool_break(pool)
                 for cid in pending:
                     dispatches[cid] += 1
-                    with self._lock:
-                        self._stats["chunk_redispatches"] += 1
+                    self._counters.inc("chunk_redispatches")
                 continue
             broke = False
             # In-order consumption streams completed chunks to the
@@ -563,8 +664,7 @@ class ParallelExecutor(Executor):
                     broke = True
                     break
                 except FuturesTimeout:
-                    with self._lock:
-                        self._stats["chunk_timeouts"] += 1
+                    self._counters.inc("chunk_timeouts")
                     _log.warning(
                         "chunk reps %s of %s exceeded its %.1fs deadline; "
                         "killing workers and re-dispatching",
@@ -583,7 +683,9 @@ class ParallelExecutor(Executor):
                     broke = True
                     break
                 else:
-                    for rep in chunk_result:
+                    reps_list, blob = _split_chunk_result(chunk_result)
+                    _telemetry.absorb_worker(blob)
+                    for rep in reps_list:
                         self._account(rep)
                         yield rep
                     done.add(cid)
@@ -593,8 +695,7 @@ class ParallelExecutor(Executor):
                         continue
                     futures[cid].cancel()
                     dispatches[cid] += 1
-                    with self._lock:
-                        self._stats["chunk_redispatches"] += 1
+                    self._counters.inc("chunk_redispatches")
             else:
                 self._note_healthy_round()
 

@@ -341,6 +341,7 @@ def run_experiment(
         to a clean first run — retries re-seed from the original
         per-rep spawn key.
     """
+    from repro import telemetry as _telemetry
     from repro.harness.executor import get_executor
 
     if executor is None:
@@ -353,15 +354,20 @@ def run_experiment(
     times = np.empty(reps)
     anomalies: list[Optional[str]] = [None] * reps
     failures: list["FailureRecord"] = []
-    for rep in executor.run_reps(
-        spec, stack, reps, need_runs=on_run is not None, policy=policy
+    # One span per experiment — far off the per-rep hot path, so no
+    # enabled() guard is needed around the attribute dict.
+    with _telemetry.span(
+        "experiment", spec=spec.label(), reps=reps, injected=injecting
     ):
-        times[rep.index] = rep.exec_time
-        anomalies[rep.index] = rep.anomaly
-        if rep.error is not None:
-            failures.append(rep.error)
-        elif on_run is not None:
-            on_run(rep.index, rep.run)
+        for rep in executor.run_reps(
+            spec, stack, reps, need_runs=on_run is not None, policy=policy
+        ):
+            times[rep.index] = rep.exec_time
+            anomalies[rep.index] = rep.anomaly
+            if rep.error is not None:
+                failures.append(rep.error)
+            elif on_run is not None:
+                on_run(rep.index, rep.run)
     return ResultSet(
         spec=spec,
         times=times,

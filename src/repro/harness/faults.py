@@ -371,20 +371,111 @@ class CampaignJournal:
                 os.fsync(fh.fileno())
 
     # ------------------------------------------------------------------
-    def record_done(self, key: str, **meta) -> None:
-        """Checkpoint one completed cell (idempotent per key)."""
+    def record_done(
+        self,
+        key: str,
+        duration_s: Optional[float] = None,
+        attempt: Optional[int] = None,
+        **meta,
+    ) -> None:
+        """Checkpoint one completed cell (idempotent per key).
+
+        ``duration_s`` is the cell's wall time; ``attempt`` is how the
+        result was obtained (``0`` = cache hit, ``1`` = fresh run).
+        Both are optional so pre-telemetry callers — and old journals —
+        stay valid.
+        """
         if key in self.completed:
             return
         self.completed.add(key)
-        self._append({"status": "done", "key": key, **meta})
+        entry = {"status": "done", "key": key, **meta}
+        if duration_s is not None:
+            entry["duration_s"] = round(float(duration_s), 6)
+        if attempt is not None:
+            entry["attempt"] = int(attempt)
+        self._append(entry)
 
-    def record_failure(self, key: str, record: FailureRecord, **meta) -> None:
+    def record_failure(
+        self,
+        key: str,
+        record: FailureRecord,
+        duration_s: Optional[float] = None,
+        **meta,
+    ) -> None:
         """Journal a contained failure (the cell stays incomplete)."""
-        self._append({"status": "failed", "key": key, "failure": record.to_dict(), **meta})
+        entry = {
+            "status": "failed",
+            "key": key,
+            "failure": record.to_dict(),
+            "attempt": record.attempts,
+            **meta,
+        }
+        if duration_s is not None:
+            entry["duration_s"] = round(float(duration_s), 6)
+        self._append(entry)
 
     def is_done(self, key: str) -> bool:
         """Whether ``key`` was checkpointed as completed."""
         return key in self.completed
+
+    def overhead(self) -> dict:
+        """Cumulative time/retry accounting across the journal's history.
+
+        Resumed campaigns append to the same file, so this scan reports
+        the *total* cost of getting the campaign to its current state:
+        wall time journaled for completed cells (split into cache hits
+        vs fresh runs via the ``attempt`` field), time burned on
+        journaled failures, and retry attempts recorded by failure
+        lines.  Lines written by pre-telemetry versions lack
+        ``duration_s``/``attempt`` and are counted as cells but
+        contribute no time — the reader is deliberately tolerant.
+        """
+        out = {
+            "cells_done": 0,
+            "cells_failed": 0,
+            "done_s": 0.0,
+            "hit_s": 0.0,
+            "run_s": 0.0,
+            "failed_s": 0.0,
+            "retry_attempts": 0,
+        }
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return out
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            status = entry.get("status")
+            try:
+                duration = float(entry.get("duration_s", 0.0) or 0.0)
+            except (TypeError, ValueError):
+                duration = 0.0
+            if status == "done":
+                out["cells_done"] += 1
+                out["done_s"] += duration
+                if entry.get("attempt") == 0:
+                    out["hit_s"] += duration
+                else:
+                    out["run_s"] += duration
+            elif status == "failed":
+                out["cells_failed"] += 1
+                out["failed_s"] += duration
+                attempts = entry.get("attempt")
+                if attempts is None:
+                    attempts = (entry.get("failure") or {}).get("attempts")
+                try:
+                    out["retry_attempts"] += max(0, int(attempts) - 1)
+                except (TypeError, ValueError):
+                    pass
+        return out
 
     def verify_against_cache(self, cache) -> tuple[int, int]:
         """Count journaled cells whose cache entry is (present, missing).

@@ -11,6 +11,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro import telemetry as _telemetry
 from repro.harness.cache import ResultCache
 from repro.harness.experiment import ExperimentSpec, ResultSet
 from repro.harness.report import TableBuilder
@@ -104,12 +105,14 @@ def sweep(
     if noise is None:
         noise = noise_config
     names = tuple(axes)
+    combos = list(itertools.product(*(axes[n] for n in names)))
     points: list[tuple] = []
     results: list[ResultSet] = []
-    for combo in itertools.product(*(axes[n] for n in names)):
-        spec = base.with_(**dict(zip(names, combo)))
-        points.append(combo)
-        results.append(
-            cache.get_or_run(spec, noise=noise, executor=executor, policy=policy)
-        )
+    with _telemetry.span("sweep", axes=",".join(names), points=len(combos)):
+        for combo in combos:
+            spec = base.with_(**dict(zip(names, combo)))
+            points.append(combo)
+            results.append(
+                cache.get_or_run(spec, noise=noise, executor=executor, policy=policy)
+            )
     return SweepResult(axes=names, points=points, results=results)

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.core.trace import Trace
 from repro.sim.engine import Engine
 from repro.sim.memory import MemorySystem
@@ -154,6 +155,14 @@ class Machine:
             self.rng,
             meta=meta,
         )
+        if _telemetry.enabled():
+            # Engine counters flush once per run, never from inside the
+            # event loop — the hot path is untouched, and the golden-
+            # equivalence contract with it.
+            group = _telemetry.get_group("engine")
+            group.inc("runs")
+            group.inc("events_executed", self.engine.events_executed)
+            group.inc("compactions", self.engine.compactions)
         return RunResult(
             exec_time=exec_time,
             trace=trace,

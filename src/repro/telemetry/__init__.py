@@ -1,0 +1,78 @@
+"""repro.telemetry — unified instrumentation for the harness.
+
+The measurement infrastructure deserves the same observability the
+paper demands of the systems under test: spans describing where
+campaign wall-clock goes (campaign → cell → experiment → chunk → rep →
+retry, across process-pool workers), one counter registry replacing the
+scattered ``stats()`` dicts, and exporters producing an append-only
+JSONL event log, a Chrome/Perfetto-loadable trace timeline, and a
+Prometheus-style text snapshot.
+
+Enable with ``REPRO_TELEMETRY=1`` (collect in memory) or
+``REPRO_TELEMETRY=DIR`` / ``repro-noise ... --telemetry DIR`` (collect
+and export).  Disabled — the default — the whole layer is a no-op:
+:func:`span` hands back a shared null context manager, nothing
+allocates on hot paths, and simulation results are bit-identical either
+way (telemetry never touches an experiment RNG stream).
+
+See ``docs/observability.md`` for the exporter formats, a Perfetto
+walkthrough, and the counter glossary.
+"""
+
+from repro.telemetry.core import (
+    CounterGroup,
+    Span,
+    absorb_worker,
+    configure,
+    counters_snapshot,
+    current_span_id,
+    drain_events,
+    enabled,
+    events_snapshot,
+    get_group,
+    new_group,
+    refresh_from_env,
+    reset,
+    set_base_parent,
+    span,
+    telemetry_dir,
+    worker_capture_begin,
+    worker_capture_end,
+)
+from repro.telemetry.exporters import (
+    chrome_trace,
+    export_all,
+    load_events_jsonl,
+    prometheus_text,
+    summarize_text,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "enabled",
+    "configure",
+    "refresh_from_env",
+    "telemetry_dir",
+    "span",
+    "Span",
+    "current_span_id",
+    "set_base_parent",
+    "events_snapshot",
+    "drain_events",
+    "CounterGroup",
+    "new_group",
+    "get_group",
+    "counters_snapshot",
+    "worker_capture_begin",
+    "worker_capture_end",
+    "absorb_worker",
+    "reset",
+    "write_events_jsonl",
+    "load_events_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "summarize_text",
+    "export_all",
+]

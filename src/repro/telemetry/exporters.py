@@ -1,0 +1,258 @@
+"""Telemetry exporters: JSONL event log, Chrome trace, Prometheus text.
+
+Three on-disk formats, all derived from the in-memory span events and
+counter aggregates of :mod:`repro.telemetry.core`:
+
+* ``events.jsonl`` — append-friendly raw event log, one JSON object per
+  line; span events first, one final ``{"type": "counters", ...}``
+  line carrying the aggregated counter snapshot.  This is the archival
+  format the other two are derived from.
+* ``trace.json`` — Chrome trace-event JSON (the *JSON Array Format*
+  with a ``traceEvents`` key): load it in ``chrome://tracing`` or
+  `Perfetto <https://ui.perfetto.dev>`_ to see the campaign →
+  experiment → chunk → rep timeline across worker pids.
+* ``counters.prom`` — Prometheus text-exposition snapshot
+  (``repro_<namespace>_<name>_total`` counter series).
+
+:func:`summarize_text` renders the where-did-the-time-go breakdown the
+``repro-noise telemetry summarize`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.telemetry import core
+
+__all__ = [
+    "write_events_jsonl",
+    "load_events_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "summarize_text",
+    "export_all",
+]
+
+#: canonical ordering of the harness span hierarchy in summaries
+_SPAN_ORDER = (
+    "campaign",
+    "cell",
+    "pipeline",
+    "collect",
+    "configure",
+    "sweep",
+    "experiment",
+    "inject",
+    "chunk",
+    "rep",
+    "retry",
+)
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def write_events_jsonl(
+    path: Path,
+    events: Optional[Iterable[dict]] = None,
+    counters: Optional[dict] = None,
+) -> Path:
+    """Write the archival JSONL log (events default to the live buffer)."""
+    if events is None:
+        events = core.events_snapshot()
+    if counters is None:
+        counters = core.counters_snapshot()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+        fh.write(json.dumps({"type": "counters", "counters": counters}, sort_keys=True) + "\n")
+    return path
+
+
+def load_events_jsonl(path: Path) -> tuple[list[dict], dict]:
+    """Read a JSONL log back: ``(span_events, counters)``.
+
+    Tolerates torn trailing lines (a crashed run's log is still
+    summarizable) and unknown event types (forward compatibility).
+    Multiple ``counters`` lines are merged, later values summing in —
+    a log that was appended to across runs still reads sensibly.
+    """
+    events: list[dict] = []
+    counters: dict[str, dict[str, float]] = {}
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn trailing line
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("type") == "counters":
+            for namespace, counts in (entry.get("counters") or {}).items():
+                bucket = counters.setdefault(namespace, {})
+                for name, value in counts.items():
+                    bucket[name] = bucket.get(name, 0) + value
+        elif entry.get("type") == "span":
+            events.append(entry)
+    return events, counters
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(events: Optional[Iterable[dict]] = None) -> dict:
+    """Convert span events to the Chrome trace-event JSON object.
+
+    Spans become ``ph: "X"`` (complete) events with microsecond
+    timestamps rebased to the earliest span, laid out on ``pid``/``tid``
+    tracks — workers appear as separate process rows in Perfetto.
+    """
+    if events is None:
+        events = core.events_snapshot()
+    spans = [e for e in events if e.get("type") == "span"]
+    t0 = min((e["ts"] for e in spans), default=0.0)
+    trace_events = []
+    pids = set()
+    for e in spans:
+        pids.add(e["pid"])
+        args = dict(e.get("args") or {})
+        args["id"] = e.get("id")
+        if e.get("parent"):
+            args["parent"] = e["parent"]
+        if e.get("error"):
+            args["error"] = e["error"]
+        trace_events.append(
+            {
+                "name": e["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (e["ts"] - t0) * 1e6,
+                "dur": e["dur"] * 1e6,
+                "pid": e["pid"],
+                "tid": e["tid"],
+                "args": args,
+            }
+        )
+    for pid in sorted(pids):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Path, events: Optional[Iterable[dict]] = None) -> Path:
+    """Write the Chrome/Perfetto-loadable trace JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(events)) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text snapshot
+# ----------------------------------------------------------------------
+def prometheus_text(counters: Optional[dict] = None) -> str:
+    """Render counters in the Prometheus text exposition format."""
+    if counters is None:
+        counters = core.counters_snapshot()
+    lines = []
+    for namespace in sorted(counters):
+        for name in sorted(counters[namespace]):
+            metric = f"repro_{namespace}_{name}_total".replace(".", "_").replace("-", "_")
+            value = counters[namespace][name]
+            lines.append(f"# TYPE {metric} counter")
+            rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
+            lines.append(f"{metric} {rendered}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# summary rendering
+# ----------------------------------------------------------------------
+def summarize_text(events: Iterable[dict], counters: dict) -> str:
+    """Where-did-the-time-go breakdown: per-span totals plus counters.
+
+    ``total`` sums wall time across concurrent spans (a chunk running
+    on four workers contributes four chunks' worth), so comparing
+    ``rep`` totals against ``experiment`` totals directly exposes
+    parallel speed-up and retry overhead.
+    """
+    from repro.harness.report import TableBuilder
+
+    per_name: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for e in events:
+        if e.get("type") != "span":
+            continue
+        per_name.setdefault(e["name"], []).append(float(e.get("dur", 0.0)))
+        if e.get("error"):
+            errors[e["name"]] = errors.get(e["name"], 0) + 1
+    order = [n for n in _SPAN_ORDER if n in per_name]
+    order += sorted(set(per_name) - set(order), key=lambda n: -sum(per_name[n]))
+    tb = TableBuilder(["span", "count", "total (s)", "mean (ms)", "max (ms)", "errors"])
+    for name in order:
+        durs = per_name[name]
+        tb.add_row(
+            name,
+            str(len(durs)),
+            f"{sum(durs):.3f}",
+            f"{sum(durs) / len(durs) * 1e3:.2f}",
+            f"{max(durs) * 1e3:.2f}",
+            str(errors.get(name, 0)),
+        )
+    parts = ["telemetry summary: where did the time go"]
+    if order:
+        parts.append(tb.render())
+    else:
+        parts.append("(no spans recorded)")
+    if counters:
+        ctb = TableBuilder(["counter", "value"])
+        for namespace in sorted(counters):
+            for name in sorted(counters[namespace]):
+                value = counters[namespace][name]
+                rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                ctb.add_row(f"{namespace}.{name}", rendered)
+        parts.append(ctb.render())
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# one-call export
+# ----------------------------------------------------------------------
+def export_all(out_dir: Optional[Path] = None) -> dict[str, Path]:
+    """Write all three formats into ``out_dir`` (default: configured dir).
+
+    Returns ``{"events": ..., "chrome": ..., "prometheus": ...}`` paths.
+    """
+    if out_dir is None:
+        out_dir = core.telemetry_dir()
+    if out_dir is None:
+        raise ValueError("no telemetry output directory configured")
+    out_dir = Path(out_dir)
+    events = core.events_snapshot()
+    counters = core.counters_snapshot()
+    return {
+        "events": write_events_jsonl(out_dir / "events.jsonl", events, counters),
+        "chrome": write_chrome_trace(out_dir / "trace.json", events),
+        "prometheus": _write_text(out_dir / "counters.prom", prometheus_text(counters)),
+    }
+
+
+def _write_text(path: Path, text: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

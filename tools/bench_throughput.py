@@ -10,8 +10,11 @@ a one-off microbenchmark:
 * ``--profile N`` — cProfile the serial run and print the top ``N``
   functions by cumulative time (the first stop for hot-path triage);
 * ``--json PATH`` — machine-readable record (scenario, reps/sec, a
-  machine-speed calibration, normalized throughput, git revision);
-  the committed baseline lives at ``benchmarks/out/bench_sim.json``;
+  machine-speed calibration, normalized throughput, git revision, and
+  a telemetry counter snapshot from one instrumented run — engine
+  event counts, cache/executor activity — taken *after* the timing
+  loops so instrumentation never touches the measurement); the
+  committed baseline lives at ``benchmarks/out/bench_sim.json``;
 * ``--check-against BASELINE`` — exit non-zero when normalized
   throughput regressed more than ``--max-regression`` (default 20%)
   vs. a previous ``--json`` record.  CI runs this as the perf smoke
@@ -94,6 +97,27 @@ def calibrate() -> float:
             acc += 1.0000001 * i - acc * 0.5
         best = max(best, n / (time.perf_counter() - t0))
     return best / 1e6
+
+
+def telemetry_snapshot(spec: ExperimentSpec) -> dict:
+    """Counter deltas from one instrumented serial run.
+
+    Runs after the timing loops (never inside them), so the record
+    documents what one run *does* — engine events executed, heap
+    compactions, executor activity — without instrumentation showing
+    up in the timed numbers.
+    """
+    from repro import telemetry
+
+    was_enabled = telemetry.enabled()
+    telemetry.configure(enabled=True)
+    try:
+        token = telemetry.worker_capture_begin(None)
+        run_experiment(spec, executor=SerialExecutor())
+        counters = telemetry.worker_capture_end(token)["counters"]
+    finally:
+        telemetry.configure(enabled=was_enabled)
+    return counters
 
 
 def git_rev() -> str:
@@ -232,6 +256,7 @@ def main(argv=None) -> int:
             "calibration_mops": round(calib, 4),
             "normalized_rps": round(serial_rps / calib, 4),
             "git_rev": git_rev(),
+            "telemetry": telemetry_snapshot(spec),
         }
     if args.json:
         out = Path(args.json)

@@ -64,6 +64,20 @@ def _jobs_arg(value: str) -> int:
     return n
 
 
+def _chunk_size_arg(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
+
+
+def _adaptive_ci_arg(value: str) -> float:
+    x = float(value)
+    if not x > 0.0:
+        raise argparse.ArgumentTypeError("must be > 0 (a relative half-width, e.g. 0.02)")
+    return x
+
+
 def _add_exec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -71,6 +85,24 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for repetitions (default: $REPRO_JOBS or 1; "
         "0 = one per CPU; results are bit-identical at any worker count)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=_chunk_size_arg,
+        default=None,
+        metavar="N",
+        help="reps per dispatched chunk (default: $REPRO_CHUNK_SIZE or "
+        "automatic ~4 chunks per worker; any size yields identical results)",
+    )
+    p.add_argument(
+        "--adaptive-ci",
+        type=_adaptive_ci_arg,
+        default=None,
+        metavar="REL",
+        help="stop each cell early once the bootstrap CI half-width of the "
+        "mean is below REL x |mean| (e.g. 0.02 = ±2%%); deterministic at any "
+        "worker count, capped at the fixed rep budget, cached under a "
+        "distinct key (see docs/faq.md)",
     )
     p.add_argument(
         "--telemetry",
@@ -158,7 +190,22 @@ def _executor_from(args):
     from repro.harness.executor import get_executor
 
     try:
-        return get_executor(getattr(args, "jobs", None))
+        return get_executor(
+            getattr(args, "jobs", None), chunk_size=getattr(args, "chunk_size", None)
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro-noise: {exc}")
+
+
+def _adaptive_from(args):
+    """Build an AdaptivePolicy from --adaptive-ci (None when absent)."""
+    target = getattr(args, "adaptive_ci", None)
+    if target is None:
+        return None
+    from repro.harness.adaptive import AdaptivePolicy
+
+    try:
+        return AdaptivePolicy(target_rel_hw=target)
     except ValueError as exc:
         raise SystemExit(f"repro-noise: {exc}")
 
@@ -176,6 +223,7 @@ def _spec_from(args) -> "ExperimentSpec":
         seed=args.seed,
         runlevel3=args.runlevel3,
         anomaly_prob=args.anomaly_prob,
+        adaptive=_adaptive_from(args),
     )
 
 
@@ -447,7 +495,12 @@ def _cmd_noise(args) -> int:
 def _cmd_table(args) -> int:
     from repro.harness import campaigns
 
-    settings = campaigns.default_settings(seed=args.seed, jobs=args.jobs)
+    settings = campaigns.default_settings(
+        seed=args.seed,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        adaptive=_adaptive_from(args),
+    )
     dispatch = {
         "1": campaigns.table1,
         "2": campaigns.table2,
@@ -467,7 +520,12 @@ def _cmd_table(args) -> int:
 def _cmd_figure(args) -> int:
     from repro.harness import campaigns
 
-    settings = campaigns.default_settings(seed=args.seed, jobs=args.jobs)
+    settings = campaigns.default_settings(
+        seed=args.seed,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        adaptive=_adaptive_from(args),
+    )
     if args.number == "1":
         print(campaigns.figure1(settings).render())
     elif args.number == "2":
@@ -536,9 +594,11 @@ def _cmd_campaign(args) -> int:
     settings = campaigns.default_settings(
         seed=args.seed,
         jobs=args.jobs,
+        chunk_size=args.chunk_size,
         cache=cache,
         fault_policy=_policy_from(args),
         journal=journal,
+        adaptive=_adaptive_from(args),
     )
     targets = {
         "table1": campaigns.table1,

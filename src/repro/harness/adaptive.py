@@ -1,0 +1,159 @@
+"""Adaptive repetition counts driven by bootstrap-CI precision.
+
+The paper's tables report bootstrap-CI summary statistics per cell
+(mean execution time with a percentile interval).  For most cells the
+interval is tight long before the fixed repetition budget is spent —
+low-noise baselines converge in tens of reps while heavy-injection
+cells genuinely need hundreds.  An :class:`AdaptivePolicy` makes the
+rep loop precision-driven: run repetitions in deterministic batches and
+stop as soon as the relative CI half-width of the mean drops below a
+target, never exceeding the policy's rep budget (by default the
+spec's fixed count).
+
+Determinism contract
+--------------------
+Adaptive stopping is exactly as reproducible as the fixed-rep path:
+
+* rep ``i`` is still seeded from ``SeedSequence(seed, spawn_key=(i,))``
+  — the first ``n`` adaptive reps are bit-identical to the first ``n``
+  reps of a fixed-rep run of the same spec;
+* batch boundaries are a pure function of the policy
+  (``min_reps``, then ``+batch`` up to ``max_reps``), never of timing;
+* the bootstrap CI after ``n`` reps draws from a dedicated RNG keyed by
+  ``(seed, n)`` (:func:`ci_rng`), so the stop decision is identical at
+  any worker count, chunk size, or backend.
+
+Same spec + seed + policy therefore always yields the same rep count
+and the same per-rep results.  ``tests/test_adaptive.py`` pins this
+against ``tests/fixtures/adaptive_reps.json``.
+
+What changes — and must be cached separately — is the *sample size*:
+an adaptively stopped cell carries fewer reps than its fixed-rep twin,
+so its summary statistics are estimates of the same quantity at lower
+(but bounded, by construction) precision.  The result cache therefore
+keys adaptive results under a distinct, versioned key block
+(see :mod:`repro.harness.cache`), and the CLI exposes the policy as the
+opt-in ``--adaptive-ci`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AdaptivePolicy", "ci_rng", "ADAPTIVE_FIXTURE_VERSION"]
+
+#: version of the adaptive stop rule; bumped when the decision
+#: procedure changes (hashed into cache keys and fixture files)
+ADAPTIVE_FIXTURE_VERSION = 1
+
+#: spawn-key tag separating the CI-decision RNG stream from per-rep
+#: streams (reps use ``spawn_key=(i,)``) and backoff streams
+_CI_TAG = 0xADA
+
+
+def ci_rng(seed: int, n: int) -> np.random.Generator:
+    """The bootstrap RNG for the stop decision after ``n`` reps.
+
+    Keyed by ``(n, tag)`` under the experiment seed, so the decision
+    is a pure function of the observed sample — independent of worker
+    count, chunk size, and wall-clock.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(n, _CI_TAG)))
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Opt-in early stopping for experiment repetitions.
+
+    ``target_rel_hw`` is the goal: stop once the bootstrap CI
+    half-width of the mean is at most ``target_rel_hw * |mean|``
+    (e.g. ``0.02`` = ±2 %).  ``min_reps`` guards against stopping on a
+    fluke of the first few reps, ``batch`` sets the increment between
+    decisions, and ``max_reps`` caps the budget (``0`` → the spec's
+    resolved fixed-rep count, so adaptive mode can only ever run fewer
+    reps than fixed mode).
+    """
+
+    target_rel_hw: float
+    confidence: float = 0.95
+    min_reps: int = 8
+    max_reps: int = 0
+    batch: int = 8
+    n_boot: int = 500
+
+    def __post_init__(self) -> None:
+        if not self.target_rel_hw > 0.0:
+            raise ValueError(f"target_rel_hw must be > 0, got {self.target_rel_hw!r}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence!r}")
+        if self.min_reps < 2:
+            raise ValueError(f"min_reps must be >= 2 (a CI needs 2 samples), got {self.min_reps}")
+        if self.max_reps < 0:
+            raise ValueError(f"max_reps must be >= 0 (0 = spec budget), got {self.max_reps}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.n_boot < 50:
+            raise ValueError(f"n_boot must be >= 50, got {self.n_boot}")
+
+    def resolve_cap(self, spec_reps: int) -> int:
+        """Hard rep budget for a spec whose fixed count is ``spec_reps``.
+
+        An explicit ``max_reps`` wins (it may exceed the spec's fixed
+        count when extra precision is worth it); ``0`` adopts the
+        spec's budget, making adaptive mode a strict subset of fixed.
+        """
+        return self.max_reps if self.max_reps > 0 else spec_reps
+
+    def batch_edges(self, cap: int) -> list[int]:
+        """Cumulative rep counts at which the stop rule is evaluated.
+
+        A pure function of the policy and the cap — the schedule the
+        determinism contract hangs on.
+        """
+        if cap <= 0:
+            return []
+        edges = [min(self.min_reps, cap)]
+        while edges[-1] < cap:
+            edges.append(min(edges[-1] + self.batch, cap))
+        return edges
+
+    def should_stop(self, ok_times: np.ndarray, seed: int, n: int) -> tuple[bool, float]:
+        """Evaluate the stop rule after ``n`` dispatched reps.
+
+        Returns ``(stop, rel_halfwidth)``; ``rel_halfwidth`` is NaN
+        when fewer than two reps completed (a skip policy may have
+        failed some).
+        """
+        from repro.harness.bootstrap import mean_ci
+
+        if len(ok_times) < 2:
+            return False, float("nan")
+        ci = mean_ci(
+            ok_times,
+            confidence=self.confidence,
+            n_boot=self.n_boot,
+            rng=ci_rng(seed, n),
+        )
+        if ci.estimate == 0.0:
+            return False, float("inf")
+        rel_hw = (ci.high - ci.low) / 2.0 / abs(ci.estimate)
+        return rel_hw <= self.target_rel_hw, rel_hw
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "AdaptivePolicy":
+        return AdaptivePolicy(**data)
+
+    @staticmethod
+    def coerce(value) -> Optional["AdaptivePolicy"]:
+        """Accept ``None``, a policy, or its dict serialization."""
+        if value is None or isinstance(value, AdaptivePolicy):
+            return value
+        if isinstance(value, dict):
+            return AdaptivePolicy.from_dict(value)
+        raise TypeError(f"cannot coerce {type(value).__name__} to AdaptivePolicy")

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro import telemetry as _telemetry
+from repro.harness.adaptive import ADAPTIVE_FIXTURE_VERSION, AdaptivePolicy
 from repro.harness.experiment import ExperimentSpec, ResultSet, run_experiment
 from repro.harness.faults import FailureRecord, atomic_write_text
 from repro.noise.base import NoiseStack
@@ -67,6 +68,13 @@ _CACHE_SCHEMA = 5
 #: entries can never collide with, or masquerade as, current ones
 _KEY_VERSION = 2
 
+#: adaptive results key under a distinct versioned block: an
+#: adaptively stopped cell carries fewer reps than its fixed-rep twin
+#: (same estimate, lower precision), so the two must never share a key
+#: — and a change to the stop rule must invalidate adaptive entries
+#: without touching fixed-rep ones
+_ADAPTIVE_KEY_VERSION = ADAPTIVE_FIXTURE_VERSION
+
 
 class ResultCache:
     """Content-addressed store of experiment execution times.
@@ -83,6 +91,7 @@ class ResultCache:
         executor: Optional["Executor"] = None,
         policy: Optional["FaultPolicy"] = None,
         journal: Optional["CampaignJournal"] = None,
+        adaptive: Optional["AdaptivePolicy"] = None,
     ):
         if root is None:
             root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
@@ -91,6 +100,10 @@ class ResultCache:
         self.executor = executor
         #: default fault policy for cache misses; per-call overrides win
         self.policy = policy
+        #: default adaptive-rep policy applied to specs that carry none;
+        #: unlike ``policy`` it *does* enter the cache key (sample sizes
+        #: differ), under the distinct adaptive key block
+        self.adaptive = adaptive
         #: optional campaign checkpoint journal; completed cells are
         #: recorded by key, completed failures by record
         self.journal = journal
@@ -142,6 +155,12 @@ class ResultCache:
             "reps": reps,
             "noise": noise.to_dict() if noise is not None else None,
         }
+        if spec.adaptive is not None:
+            # Distinct key block (absent entirely for fixed-rep cells,
+            # so pre-adaptive keys are untouched): the policy and the
+            # stop-rule version both shape the stored sample.
+            payload["adaptive"] = spec.adaptive.to_dict()
+            payload["adaptive_version"] = _ADAPTIVE_KEY_VERSION
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:32]
 
@@ -202,6 +221,12 @@ class ResultCache:
         keys identically under any policy.  Partial results (skipped
         reps) are returned but quarantined to ``<key>.partial.json``
         rather than cached, so the cell re-runs on the next call.
+
+        Adaptive early stopping is different: a spec that carries an
+        :class:`~repro.harness.adaptive.AdaptivePolicy` (or inherits
+        ``self.adaptive``) stores a *smaller sample* of the same cell,
+        so it keys under a distinct versioned key block and can never
+        collide with — or masquerade as — the fixed-rep entry.
         """
         if on_run is not None and self.enabled:
             raise ValueError(
@@ -216,6 +241,8 @@ class ResultCache:
         injecting = stack is not None and bool(stack)
         reps = spec.resolved_reps(injecting)
         spec = spec.with_(reps=reps)
+        if spec.adaptive is None and self.adaptive is not None:
+            spec = spec.with_(adaptive=self.adaptive)
         key = self._key(spec, stack, reps)
         path = self._path(key)
         t0 = time.perf_counter()
@@ -241,6 +268,7 @@ class ResultCache:
                         failures=[
                             FailureRecord.from_dict(f) for f in data.get("failures", [])
                         ],
+                        adaptive=data.get("adaptive"),
                     )
                     self._count("hits")
                     if self.journal is not None:
@@ -277,6 +305,7 @@ class ResultCache:
                 "label": spec.label(),
                 "noise": stack.kinds() if stack is not None else None,
                 "failures": [f.to_dict() for f in rs.failures],
+                "adaptive": rs.adaptive,
             }
         )
         if rs.failures:

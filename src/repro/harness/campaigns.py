@@ -31,6 +31,7 @@ from repro.core.accuracy import signed_replication_error
 from repro.core.collection import collect_traces
 from repro.core.config import NoiseConfig, generate_config
 from repro.core.merge import MergeStrategy
+from repro.harness.adaptive import AdaptivePolicy
 from repro.harness.cache import ResultCache
 from repro.harness.experiment import ExperimentSpec
 from repro.harness.faults import (
@@ -112,20 +113,29 @@ class CampaignSettings:
     collect_reps: int = 0          # per collection batch; 0 → env default
     collect_batches: int = 5
     jobs: Optional[int] = None
+    #: reps per dispatched chunk (None → ``REPRO_CHUNK_SIZE`` or auto);
+    #: chunking never affects results, only dispatch granularity
+    chunk_size: Optional[int] = None
     cache: ResultCache = field(default_factory=ResultCache)
     fault_policy: Optional["FaultPolicy"] = None
     journal: Optional["CampaignJournal"] = None
+    #: CI-driven early stopping applied to every cell the campaign runs
+    #: (threaded through the cache, so adaptive cells key — and cache —
+    #: separately from fixed-rep ones); None keeps classic fixed reps
+    adaptive: Optional["AdaptivePolicy"] = None
 
     def __post_init__(self) -> None:
         from repro.harness.executor import get_executor
 
-        self.executor = get_executor(self.jobs)
+        self.executor = get_executor(self.jobs, chunk_size=self.chunk_size)
         if self.cache.executor is None:
             self.cache.executor = self.executor
         if self.fault_policy is not None and self.cache.policy is None:
             self.cache.policy = self.fault_policy
         if self.journal is not None and self.cache.journal is None:
             self.cache.journal = self.journal
+        if self.adaptive is not None and self.cache.adaptive is None:
+            self.cache.adaptive = self.adaptive
 
     def resolved_collect_reps(self) -> int:
         """Collection batch size with environment default applied."""

@@ -14,11 +14,44 @@ Two backends implement the same iterator contract:
 * :class:`ParallelExecutor` — a ``concurrent.futures``
   ``ProcessPoolExecutor`` dispatching *chunks of rep indices*.  Workers
   receive only picklable inputs (``spec``, the ``NoiseStack``, the
-  index chunk) and rebuild platform / workload / placement locally, so
+  index chunk) and resolve platform / workload / placement locally, so
   no simulator state crosses the process boundary.  Noise stacks ride
   along as pure data; each member source spawns its own child RNG from
   the rep's ``SeedSequence``, so composite noise stays bit-identical
   at any worker count.
+
+Batched execution
+-----------------
+Resolving a spec (platform preset, workload, placement, expected
+duration) is pure, so both backends run reps against a
+:class:`~repro.harness.experiment.ResolvedContext` held in a small
+per-process cache keyed by
+:func:`~repro.harness.experiment.context_key` — a worker that receives
+chunk after chunk of the same configuration (or of the same sweep cell
+at different seeds) resolves the world once instead of once per chunk.
+Cache activity is counted in the shared ``context`` telemetry group
+(``builds`` / ``hits``).
+
+Result transport
+----------------
+The parallel backend has two ways to get bulk per-rep outputs home:
+
+* **pickle** — workers return ``RepResult`` lists through the pool's
+  result queue (the only transport when full ``RunResult`` payloads
+  are requested, and the serial/fallback path otherwise);
+* **shm** — the parent allocates one ``multiprocessing.shared_memory``
+  block per dispatch (float64 exec times, int16 attempt counts, int16
+  anomaly codes) and workers write their chunk's slice in place;
+  only a tiny marker (plus rare out-of-table anomaly names and
+  failure records) is pickled back.  Exec times cross as raw 64-bit
+  floats, so bit-identity is preserved exactly.
+
+``REPRO_SHM=0`` (or ``transport="pickle"``) forces the pickle path;
+the default ``auto`` uses shared memory whenever it is available and
+no full runs were requested.  The parent owns every segment and
+unlinks it in a ``finally`` that covers chunk failure, pool rebuild,
+hung-chunk kills, and abandoned iterators — workers only ever attach
+and close.  ``stats()`` counts ``shm_chunks`` / ``pickle_chunks``.
 
 Worker-invariant determinism contract
 -------------------------------------
@@ -52,18 +85,21 @@ in-process serial execution for the remainder (logged, visible in
 
 Backend selection is spec-independent: ``--jobs N`` on the CLI or the
 ``REPRO_JOBS`` environment variable (default ``1``; ``0`` means one
-worker per CPU).
+worker per CPU).  Chunk sizing follows ``--chunk-size`` /
+``REPRO_CHUNK_SIZE`` (default: automatic, ~4 chunks per worker).
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import logging
 import multiprocessing
 import os
 import threading
 import time
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -82,7 +118,7 @@ from repro.harness.faults import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.harness.experiment import ExperimentSpec
+    from repro.harness.experiment import ExperimentSpec, ResolvedContext
     from repro.noise.base import NoiseStack
     from repro.sim.machine import RunResult
 
@@ -92,9 +128,12 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "resolve_jobs",
+    "resolve_chunk_size",
+    "resolve_transport",
     "get_executor",
     "rep_seed",
     "chunk_indices",
+    "chunk_range",
 ]
 
 _log = logging.getLogger(__name__)
@@ -113,19 +152,102 @@ def rep_seed(seed: int, index: int) -> np.random.SeedSequence:
     return np.random.SeedSequence(seed, spawn_key=(index,))
 
 
-def chunk_indices(reps: int, jobs: int, chunk_size: Optional[int] = None) -> list[range]:
-    """Partition ``range(reps)`` into contiguous dispatch chunks.
+def resolve_chunk_size(chunk_size: Optional[int] = None) -> Optional[int]:
+    """Chunk size from an explicit value or ``REPRO_CHUNK_SIZE``.
+
+    ``None`` reads the environment; unset or ``0`` selects the
+    automatic ~4-chunks-per-worker default (returned as ``None``).
+    Anything else — argument or environment — must be ``>= 1``; the
+    environment error names the variable (via ``env_int``).
+    """
+    if chunk_size is None:
+        from repro.harness.experiment import env_int
+
+        value = env_int("REPRO_CHUNK_SIZE", 0)
+        if value == 0:
+            return None
+        if value < 0:
+            raise ValueError(
+                f"REPRO_CHUNK_SIZE must be >= 1 (or 0 for automatic sizing), got {value}"
+            )
+        return value
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def chunk_range(
+    indices: range, jobs: int, chunk_size: Optional[int] = None
+) -> list[range]:
+    """Partition a contiguous index range into dispatch chunks.
 
     The default size targets ~4 chunks per worker so a slow chunk does
     not straggle the whole experiment; any size yields identical
-    results (determinism is per-rep, not per-chunk).
+    results (determinism is per-rep, not per-chunk).  Degenerate
+    inputs fail loudly: ``jobs <= 0`` and ``chunk_size < 1`` raise,
+    an empty range yields no chunks, and ``chunk_size > len(indices)``
+    simply produces a single chunk.
     """
-    if reps <= 0:
+    if jobs <= 0:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if indices.step != 1:
+        raise ValueError(f"rep indices must be a step-1 range, got step {indices.step}")
+    n = len(indices)
+    if n == 0:
         return []
+    chunk_size = resolve_chunk_size(chunk_size)
     if chunk_size is None:
-        chunk_size = max(1, -(-reps // (jobs * 4)))
-    chunk_size = max(1, int(chunk_size))
-    return [range(lo, min(lo + chunk_size, reps)) for lo in range(0, reps, chunk_size)]
+        chunk_size = max(1, -(-n // (jobs * 4)))
+    return [indices[lo : lo + chunk_size] for lo in range(0, n, chunk_size)]
+
+
+def chunk_indices(reps: int, jobs: int, chunk_size: Optional[int] = None) -> list[range]:
+    """Partition ``range(reps)`` into contiguous dispatch chunks.
+
+    Thin wrapper over :func:`chunk_range`; ``reps == 0`` yields no
+    chunks, negative ``reps`` raises.
+    """
+    if reps < 0:
+        raise ValueError(f"reps must be >= 0, got {reps}")
+    return chunk_range(range(reps), jobs, chunk_size)
+
+
+# ----------------------------------------------------------------------
+# per-process resolved-context cache
+# ----------------------------------------------------------------------
+#: resolved contexts by context_key — kept tiny: a worker typically
+#: sees one configuration at a time, a campaign a handful interleaved
+_CONTEXT_CACHE_MAX = 8
+_context_cache: "OrderedDict[str, ResolvedContext]" = OrderedDict()
+_context_lock = threading.Lock()
+
+
+def _resolved_context(spec: "ExperimentSpec") -> "ResolvedContext":
+    """The spec's :class:`ResolvedContext`, via the per-process LRU.
+
+    Keyed by :func:`~repro.harness.experiment.context_key` (seed- and
+    rep-count-independent), so adaptive batches, sweep cells that vary
+    only the seed, and repeated chunks of one campaign cell all reuse
+    one resolved world per process.
+    """
+    from repro.harness.experiment import context_key, resolve_context
+
+    key = context_key(spec)
+    group = _telemetry.get_group("context")
+    with _context_lock:
+        context = _context_cache.get(key)
+        if context is not None:
+            _context_cache.move_to_end(key)
+            group.inc("hits")
+            return context
+    context = resolve_context(spec)
+    with _context_lock:
+        group.inc("builds")
+        _context_cache[key] = context
+        while len(_context_cache) > _CONTEXT_CACHE_MAX:
+            _context_cache.popitem(last=False)
+    return context
 
 
 # ----------------------------------------------------------------------
@@ -151,32 +273,27 @@ class RepResult:
 
 
 def _execute_rep(
-    context: tuple,
+    context: "ResolvedContext",
     spec: "ExperimentSpec",
     noise: Optional["NoiseStack"],
     index: int,
 ) -> "RunResult":
-    """Run repetition ``index`` on a prebuilt (platform, workload, placement)."""
-    from repro.harness.experiment import run_once
+    """Run repetition ``index`` on a prebuilt :class:`ResolvedContext`."""
+    from repro.harness.experiment import run_resolved
 
-    platform, workload, placement = context
     throttle_off = noise is not None and noise.disables_rt_throttle
     rng = np.random.default_rng(rep_seed(spec.seed, index))
-    return run_once(
-        platform,
-        workload,
-        placement,
-        spec.model,
+    return run_resolved(
+        context,
         rng,
-        tracing=spec.tracing,
-        rt_throttle=spec.rt_throttle and not throttle_off,
-        noise=noise,
+        noise,
+        rt_throttle=context.rt_throttle and not throttle_off,
         meta={"run": index, "spec": spec.label()},
     )
 
 
 def _run_one_rep(
-    context: tuple,
+    context: "ResolvedContext",
     spec: "ExperimentSpec",
     noise: Optional["NoiseStack"],
     index: int,
@@ -269,26 +386,208 @@ def _run_one_rep(
             ) from exc
 
 
+# ----------------------------------------------------------------------
+# shared-memory result transport
+# ----------------------------------------------------------------------
+_shm_seq = itertools.count()
+
+
+def _shm_available() -> bool:
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except Exception:  # pragma: no cover - platform without posix shm
+        return False
+    return True
+
+
+def resolve_transport(transport: Optional[str] = None) -> str:
+    """Transport mode from an explicit value or ``REPRO_SHM``.
+
+    ``auto`` (default) writes bulk outputs through shared memory when
+    available and falls back to pickling; ``pickle`` (or
+    ``REPRO_SHM=0``) forces the classic path; ``shm`` behaves like
+    ``auto`` but documents intent.
+    """
+    if transport is None:
+        raw = os.environ.get("REPRO_SHM", "").strip().lower()
+        if raw in ("0", "off", "pickle"):
+            return "pickle"
+        if raw in ("", "1", "on", "auto", "shm"):
+            return "auto"
+        raise ValueError(
+            f"REPRO_SHM must be one of 0/1/on/off/auto/shm/pickle, got {raw!r}"
+        )
+    if transport not in ("auto", "shm", "pickle"):
+        raise ValueError(f"transport must be auto, shm, or pickle, got {transport!r}")
+    return transport
+
+
+def _anomaly_code_table(context: "ResolvedContext") -> tuple:
+    """Stable small-int coding of the platform's anomaly names.
+
+    Code ``k > 0`` in a shm block means ``table[k - 1]``; names outside
+    the table (custom noise models) travel in the chunk's pickled
+    extras under code ``-1``.
+    """
+    try:
+        candidates = context.platform.noise.anomalies.candidates
+    except AttributeError:  # pragma: no cover - exotic platform stub
+        return ()
+    return tuple(dict.fromkeys(c.name for c in candidates))
+
+
+class _ShmResultBlock:
+    """Parent-owned shared-memory arrays for one dispatch's bulk outputs.
+
+    Layout for ``n`` reps (one block spans the whole dispatched index
+    range; chunks write disjoint slices):
+
+    ========  =======  ==========================================
+    offset    dtype    content
+    ========  =======  ==========================================
+    ``0``     f8[n]    exec times (NaN until written / on failure)
+    ``8n``    i2[n]    attempts consumed
+    ``10n``   i2[n]    anomaly codes (0 none, k>0 table, -1 extras)
+    ========  =======  ==========================================
+
+    The parent creates, names, and **unlinks** the segment; workers
+    attach by name and close.  ``close()`` is idempotent and reached
+    from ``run_rep_range``'s ``finally`` on every exit path — normal
+    completion, chunk failure, pool rebuild, hung-chunk kill, or an
+    abandoned result iterator — so no segment can outlive its dispatch.
+    """
+
+    __slots__ = ("base", "n", "codes", "name", "_seg", "_times", "_attempts", "_codes")
+
+    def __init__(self, indices: range, codes: tuple):
+        from multiprocessing import shared_memory
+
+        n = len(indices)
+        self.base = indices.start
+        self.n = n
+        self.codes = tuple(codes)
+        self.name = f"repro_shm_{os.getpid()}_{next(_shm_seq)}"
+        self._seg = shared_memory.SharedMemory(
+            name=self.name, create=True, size=max(1, n * 12)
+        )
+        self._times = np.ndarray(n, dtype=np.float64, buffer=self._seg.buf, offset=0)
+        self._attempts = np.ndarray(n, dtype=np.int16, buffer=self._seg.buf, offset=8 * n)
+        self._codes = np.ndarray(n, dtype=np.int16, buffer=self._seg.buf, offset=10 * n)
+        self._times.fill(float("nan"))
+        self._attempts.fill(0)
+        self._codes.fill(0)
+
+    def descriptor(self) -> dict:
+        """The picklable attachment recipe shipped in chunk payloads."""
+        return {"name": self.name, "n": self.n, "base": self.base, "codes": self.codes}
+
+    def extract(self, chunk: range, marker: dict) -> list[RepResult]:
+        """Rebuild a chunk's :class:`RepResult` list from the arrays."""
+        failures = marker.get("failures") or {}
+        anomalies = marker.get("anomalies") or {}
+        out = []
+        for i in chunk:
+            off = i - self.base
+            code = int(self._codes[off])
+            if code > 0:
+                anomaly = self.codes[code - 1]
+            elif code < 0:
+                anomaly = anomalies.get(i)
+            else:
+                anomaly = None
+            out.append(
+                RepResult(
+                    index=i,
+                    exec_time=float(self._times[off]),
+                    anomaly=anomaly,
+                    error=failures.get(i),
+                    attempts=int(self._attempts[off]) or 1,
+                )
+            )
+        return out
+
+    def close(self) -> None:
+        """Release the views, close, and unlink (idempotent, no-raise)."""
+        seg, self._seg = self._seg, None
+        if seg is None:
+            return
+        # numpy views must drop their buffer exports before close()
+        self._times = self._attempts = self._codes = None
+        try:
+            seg.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def _write_chunk_to_shm(desc: dict, reps: list[RepResult]) -> dict:
+    """Worker side: write a chunk's results into the parent's block.
+
+    Returns the marker dict that rides back through the pool (pickled):
+    shm flag, terminal failure records, and anomaly names missing from
+    the code table.  The worker only attaches and closes — the parent
+    owns the segment's lifetime.
+    """
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=desc["name"], create=False)
+    try:
+        n = desc["n"]
+        base = desc["base"]
+        times = np.ndarray(n, dtype=np.float64, buffer=seg.buf, offset=0)
+        attempts = np.ndarray(n, dtype=np.int16, buffer=seg.buf, offset=8 * n)
+        codes = np.ndarray(n, dtype=np.int16, buffer=seg.buf, offset=10 * n)
+        code_of = {name: k + 1 for k, name in enumerate(desc["codes"])}
+        failures: dict[int, FailureRecord] = {}
+        anomalies: dict[int, str] = {}
+        try:
+            for rep in reps:
+                off = rep.index - base
+                times[off] = rep.exec_time
+                attempts[off] = min(rep.attempts, 32767)
+                if rep.error is not None:
+                    failures[rep.index] = rep.error
+                if rep.anomaly is None:
+                    codes[off] = 0
+                else:
+                    code = code_of.get(rep.anomaly, -1)
+                    codes[off] = code
+                    if code < 0:
+                        anomalies[rep.index] = rep.anomaly
+        finally:
+            del times, attempts, codes
+        return {"shm": True, "failures": failures, "anomalies": anomalies}
+    finally:
+        seg.close()
+
+
 def _run_rep_chunk(payload: tuple):
     """Worker entry point: simulate one chunk of rep indices.
 
-    Receives only picklable data and rebuilds the simulation context
-    locally — platform presets, workloads and placements are pure
-    functions of the spec, so workers reconstruct the exact objects the
-    parent would have used.  Any escaping exception is wrapped in a
-    :class:`RepExecutionError` naming the spec, the chunk's rep
-    indices, and the worker pid, so pool failures are attributable.
+    Receives only picklable data and resolves the simulation context
+    locally (through the per-process context cache) — platform presets,
+    workloads and placements are pure functions of the spec, so workers
+    reconstruct the exact objects the parent would have used.  Any
+    escaping exception is wrapped in a :class:`RepExecutionError`
+    naming the spec, the chunk's rep indices, and the worker pid, so
+    pool failures are attributable.
 
     The optional 7th payload element is the telemetry context
     ``{"parent": span_id}``: when present, the worker buffers its spans
     and counter deltas during the chunk and flushes them back through
     the return channel as ``(results, blob)`` instead of a bare result
-    list (pre-telemetry 6-tuples still work — tests build them).
+    list (pre-telemetry 6-tuples still work — tests build them).  The
+    optional 8th element is a shm block descriptor: bulk outputs are
+    then written in place and only a small marker dict is returned.
     """
-    from repro.harness.experiment import _build_context
-
     spec, noise, indices, need_runs, policy, base_attempt = payload[:6]
     telem = payload[6] if len(payload) > 6 else None
+    shm_desc = payload[7] if len(payload) > 7 else None
     mark_worker(True)
     token = None
     if telem is not None:
@@ -298,19 +597,25 @@ def _run_rep_chunk(payload: tuple):
             _telemetry.configure(enabled=True)
         token = _telemetry.worker_capture_begin(telem.get("parent"))
     try:
-        with _telemetry.span("chunk", spec=spec.label(), reps=len(indices)) if (
-            token is not None
-        ) else _nullcontext():
-            context = _build_context(spec)
+        with _telemetry.span(
+            "chunk",
+            spec=spec.label(),
+            reps=len(indices),
+            transport="shm" if shm_desc is not None else "pickle",
+        ) if (token is not None) else _nullcontext():
+            context = _resolved_context(spec)
             results = [
                 _run_one_rep(context, spec, noise, i, need_runs, policy, base_attempt)
                 for i in indices
             ]
+        out = (
+            _write_chunk_to_shm(shm_desc, results) if shm_desc is not None else results
+        )
         if token is not None:
             blob = _telemetry.worker_capture_end(token)
             token = None
-            return results, blob
-        return results
+            return out, blob
+        return out
     except RepExecutionError as exc:
         raise RepExecutionError(
             f"{exc.args[0]} (chunk reps {list(indices)})", exc.record
@@ -344,12 +649,17 @@ class _nullcontext:
         return False
 
 
-def _split_chunk_result(chunk_result) -> tuple[list[RepResult], Optional[dict]]:
-    """Normalize a worker return: ``(results, telemetry_blob_or_None)``."""
+def _split_chunk_result(chunk_result) -> tuple:
+    """Normalize a worker return: ``(results_or_marker, blob_or_None)``.
+
+    The first element is a ``RepResult`` list (pickle transport) or a
+    shm marker dict (``{"shm": True, ...}``) whose bulk data lives in
+    the dispatch's shared-memory block.
+    """
     if (
         isinstance(chunk_result, tuple)
         and len(chunk_result) == 2
-        and isinstance(chunk_result[0], list)
+        and isinstance(chunk_result[0], (list, dict))
         and isinstance(chunk_result[1], dict)
     ):
         return chunk_result
@@ -365,7 +675,6 @@ class Executor(ABC):
     #: worker count (1 for the serial backend)
     jobs: int = 1
 
-    @abstractmethod
     def run_reps(
         self,
         spec: "ExperimentSpec",
@@ -379,7 +688,26 @@ class Executor(ABC):
         ``need_runs`` asks for the full :class:`RunResult` payload
         (traces included) on every item — required by ``on_run``
         consumers such as trace collection.  ``policy`` governs
-        containment of failing reps (default: fail fast).
+        containment of failing reps (default: fail fast).  Equivalent
+        to ``run_rep_range(spec, noise, range(reps), ...)``.
+        """
+        return self.run_rep_range(spec, noise, range(reps), need_runs=need_runs, policy=policy)
+
+    @abstractmethod
+    def run_rep_range(
+        self,
+        spec: "ExperimentSpec",
+        noise: Optional["NoiseStack"],
+        indices: range,
+        need_runs: bool = False,
+        policy: Optional[FaultPolicy] = None,
+    ) -> Iterator[RepResult]:
+        """Yield :class:`RepResult` for each rep index in ``indices``.
+
+        ``indices`` must be a step-1 range; results arrive in index
+        order and are bit-identical at any backend/worker count.  The
+        adaptive-rep loop uses this to dispatch incremental batches
+        (``range(n, n+batch)``) without re-running earlier reps.
         """
 
     def stats(self) -> dict:
@@ -429,13 +757,11 @@ class SerialExecutor(Executor):
             "rep_failures": int(group.get("rep_failures")),
         }
 
-    def run_reps(self, spec, noise, reps, need_runs=False, policy=None):
-        from repro.harness.experiment import _build_context
-
+    def run_rep_range(self, spec, noise, indices, need_runs=False, policy=None):
         policy = policy if policy is not None else DEFAULT_POLICY
         group = self._group()
-        context = _build_context(spec)
-        for i in range(reps):
+        context = _resolved_context(spec)
+        for i in indices:
             # The serial backend always has the full result in hand;
             # passing it through costs nothing regardless of need_runs.
             rep = _run_one_rep(context, spec, noise, i, True, policy)
@@ -459,6 +785,10 @@ class ParallelExecutor(Executor):
     so ``on_run`` consumers degrade to *ordered post-hoc delivery*
     rather than live streaming.
 
+    Bulk results travel over shared memory by default (see the module
+    docstring); ``transport="pickle"`` or ``REPRO_SHM=0`` restores the
+    classic pickled lists.
+
     Failure containment: chunks are dispatched as individual futures.
     A broken pool (worker death) is rebuilt and only unfinished chunks
     are re-dispatched; a chunk that exceeds its policy deadline has its
@@ -471,11 +801,17 @@ class ParallelExecutor(Executor):
     #: consecutive pool breakages tolerated before degrading to serial
     max_pool_breaks: int = 3
 
-    def __init__(self, jobs: int, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: int,
+        chunk_size: Optional[int] = None,
+        transport: Optional[str] = None,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
-        self.chunk_size = chunk_size
+        self.chunk_size = resolve_chunk_size(chunk_size)
+        self.transport = resolve_transport(transport)
         self._pool = None
         self._lock = threading.Lock()
         self._shared = False
@@ -485,20 +821,24 @@ class ParallelExecutor(Executor):
         #: the registry entry ``stats()`` is a thin view over)
         self._counters = _telemetry.new_group("executor")
 
-    #: the keys stats() has always exposed, in their historical order
+    #: the keys stats() has always exposed, in their historical order,
+    #: plus the transport counters added with the shm path
     _STAT_KEYS = (
         "pool_rebuilds",
         "chunk_timeouts",
         "chunk_redispatches",
         "rep_retries",
         "rep_failures",
+        "shm_chunks",
+        "pickle_chunks",
     )
 
     def stats(self) -> dict:
         """Recovery counters plus the current ``degraded`` flag.
 
         The counts live in the telemetry counter registry; this view
-        preserves the pre-telemetry return shape exactly.
+        preserves the pre-telemetry return shape (extended by the
+        ``shm_chunks`` / ``pickle_chunks`` transport counters).
         """
         counts = self._counters.as_dict()
         out = {key: int(counts.get(key, 0)) for key in self._STAT_KEYS}
@@ -602,15 +942,44 @@ class ParallelExecutor(Executor):
             )
         return out
 
+    def _make_block(
+        self, spec, indices: range, need_runs: bool
+    ) -> Optional[_ShmResultBlock]:
+        """Allocate the dispatch's shm block (None → pickle transport)."""
+        if need_runs or self.transport == "pickle" or not _shm_available():
+            return None
+        try:
+            return _ShmResultBlock(indices, _anomaly_code_table(_resolved_context(spec)))
+        except Exception as exc:  # pragma: no cover - e.g. /dev/shm full
+            _log.warning(
+                "shared-memory allocation failed (%s: %s); falling back to "
+                "pickle transport",
+                type(exc).__name__,
+                exc,
+            )
+            return None
+
     # ------------------------------------------------------------------
-    def run_reps(self, spec, noise, reps, need_runs=False, policy=None):
+    def run_rep_range(self, spec, noise, indices, need_runs=False, policy=None):
         policy = policy if policy is not None else DEFAULT_POLICY
-        if reps <= 1 or self.jobs <= 1 or self._degraded:
+        if len(indices) <= 1 or self.jobs <= 1 or self._degraded:
             # Not worth a pool round-trip (or the pool infrastructure is
             # unhealthy); the serial path is bit-identical.
-            yield from self._serial_remainder(spec, noise, range(reps), need_runs, policy)
+            yield from self._serial_remainder(spec, noise, indices, need_runs, policy)
             return
-        chunks = chunk_indices(reps, self.jobs, self.chunk_size)
+        chunks = chunk_range(indices, self.jobs, self.chunk_size)
+        block = self._make_block(spec, indices, need_runs)
+        try:
+            yield from self._run_chunks(spec, noise, chunks, need_runs, policy, block)
+        finally:
+            # The single owner-side unlink: reached on normal completion,
+            # chunk failure, pool rebuild, hung-chunk kill, and caller
+            # abandonment (generator close) alike.
+            if block is not None:
+                block.close()
+
+    def _run_chunks(self, spec, noise, chunks, need_runs, policy, block):
+        shm_desc = block.descriptor() if block is not None else None
         dispatches = {cid: 0 for cid in range(len(chunks))}
         done: set[int] = set()
         while len(done) < len(chunks):
@@ -635,7 +1004,16 @@ class ParallelExecutor(Executor):
                 futures = {
                     cid: pool.submit(
                         _run_rep_chunk,
-                        (spec, noise, chunks[cid], need_runs, policy, dispatches[cid], telem),
+                        (
+                            spec,
+                            noise,
+                            chunks[cid],
+                            need_runs,
+                            policy,
+                            dispatches[cid],
+                            telem,
+                            shm_desc,
+                        ),
                     )
                     for cid in pending
                 }
@@ -683,8 +1061,14 @@ class ParallelExecutor(Executor):
                     broke = True
                     break
                 else:
-                    reps_list, blob = _split_chunk_result(chunk_result)
+                    payload, blob = _split_chunk_result(chunk_result)
                     _telemetry.absorb_worker(blob)
+                    if isinstance(payload, dict):
+                        reps_list = block.extract(chunks[cid], payload)
+                        self._counters.inc("shm_chunks")
+                    else:
+                        reps_list = payload
+                        self._counters.inc("pickle_chunks")
                     for rep in reps_list:
                         self._account(rep)
                         yield rep
@@ -701,9 +1085,7 @@ class ParallelExecutor(Executor):
 
     def _serial_remainder(self, spec, noise, indices, need_runs, policy, base_attempt=0):
         """In-process execution of ``indices`` (degraded / tiny runs)."""
-        from repro.harness.experiment import _build_context
-
-        context = _build_context(spec)
+        context = _resolved_context(spec)
         for i in indices:
             rep = _run_one_rep(context, spec, noise, i, True, policy, base_attempt)
             self._account(rep)
@@ -767,18 +1149,24 @@ def _close_shared() -> None:
     _shared.clear()
 
 
-def get_executor(jobs: Optional[int] = None) -> Executor:
+def get_executor(
+    jobs: Optional[int] = None, chunk_size: Optional[int] = None
+) -> Executor:
     """Backend for ``jobs`` workers (``None`` → ``REPRO_JOBS``).
 
     Parallel backends are pooled per worker count and *shared*: their
     ``close()`` is a no-op (other callers may still hold the same
     instance), and the warm pool is torn down at interpreter exit.
+    An explicit ``chunk_size`` is applied to the shared instance —
+    chunking never affects results, only dispatch granularity.
     """
     n = resolve_jobs(jobs)
     if n <= 1:
         return SerialExecutor()
     ex = _shared.get(n)
     if ex is None:
-        ex = _shared[n] = ParallelExecutor(n)
+        ex = _shared[n] = ParallelExecutor(n, chunk_size=chunk_size)
         ex._shared = True
+    elif chunk_size is not None:
+        ex.chunk_size = resolve_chunk_size(chunk_size)
     return ex

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
+from repro.harness.adaptive import AdaptivePolicy
 from repro.harness.stats import Summary, summarize
 from repro.mitigation.strategies import get_strategy
 from repro.noise.base import NoiseStack
@@ -45,8 +46,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "ExperimentSpec",
     "ResultSet",
+    "ResolvedContext",
+    "resolve_context",
+    "context_key",
     "run_experiment",
     "run_once",
+    "run_resolved",
     "default_baseline_reps",
     "default_inject_reps",
     "env_int",
@@ -117,6 +122,9 @@ class ExperimentSpec:
     #: noise driven during every run (injection experiment when set);
     #: any combination of registered sources via a NoiseStack
     noise: Optional[NoiseStack] = None
+    #: opt-in CI-driven early stopping (None = classic fixed reps);
+    #: accepts an AdaptivePolicy or its dict serialization
+    adaptive: Optional[AdaptivePolicy] = None
 
     def __init__(
         self,
@@ -135,6 +143,7 @@ class ExperimentSpec:
         workload_params: Optional[dict] = None,
         noise: "NoiseLike" = None,
         noise_config: Optional["NoiseConfig"] = None,
+        adaptive: Optional[AdaptivePolicy] = None,
     ):
         """``noise_config`` is the deprecated pre-registry alias for
         ``noise``; it accepts a bare :class:`NoiseConfig` and wraps it
@@ -157,6 +166,7 @@ class ExperimentSpec:
         object.__setattr__(
             self, "noise", _coerce_noise(noise, noise_config, "ExperimentSpec")
         )
+        object.__setattr__(self, "adaptive", AdaptivePolicy.coerce(adaptive))
 
     def label(self) -> str:
         """Human-readable configuration label (paper row style)."""
@@ -198,6 +208,12 @@ class ResultSet:
     injected: bool = False
     #: terminal per-rep failures contained by a ``skip`` policy
     failures: list["FailureRecord"] = field(default_factory=list)
+    #: early-stopping metadata when the spec carried an
+    #: :class:`~repro.harness.adaptive.AdaptivePolicy`: ``reps_run``,
+    #: ``cap``, ``stopped_early``, ``rel_halfwidth``, ``policy``.
+    #: ``None`` for classic fixed-rep experiments (``times`` then has
+    #: exactly ``spec.reps`` entries; adaptive sets may have fewer).
+    adaptive: Optional[dict] = None
 
     @property
     def ok_times(self) -> np.ndarray:
@@ -236,6 +252,113 @@ class ResultSet:
 
 
 # ----------------------------------------------------------------------
+@dataclass
+class ResolvedContext:
+    """Everything per-rep execution needs, resolved once from a spec.
+
+    Platform presets, workloads, placements, and the expected duration
+    are pure functions of the spec, so they can be built once and
+    reused across every repetition — and across *experiments*: the
+    executors key worker-local context caches by :func:`context_key`,
+    which deliberately excludes ``seed`` and ``reps``, so a campaign
+    sweeping seeds over one configuration (or an adaptive experiment
+    dispatching batch after batch) resolves the world exactly once per
+    worker process.
+
+    The runtime is *not* cached: :class:`~repro.runtimes.base.TeamRuntime`
+    instances are single-use (one machine each), so ``model`` stays a
+    name and :func:`run_resolved` instantiates a fresh runtime per rep
+    — exactly as :func:`run_once` always has, keeping the RNG draw
+    order (and therefore every result bit) unchanged.
+    """
+
+    platform: PlatformSpec
+    workload: Workload
+    placement: Placement
+    model: str
+    tracing: bool
+    #: the spec-level flag; per-rep execution still turns throttling
+    #: off when the attached noise stack requires it
+    rt_throttle: bool
+    #: precomputed ``workload.estimate_duration(platform, n_threads)``
+    expected: float
+    key: str
+
+
+def context_key(spec: ExperimentSpec) -> str:
+    """Cache key of a spec's resolved context.
+
+    Covers every field :func:`resolve_context` reads — and *only*
+    those: ``seed``, ``reps``, ``noise``, and ``adaptive`` do not
+    shape the platform/workload/placement, so specs differing only in
+    them share one resolved context.
+    """
+    return repr((
+        spec.platform,
+        spec.workload,
+        spec.model,
+        spec.strategy,
+        spec.use_smt,
+        spec.tracing,
+        spec.runlevel3,
+        spec.rt_throttle,
+        spec.anomaly_prob,
+        spec.n_threads,
+        sorted(spec.workload_params.items()),
+    ))
+
+
+def resolve_context(spec: ExperimentSpec) -> ResolvedContext:
+    """Build the reusable per-spec execution context."""
+    platform, workload, placement = _build_context(spec)
+    return ResolvedContext(
+        platform=platform,
+        workload=workload,
+        placement=placement,
+        model=spec.model,
+        tracing=spec.tracing,
+        rt_throttle=spec.rt_throttle,
+        expected=workload.estimate_duration(platform, placement.n_threads),
+        key=context_key(spec),
+    )
+
+
+def run_resolved(
+    context: ResolvedContext,
+    rng: np.random.Generator,
+    noise: Optional[NoiseStack] = None,
+    *,
+    rt_throttle: Optional[bool] = None,
+    meta: Optional[dict] = None,
+) -> RunResult:
+    """Execute one run on a prebuilt :class:`ResolvedContext`.
+
+    The hot-loop twin of :func:`run_once`: identical machine
+    construction, runtime launch, and noise attachment in the same
+    order, so results are bit-identical — it merely skips re-resolving
+    platform/workload/placement and re-estimating the duration.
+    ``noise`` must already be a coerced stack (or ``None``).
+    """
+    machine = Machine(
+        context.platform,
+        rng,
+        tracing=context.tracing,
+        rt_throttle=context.rt_throttle if rt_throttle is None else rt_throttle,
+    )
+    runtime = get_runtime(context.model)
+
+    def start(m: Machine) -> None:
+        runtime.launch(
+            m,
+            context.workload.regions(context.platform, context.placement.n_threads),
+            context.placement,
+        )
+        if noise is not None and noise:
+            noise.attach(m, rng).start(context.expected)
+
+    return machine.run(start, expected_duration=context.expected, meta=meta)
+
+
 def _build_context(spec: ExperimentSpec):
     """Resolve names to concrete platform / workload / placement."""
     platform = get_platform(spec.platform)
@@ -350,6 +473,8 @@ def run_experiment(
     if stack is None:
         stack = spec.noise
     injecting = stack is not None and bool(stack)
+    if spec.adaptive is not None:
+        return _run_adaptive(spec, stack, injecting, on_run, executor, policy)
     reps = spec.resolved_reps(injecting)
     times = np.empty(reps)
     anomalies: list[Optional[str]] = [None] * reps
@@ -374,4 +499,74 @@ def run_experiment(
         anomalies=anomalies,
         injected=injecting,
         failures=failures,
+    )
+
+
+def _run_adaptive(
+    spec: ExperimentSpec,
+    stack: Optional[NoiseStack],
+    injecting: bool,
+    on_run: Optional[Callable[[int, RunResult], None]],
+    executor: "Executor",
+    policy: Optional["FaultPolicy"],
+) -> ResultSet:
+    """CI-driven rep loop: deterministic batches, early stop on precision.
+
+    Reps are dispatched in the policy's fixed batch schedule through
+    :meth:`~repro.harness.executor.Executor.run_rep_range`, so rep ``i``
+    is bit-identical to rep ``i`` of a fixed-rep run; after each batch
+    the stop rule evaluates a bootstrap CI drawn from an RNG keyed by
+    ``(seed, n)``.  Same spec + seed + policy → same rep count and
+    results at any worker count.
+    """
+    from repro import telemetry as _telemetry
+
+    adaptive = spec.adaptive
+    cap = adaptive.resolve_cap(spec.resolved_reps(injecting))
+    times = np.empty(cap)
+    anomalies: list[Optional[str]] = [None] * cap
+    failures: list["FailureRecord"] = []
+    n = 0
+    stopped_early = False
+    rel_hw = float("nan")
+    with _telemetry.span(
+        "experiment", spec=spec.label(), reps=cap, injected=injecting, adaptive=True
+    ):
+        for edge in adaptive.batch_edges(cap):
+            batch = range(n, edge)
+            with _telemetry.span("batch", spec=spec.label(), start=n, size=len(batch)):
+                for rep in executor.run_rep_range(
+                    spec, stack, batch, need_runs=on_run is not None, policy=policy
+                ):
+                    times[rep.index] = rep.exec_time
+                    anomalies[rep.index] = rep.anomaly
+                    if rep.error is not None:
+                        failures.append(rep.error)
+                    elif on_run is not None:
+                        on_run(rep.index, rep.run)
+            n = edge
+            done = times[:n]
+            stop, rel_hw = adaptive.should_stop(done[~np.isnan(done)], spec.seed, n)
+            if stop:
+                stopped_early = n < cap
+                break
+    group = _telemetry.get_group("adaptive")
+    group.inc("cells")
+    group.inc("reps_run", n)
+    group.inc("reps_saved", cap - n)
+    if stopped_early:
+        group.inc("early_stops")
+    return ResultSet(
+        spec=spec,
+        times=times[:n].copy(),
+        anomalies=anomalies[:n],
+        injected=injecting,
+        failures=failures,
+        adaptive={
+            "reps_run": n,
+            "cap": cap,
+            "stopped_early": stopped_early,
+            "rel_halfwidth": rel_hw,
+            "policy": adaptive.to_dict(),
+        },
     )

@@ -18,6 +18,7 @@ from repro.harness.report import TableBuilder
 from repro.harness.stats import Summary
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.adaptive import AdaptivePolicy
     from repro.harness.executor import Executor
     from repro.harness.experiment import NoiseLike
     from repro.harness.faults import FaultPolicy
@@ -75,6 +76,7 @@ def sweep(
     executor: Optional["Executor"] = None,
     noise: "NoiseLike" = None,
     policy: Optional["FaultPolicy"] = None,
+    adaptive: Optional["AdaptivePolicy"] = None,
     **axes: Sequence,
 ) -> SweepResult:
     """Run the cartesian grid of ``axes`` values over ``base``.
@@ -92,6 +94,12 @@ def sweep(
     point may return a partial :class:`ResultSet` whose statistics
     aggregate its completed reps only.
 
+    ``adaptive`` applies an
+    :class:`~repro.harness.adaptive.AdaptivePolicy` to every grid
+    point (points that already carry one keep theirs): each cell stops
+    as soon as its bootstrap CI is tight enough, and caches under the
+    distinct adaptive key block.
+
     Example::
 
         sweep(base, strategy=("Rm", "TP"), model=("omp", "sycl"))
@@ -102,6 +110,8 @@ def sweep(
     if unknown:
         raise ValueError(f"cannot sweep over: {sorted(unknown)} (allowed: {sorted(_SWEEPABLE)})")
     cache = cache if cache is not None else ResultCache()
+    if adaptive is not None and base.adaptive is None:
+        base = base.with_(adaptive=adaptive)
     if noise is None:
         noise = noise_config
     names = tuple(axes)

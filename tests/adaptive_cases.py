@@ -1,0 +1,83 @@
+"""Shared case matrix for the adaptive-rep fixture suite.
+
+Adaptive early stopping carries its own determinism contract: same
+spec + seed + policy → same rep count and bit-identical per-rep times,
+at any worker count or chunk size.  This module defines the reference
+policy and case subset — ``tools/gen_adaptive_fixtures.py`` records
+them into ``tests/fixtures/adaptive_reps.json`` and
+``tests/test_adaptive.py`` replays the fixtures serial and parallel.
+
+The subset deliberately mixes convergence behaviours under the
+reference policy (±2 % target, batches of 8, budget 40): low-variance
+cells that stop at ``min_reps``, a mid-schedule stop, and noisy cells
+that exhaust the full budget.
+"""
+
+from __future__ import annotations
+
+from repro.harness.adaptive import ADAPTIVE_FIXTURE_VERSION, AdaptivePolicy
+from tests.golden_cases import _noise, build_cases
+
+__all__ = [
+    "ADAPTIVE_FIXTURE_PATH",
+    "FIXTURE_POLICY",
+    "FIXTURE_BUDGET",
+    "build_adaptive_cases",
+    "run_adaptive_case",
+    "ADAPTIVE_FIXTURE_VERSION",
+]
+
+ADAPTIVE_FIXTURE_PATH = "tests/fixtures/adaptive_reps.json"
+
+#: the reference stop rule all fixtures are recorded under
+FIXTURE_POLICY = AdaptivePolicy(target_rel_hw=0.02, min_reps=8, batch=8, n_boot=300)
+
+#: fixed-rep budget the policy may stop short of
+FIXTURE_BUDGET = 40
+
+#: golden-case names in the adaptive subset (see module docstring)
+_CASE_NAMES = (
+    "intel-schedbench-static",   # stops at min_reps
+    "intel-nbody",               # stops at min_reps
+    "intel-babelstream-mem",     # mid-schedule stop
+    "a64fx-minife",              # runs to budget
+    "numa-heat",                 # stops at min_reps
+    "intel-replay",              # injected cell, stops at min_reps
+    "amd-composite-stack",       # injected cell, runs to budget
+)
+
+
+def build_adaptive_cases() -> list[dict]:
+    """The golden-case subset the adaptive fixtures are recorded over."""
+    by_name = {c["name"]: c for c in build_cases()}
+    return [by_name[name] for name in _CASE_NAMES]
+
+
+def run_adaptive_case(case: dict, executor=None) -> dict:
+    """Execute one case under the reference policy; return its signature.
+
+    The signature pins the adaptive contract end to end: how many reps
+    ran, whether the cell stopped early, the relative CI half-width at
+    the stop decision (exact float hex), and every per-rep time (exact
+    float hex).
+    """
+    from repro.harness.executor import SerialExecutor
+    from repro.harness.experiment import ExperimentSpec, run_experiment
+
+    kwargs = {k: v for k, v in case.items() if k not in ("name", "noise")}
+    spec = ExperimentSpec(reps=FIXTURE_BUDGET, adaptive=FIXTURE_POLICY, **kwargs)
+    rs = run_experiment(
+        spec,
+        noise=_noise(case.get("noise")),
+        executor=executor if executor is not None else SerialExecutor(),
+    )
+    info = rs.adaptive
+    return {
+        "name": case["name"],
+        "reps_run": info["reps_run"],
+        "cap": info["cap"],
+        "stopped_early": info["stopped_early"],
+        "rel_halfwidth": float(info["rel_halfwidth"]).hex(),
+        "times": [float(t).hex() for t in rs.times],
+        "anomalies": list(rs.anomalies),
+    }

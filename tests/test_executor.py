@@ -18,8 +18,10 @@ from repro.harness.executor import (
     RepResult,
     SerialExecutor,
     chunk_indices,
+    chunk_range,
     get_executor,
     rep_seed,
+    resolve_chunk_size,
     resolve_jobs,
 )
 from repro.harness.experiment import ExperimentSpec, run_experiment
@@ -76,6 +78,64 @@ class TestPrimitives:
 
     def test_zero_reps_no_chunks(self):
         assert chunk_indices(0, 4) == []
+
+    def test_chunks_partition_property(self):
+        """Property sweep: for every (reps, jobs, chunk_size) combination
+        the chunks are non-empty, in-order, contiguous ranges that
+        partition ``range(reps)`` exactly — chunking can never drop,
+        duplicate, or reorder a rep."""
+        for reps in (0, 1, 2, 3, 7, 16, 33, 100):
+            for jobs in (1, 2, 3, 8, 64):
+                for chunk_size in (None, 1, 2, 5, 7, 1000):
+                    chunks = chunk_indices(reps, jobs, chunk_size)
+                    assert all(len(c) > 0 for c in chunks)
+                    assert all(c.step == 1 for c in chunks)
+                    flat = [i for c in chunks for i in c]
+                    assert flat == list(range(reps)), (reps, jobs, chunk_size)
+
+    def test_chunk_range_offset_windows(self):
+        """Adaptive batches dispatch non-zero-based windows."""
+        chunks = chunk_range(range(8, 14), 2, None)
+        assert [i for c in chunks for i in c] == list(range(8, 14))
+
+    def test_chunk_degenerate_inputs_fail_loudly(self):
+        with pytest.raises(ValueError):
+            chunk_indices(4, 0)
+        with pytest.raises(ValueError):
+            chunk_indices(4, -1)
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(4, 2, chunk_size=0)
+        with pytest.raises(ValueError):
+            chunk_indices(4, 2, chunk_size=-3)
+        with pytest.raises(ValueError):
+            chunk_range(range(0, 8, 2), 2)  # non-unit step
+
+    def test_oversized_chunk_is_single_chunk(self):
+        assert chunk_indices(5, 4, chunk_size=100) == [range(0, 5)]
+
+    def test_resolve_chunk_size_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "3")
+        assert resolve_chunk_size() == 3
+        assert resolve_chunk_size(5) == 5  # explicit wins
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "0")
+        assert resolve_chunk_size() is None  # 0 = automatic
+        monkeypatch.delenv("REPRO_CHUNK_SIZE")
+        assert resolve_chunk_size() is None
+
+    def test_resolve_chunk_size_rejects_bad_values(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_chunk_size(0)
+        with pytest.raises(ValueError):
+            resolve_chunk_size(-2)
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "-1")
+        with pytest.raises(ValueError):
+            resolve_chunk_size()
+
+    def test_env_chunk_size_drives_dispatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "2")
+        assert chunk_indices(6, 4) == [range(0, 2), range(2, 4), range(4, 6)]
 
     def test_resolve_jobs_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)

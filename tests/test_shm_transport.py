@@ -1,0 +1,213 @@
+"""Shared-memory result transport: equivalence and leak hygiene.
+
+The parallel executor moves bulk per-rep outputs (exec times, attempt
+counts, anomaly codes) through a ``multiprocessing.shared_memory``
+block instead of pickling ``RepResult`` lists.  Two properties are
+load-bearing:
+
+* **Equivalence** — shm and pickle transports produce float-hex
+  identical times and identical anomaly labels; transport is a wire
+  format, never a source of divergence.
+* **Hygiene** — every error path (chunk failure, worker crash and pool
+  rebuild, degrade-to-serial) unlinks the segment; no run may orphan
+  ``/dev/shm`` entries.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.harness.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    _ShmResultBlock,
+    resolve_transport,
+)
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.faults import FaultPolicy
+
+
+def spec(**kw):
+    defaults = dict(platform="intel-9700kf", workload="nbody", model="omp", reps=6, seed=42)
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+def shm_segments() -> set:
+    """Names of live repro shm segments (Linux tmpfs view)."""
+    return {p.rsplit("/", 1)[-1] for p in glob.glob("/dev/shm/repro_shm_*")}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_chaos(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+
+
+def run_with(transport, s, **kw):
+    ex = ParallelExecutor(2, transport=transport)
+    try:
+        return run_experiment(s, executor=ex, **kw), ex.stats()
+    finally:
+        ex.close()
+
+
+# ----------------------------------------------------------------------
+# transport resolution
+# ----------------------------------------------------------------------
+class TestResolve:
+    @pytest.mark.parametrize("raw,expected", [
+        ("0", "pickle"), ("off", "pickle"), ("pickle", "pickle"),
+        ("", "auto"), ("1", "auto"), ("on", "auto"), ("auto", "auto"), ("shm", "auto"),
+    ])
+    def test_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_SHM", raw)
+        assert resolve_transport() == expected
+
+    def test_env_unset_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert resolve_transport() == "auto"
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "yes-please")
+        with pytest.raises(ValueError):
+            resolve_transport()
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert resolve_transport("shm") == "shm"
+
+    def test_bad_explicit_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_transport("carrier-pigeon")
+
+    def test_env_selects_executor_transport(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "pickle")
+        ex = ParallelExecutor(2)
+        try:
+            assert ex.transport == "pickle"
+        finally:
+            ex.close()
+
+
+# ----------------------------------------------------------------------
+# shm vs pickle equivalence (the transport is a wire format, nothing more)
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def test_bulk_path_float_hex_identical(self):
+        s = spec(reps=8)
+        via_shm, shm_stats = run_with("auto", s)
+        via_pickle, pk_stats = run_with("pickle", s)
+        assert shm_stats["shm_chunks"] > 0, "shm transport never engaged"
+        assert pk_stats["shm_chunks"] == 0 and pk_stats["pickle_chunks"] > 0
+        assert [t.hex() for t in via_shm.times] == [t.hex() for t in via_pickle.times]
+        assert via_shm.anomalies == via_pickle.anomalies
+
+    def test_matches_serial_reference(self):
+        s = spec(workload="babelstream", reps=6, seed=7)
+        serial = run_experiment(s, executor=SerialExecutor())
+        via_shm, stats = run_with("auto", s)
+        assert stats["shm_chunks"] > 0
+        np.testing.assert_array_equal(serial.times, via_shm.times)
+        assert serial.anomalies == via_shm.anomalies
+
+    def test_anomaly_labels_survive_code_table(self):
+        """Anomaly names ride as small-int codes; a high anomaly rate
+        exercises the code table (and the pickled-extras fallback for
+        names outside it) without losing a single label."""
+        s = spec(workload="schedbench", reps=10, seed=11, anomaly_prob=0.9)
+        serial = run_experiment(s, executor=SerialExecutor())
+        assert any(a is not None for a in serial.anomalies)
+        via_shm, stats = run_with("auto", s)
+        assert stats["shm_chunks"] > 0
+        assert serial.anomalies == via_shm.anomalies
+        np.testing.assert_array_equal(serial.times, via_shm.times)
+
+    def test_on_run_falls_back_to_pickle(self):
+        """Trace delivery (need_runs) keeps the classic pickle path —
+        Run objects are not bulk scalars — and still works."""
+        s = spec(reps=4)
+        seen = []
+        rs, stats = run_with("auto", s, on_run=lambda i, r: seen.append(i))
+        assert seen == [0, 1, 2, 3]
+        assert stats["shm_chunks"] == 0 and stats["pickle_chunks"] > 0
+        assert len(rs.times) == 4
+
+    def test_skip_policy_failures_cross_the_wire(self, monkeypatch):
+        """Contained failures (NaN time + FailureRecord) are pickled
+        extras layered over the shm block; both transports agree."""
+        monkeypatch.setenv("REPRO_CHAOS", "raise!:11:0.5")
+        policy = FaultPolicy(on_failure="skip", max_retries=0, backoff_base=0.0)
+        s = spec(reps=8, seed=3)
+        via_shm, shm_stats = run_with("auto", s, policy=policy)
+        via_pickle, _ = run_with("pickle", s, policy=policy)
+        assert shm_stats["shm_chunks"] > 0
+        assert via_shm.failure_count() == via_pickle.failure_count() > 0
+        np.testing.assert_array_equal(via_shm.times, via_pickle.times)
+        assert sorted(f.index for f in via_shm.failures) == sorted(
+            f.index for f in via_pickle.failures
+        )
+
+
+# ----------------------------------------------------------------------
+# segment hygiene: no orphaned /dev/shm entries, ever
+# ----------------------------------------------------------------------
+class TestLeaks:
+    def test_clean_run_leaves_nothing(self):
+        before = shm_segments()
+        _, stats = run_with("auto", spec(reps=8))
+        assert stats["shm_chunks"] > 0
+        assert shm_segments() == before
+
+    def test_chunk_failure_leaves_nothing(self, monkeypatch):
+        before = shm_segments()
+        monkeypatch.setenv("REPRO_CHAOS", "raise!:13:1.0")
+        ex = ParallelExecutor(2, transport="auto")
+        try:
+            run_experiment(
+                spec(reps=6),
+                executor=ex,
+                policy=FaultPolicy(on_failure="skip", max_retries=0, backoff_base=0.0),
+            )
+        finally:
+            ex.close()
+        assert shm_segments() == before
+
+    def test_pool_rebuild_leaves_nothing(self, monkeypatch):
+        """Worker crashes break the pool mid-chunk; the rebuilt pool
+        re-dispatches into the same block, and the parent still unlinks
+        exactly once."""
+        before = shm_segments()
+        monkeypatch.setenv("REPRO_CHAOS", "crash:17:1.0")
+        ex = ParallelExecutor(2, transport="auto")
+        try:
+            rs = run_experiment(spec(workload="schedbench", reps=6), executor=ex)
+        finally:
+            ex.close()
+        assert ex.stats()["pool_rebuilds"] >= 1
+        assert len(rs.times) == 6
+        assert shm_segments() == before
+
+    def test_degrade_to_serial_leaves_nothing(self, monkeypatch):
+        before = shm_segments()
+        monkeypatch.setenv("REPRO_CHAOS", "crash!:29:1.0")
+        ex = ParallelExecutor(2, transport="auto")
+        try:
+            run_experiment(
+                spec(workload="schedbench", reps=6),
+                executor=ex,
+                policy=FaultPolicy(on_failure="skip", max_retries=0, backoff_base=0.0),
+            )
+            assert ex.stats()["degraded"]
+        finally:
+            ex.close()
+        assert shm_segments() == before
+
+    def test_block_close_is_idempotent(self):
+        block = _ShmResultBlock(range(4), codes=("thermal",))
+        name = block.descriptor()["name"]
+        assert name in shm_segments()
+        block.close()
+        assert name not in shm_segments()
+        block.close()  # second close must not raise

@@ -183,6 +183,8 @@ class TestStatsShapes:
             "chunk_redispatches": 0,
             "rep_retries": 0,
             "rep_failures": 0,
+            "shm_chunks": 0,
+            "pickle_chunks": 0,
             "degraded": False,
         }
 

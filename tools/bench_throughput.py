@@ -26,6 +26,14 @@ Scenarios::
     sim-bound  a64fx/minife           — scheduler rate-recompute and
                                         memory-rescale dominated (the
                                         paper-scale hot path)
+    batched    a64fx/minife           — the sim-bound cell through the
+                                        batched parallel path (resolved
+                                        per-spec contexts + shared-memory
+                                        result transport); gains scale
+                                        with available cores
+    adaptive   a64fx/minife           — the sim-bound cell under a ±5 %
+                                        adaptive-CI stop rule; reports
+                                        reps actually run per cell
 
 Usage::
 
@@ -76,6 +84,30 @@ SCENARIOS = {
         "workload": "minife",
         "workload_params": {"cg_iters": 40},
         "reps": 12,
+    },
+    # The sim-bound cell dispatched through the batched parallel path:
+    # per-spec contexts resolved once per worker, bulk results returned
+    # via shared memory.  Measured against its own committed baseline
+    # (benchmarks/out/bench_batched.json) as a regression gate; the
+    # speedup over serial scales with the host's core count.
+    "batched": {
+        "platform": "a64fx",
+        "workload": "minife",
+        "workload_params": {"cg_iters": 40},
+        "reps": 24,
+        "mode": "batched",
+        "jobs": 2,
+    },
+    # The sim-bound cell under CI-driven early stopping: reps/sec here
+    # counts reps *actually run*; the interesting number is
+    # mean_reps_per_cell (how much work the stop rule saved).
+    "adaptive": {
+        "platform": "a64fx",
+        "workload": "minife",
+        "workload_params": {"cg_iters": 40},
+        "reps": 40,
+        "mode": "adaptive",
+        "adaptive": {"target_rel_hw": 0.05, "min_reps": 8, "batch": 8, "n_boot": 300},
     },
 }
 
@@ -209,6 +241,13 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     scenario = SCENARIOS[args.scenario]
+    mode = scenario.get("mode", "serial")
+    pool_jobs = scenario.get("jobs", 2)
+    adaptive = None
+    if scenario.get("adaptive"):
+        from repro.harness.adaptive import AdaptivePolicy
+
+        adaptive = AdaptivePolicy.from_dict(scenario["adaptive"])
     spec = ExperimentSpec(
         platform=args.platform or scenario["platform"],
         workload=args.workload or scenario["workload"],
@@ -216,6 +255,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         tracing=not args.no_tracing,
         workload_params=dict(scenario["workload_params"]),
+        adaptive=adaptive,
     )
 
     if args.profile:
@@ -223,10 +263,27 @@ def main(argv=None) -> int:
         return 0
 
     serial_rps, reference = bench(spec, SerialExecutor(), args.repeats)
+    measured_rps = serial_rps
+    transport = "serial"
 
     tb = TableBuilder(["backend", "runs/sec", "speedup", "bit-identical"])
     tb.add_row("serial", f"{serial_rps:.1f}", "1.00x", "-")
-    if not args.serial_only:
+    if mode == "batched":
+        # The scenario's measured number *is* the batched parallel path;
+        # bit-identity to serial stays a hard failure.
+        with ParallelExecutor(pool_jobs) as ex:
+            measured_rps, times = bench(spec, ex, args.repeats)
+            stats = ex.stats()
+        transport = "shm" if stats["shm_chunks"] > 0 else "pickle"
+        identical = bool((times == reference).all())
+        tb.add_row(
+            f"batched jobs={pool_jobs} ({transport})",
+            f"{measured_rps:.1f}", f"{measured_rps / serial_rps:.2f}x", str(identical),
+        )
+        if not identical:
+            print("FATAL: batched results diverged from serial", file=sys.stderr)
+            return 1
+    elif not args.serial_only:
         for jobs in args.jobs:
             with ParallelExecutor(jobs) as ex:
                 rps, times = bench(spec, ex, args.repeats)
@@ -236,10 +293,17 @@ def main(argv=None) -> int:
                 print("FATAL: parallel results diverged from serial", file=sys.stderr)
                 return 1
 
+    mean_reps_per_cell = float(len(reference))
     text = (
         f"Throughput [{args.scenario}]: {spec.label()} x{spec.reps} reps "
-        f"(tracing {'on' if spec.tracing else 'off'}, {os.cpu_count()} CPUs)\n" + tb.render()
+        f"(mode {mode}, tracing {'on' if spec.tracing else 'off'}, "
+        f"{os.cpu_count()} CPUs)\n" + tb.render()
     )
+    if mode == "adaptive":
+        text += (
+            f"\nadaptive stop rule ran {mean_reps_per_cell:.0f}/{spec.reps} reps "
+            f"(reps/sec above counts reps actually run)"
+        )
     print(text)
 
     record = None
@@ -252,9 +316,13 @@ def main(argv=None) -> int:
             "workload_params": dict(spec.workload_params),
             "reps": spec.reps,
             "tracing": spec.tracing,
-            "reps_per_sec": round(serial_rps, 4),
+            "mode": mode,
+            "jobs": pool_jobs if mode == "batched" else 1,
+            "transport": transport,
+            "mean_reps_per_cell": round(mean_reps_per_cell, 2),
+            "reps_per_sec": round(measured_rps, 4),
             "calibration_mops": round(calib, 4),
-            "normalized_rps": round(serial_rps / calib, 4),
+            "normalized_rps": round(measured_rps / calib, 4),
             "git_rev": git_rev(),
             "telemetry": telemetry_snapshot(spec),
         }

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Record the adaptive-rep fixtures for CI-driven early stopping.
+
+Runs the case subset in ``tests/adaptive_cases.py`` under the
+reference :class:`~repro.harness.adaptive.AdaptivePolicy` and writes
+their exact signatures (rep counts, stop decisions, float-hex times)
+to ``tests/fixtures/adaptive_reps.json``.
+
+The fixtures pin the adaptive determinism contract:
+``tests/test_adaptive.py`` replays the same cases — serial and at
+jobs=2 — and asserts exact equality.  Regenerate **only** when the
+stop rule itself changes; bump ``ADAPTIVE_FIXTURE_VERSION`` in
+``repro.harness.adaptive`` when you do (it is hashed into cache keys).
+
+Usage::
+
+    PYTHONPATH=src:. python tools/gen_adaptive_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.adaptive_cases import (  # noqa: E402
+    ADAPTIVE_FIXTURE_PATH,
+    ADAPTIVE_FIXTURE_VERSION,
+    FIXTURE_BUDGET,
+    FIXTURE_POLICY,
+    build_adaptive_cases,
+    run_adaptive_case,
+)
+
+
+def main() -> int:
+    out = {
+        "format": 1,
+        "version": ADAPTIVE_FIXTURE_VERSION,
+        "policy": FIXTURE_POLICY.to_dict(),
+        "budget": FIXTURE_BUDGET,
+        "cases": [],
+    }
+    t0 = time.perf_counter()
+    for case in build_adaptive_cases():
+        t1 = time.perf_counter()
+        sig = run_adaptive_case(case)
+        print(
+            f"  {case['name']:32s} reps={sig['reps_run']:3d}/{sig['cap']} "
+            f"early={str(sig['stopped_early']):5s} {time.perf_counter() - t1:6.2f}s",
+            flush=True,
+        )
+        out["cases"].append(sig)
+    path = REPO / ADAPTIVE_FIXTURE_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(out, indent=1) + "\n")
+    print(f"wrote {len(out['cases'])} cases to {path} in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ Subcommands mirror the paper's workflow:
 * ``figure``    — regenerate a paper figure (1–2);
 * ``campaign``  — run whole artefact campaigns with a checkpoint
   journal and ``--resume``;
+* ``service``   — the campaign service: ``start`` a lease-based worker,
+  ``submit`` cells or whole sweeps to its durable queue, ``status`` /
+  ``watch`` progress, ``drain`` the queue and exit (see
+  docs/campaign_service.md);
 * ``platforms`` — list platform presets;
 * ``noise``     — list registered noise sources and their parameters;
 * ``telemetry`` — summarize or re-export a telemetry log collected with
@@ -316,6 +320,90 @@ def build_parser() -> argparse.ArgumentParser:
         "cells are skipped, only the missing ones run (results stay "
         "bit-identical to an uninterrupted campaign)",
     )
+
+    p = sub.add_parser(
+        "service",
+        help="campaign service: durable queue, lease-based workers, shared store",
+    )
+    svc = p.add_subparsers(dest="action", required=True)
+
+    def _add_service_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--queue",
+            default=None,
+            metavar="PATH",
+            help="queue database (default: $REPRO_SERVICE_QUEUE or "
+            ".repro_service/queue.sqlite)",
+        )
+        sp.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="shared result store directory (default: $REPRO_CACHE_DIR "
+            "or .repro_cache — the same keyspace in-process runs use)",
+        )
+
+    sp = svc.add_parser(
+        "start", help="run a worker: lease jobs, execute, publish to the store"
+    )
+    _add_service_args(sp)
+    _add_exec_args(sp)
+    _add_fault_args(sp)
+    sp.add_argument(
+        "--drain", action="store_true", help="exit once the queue is empty"
+    )
+    sp.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N", help="exit after N jobs"
+    )
+    sp.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease duration (heartbeat renews at a third of it; a killed "
+        "worker's jobs are re-leased after this long)",
+    )
+    sp.add_argument(
+        "--worker-id", default=None, help="worker name (default: worker-<pid>)"
+    )
+
+    sp = svc.add_parser("submit", help="queue one cell, or a sweep grid")
+    _add_service_args(sp)
+    _add_spec_args(sp)
+    _add_noise_args(sp, "inject for every submitted cell")
+    sp.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="FIELD=V1+V2+...",
+        help="sweep axis (repeatable); with any --sweep the whole cartesian "
+        "grid is queued up front and a sweep id is printed",
+    )
+    sp.add_argument(
+        "--priority", type=int, default=0, help="scheduler priority (higher first)"
+    )
+    sp.add_argument("--title", default=None, help="sweep title used when rendering")
+
+    sp = svc.add_parser("status", help="queue counts, sweeps, and store stats")
+    _add_service_args(sp)
+
+    sp = svc.add_parser("watch", help="wait until submitted work completes")
+    _add_service_args(sp)
+    sp.add_argument(
+        "--sweep-id",
+        default=None,
+        help="wait for (and then render) one sweep instead of the whole queue",
+    )
+    sp.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS", help="give up after this long"
+    )
+
+    sp = svc.add_parser(
+        "drain", help="run an inline worker until the queue is empty, then exit"
+    )
+    _add_service_args(sp)
+    _add_exec_args(sp)
+    _add_fault_args(sp)
 
     p = sub.add_parser("analyze", help="analyse a saved trace JSON")
     p.add_argument("trace", help="trace JSON from `repro-noise trace`")
@@ -630,6 +718,133 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _service_parts(args):
+    """Queue + store + client from the common ``--queue/--store`` flags."""
+    import os
+    from pathlib import Path
+
+    from repro.service import JobQueue, ServiceClient, SharedResultStore
+
+    queue_path = args.queue or os.environ.get(
+        "REPRO_SERVICE_QUEUE", ".repro_service/queue.sqlite"
+    )
+    queue = JobQueue(Path(queue_path))
+    store = SharedResultStore(Path(args.store) if args.store else None)
+    return queue, store, ServiceClient(queue, store)
+
+
+def _sweep_axis(text: str) -> tuple[str, list]:
+    """Parse ``field=v1+v2+...`` with per-value type coercion."""
+    field, _, raw = text.partition("=")
+    if not _ or not raw:
+        raise SystemExit(f"repro-noise: --sweep {text!r}: expected FIELD=V1+V2+...")
+
+    def coerce(v: str):
+        low = v.lower()
+        if low in ("true", "false"):
+            return low == "true"
+        for kind in (int, float):
+            try:
+                return kind(v)
+            except ValueError:
+                continue
+        return v
+
+    return field.strip(), [coerce(v) for v in raw.split("+")]
+
+
+def _cmd_service(args) -> int:
+    queue, store, client = _service_parts(args)
+
+    if args.action in ("start", "drain"):
+        from repro.service import Worker
+
+        worker = Worker(
+            queue,
+            store,
+            worker_id=getattr(args, "worker_id", None),
+            executor=_executor_from(args),
+            policy=_policy_from(args),
+            lease_s=getattr(args, "lease", None) or 60.0,
+        )
+        drain = args.action == "drain" or getattr(args, "drain", False)
+        print(
+            f"{worker.worker_id}: leasing from {queue.path} "
+            f"-> {store.root}" + (" (drain)" if drain else "")
+        )
+        try:
+            done = worker.run(drain=drain, max_jobs=getattr(args, "max_jobs", None))
+        except KeyboardInterrupt:
+            done = -1
+            print(f"{worker.worker_id}: interrupted")
+        print(f"{worker.worker_id}: {worker.stats()}")
+        return 0 if done >= 0 else 130
+
+    if args.action == "submit":
+        spec = _spec_from(args)
+        sources = _noise_sources_from(args)
+        noise = None
+        if sources:
+            from repro.noise import NoiseStack
+
+            noise = NoiseStack(sources)
+        axes = dict(_sweep_axis(text) for text in args.sweep)
+        if axes:
+            sweep_id = client.submit_sweep(
+                spec, noise=noise, priority=args.priority, title=args.title, **axes
+            )
+            record = queue.sweep(sweep_id)
+            print(
+                f"sweep {sweep_id}: {len(record['keys'])} cells queued "
+                f"({client.stats()['deduplicated']} already known)"
+            )
+            print(f"collect with: repro-noise service watch --sweep-id {sweep_id}")
+        else:
+            key = client.submit(spec, noise=noise, priority=args.priority)
+            print(f"queued {spec.label()} as {key}")
+        return 0
+
+    if args.action == "status":
+        status = client.status()
+        jobs = status["jobs"]
+        print(
+            f"queue {queue.path}: "
+            + ", ".join(f"{jobs[k]} {k}" for k in ("queued", "leased", "done", "failed"))
+        )
+        for sw in status["sweeps"]:
+            title = f" ({sw['title']})" if sw["title"] else ""
+            print(
+                f"  sweep {sw['id']}{title}: {sw['done']}/{sw['cells']} done, "
+                f"{sw['leased']} leased, {sw['failed']} failed"
+            )
+        st = status["store"]
+        print(
+            f"store {store.root}: {st['hits']} hits, {st['misses']} misses, "
+            f"{st['shared_hits']} shared hits, {st['lock_waits']} lock waits"
+        )
+        return 0
+
+    # watch
+    keys = None
+    if args.sweep_id is not None:
+        record = queue.sweep(args.sweep_id)
+        if record is None:
+            raise SystemExit(f"repro-noise: unknown sweep id {args.sweep_id!r}")
+        keys = record["keys"]
+    try:
+        client.wait(keys, timeout=args.timeout)
+    except TimeoutError as exc:
+        raise SystemExit(f"repro-noise: {exc}")
+    if args.sweep_id is not None:
+        result = client.collect_sweep(args.sweep_id)
+        title = queue.sweep(args.sweep_id)["title"] or "sweep"
+        print(result.render(title=title))
+    else:
+        counts = queue.counts()
+        print(f"queue drained: {counts['done']} done, {counts['failed']} failed")
+    return 0 if queue.counts()["failed"] == 0 else 1
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import busiest_window, noise_timeline, top_sources
     from repro.core.trace import Trace
@@ -713,6 +928,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table": _cmd_table,
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
+        "service": _cmd_service,
         "analyze": _cmd_analyze,
         "telemetry": _cmd_telemetry,
     }

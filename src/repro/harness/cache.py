@@ -171,6 +171,112 @@ class ResultCache:
         """Whether a (possibly stale/torn) entry exists for ``key``."""
         return self.enabled and self._path(key).exists()
 
+    def resolve_cell(
+        self, spec: ExperimentSpec, noise: "NoiseLike" = None,
+        noise_config: "NoiseLike" = None,
+    ) -> tuple[ExperimentSpec, Optional[NoiseStack], str]:
+        """Normalise a cell to ``(spec, stack, key)`` — the cache identity.
+
+        Applies exactly the canonicalisation :meth:`get_or_run` uses
+        before keying: noise coercion (argument wins over ``spec.noise``),
+        environment-defaulted rep counts pinned into the spec, and
+        inheritance of the cache-level adaptive policy.  The campaign
+        service calls this at submit time so a queued job's key equals
+        the key the executing worker (or any in-process run) computes.
+        """
+        stack = NoiseStack.coerce(noise if noise is not None else noise_config)
+        if stack is None:
+            stack = spec.noise
+        injecting = stack is not None and bool(stack)
+        reps = spec.resolved_reps(injecting)
+        spec = spec.with_(reps=reps)
+        if spec.adaptive is None and self.adaptive is not None:
+            spec = spec.with_(adaptive=self.adaptive)
+        return spec, stack, self._key(spec, stack, reps)
+
+    # ------------------------------------------------------------------
+    def load_entry(self, key: str, spec: ExperimentSpec) -> Optional[ResultSet]:
+        """Load ``key``'s entry, or ``None`` on miss.
+
+        Handles the two invalid-entry shapes in place: stale entries
+        (older ``key_version``) and torn/corrupt files are evicted,
+        counted, and reported as a miss.  ``spec`` must already be
+        rep-resolved (see :meth:`resolve_cell`); it is attached to the
+        returned :class:`ResultSet` verbatim.
+        """
+        path = self._path(key)
+        if not (self.enabled and path.exists()):
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = None
+        if data is not None and data.get("key_version") != _KEY_VERSION:
+            self._count("stale")
+            _log.warning(
+                "evicting stale cache entry %s (key_version %s != %s) for %s",
+                path.name,
+                data.get("key_version"),
+                _KEY_VERSION,
+                spec.label(),
+            )
+            path.unlink(missing_ok=True)
+            return None
+        if data is not None:
+            try:
+                return ResultSet(
+                    spec=spec,
+                    times=np.asarray(data["times"]),
+                    anomalies=data["anomalies"],
+                    injected=data["injected"],
+                    failures=[
+                        FailureRecord.from_dict(f) for f in data.get("failures", [])
+                    ],
+                    adaptive=data.get("adaptive"),
+                )
+            except KeyError:
+                pass
+        self._count("corrupt")
+        _log.warning(
+            "salvaging torn/corrupt cache entry %s for %s (evict + re-run)",
+            path.name,
+            spec.label(),
+        )
+        path.unlink(missing_ok=True)
+        return None
+
+    def store_entry(
+        self, key: str, spec: ExperimentSpec, stack: Optional[NoiseStack], rs: ResultSet
+    ) -> bool:
+        """Write a computed result under ``key`` (atomic).
+
+        Partial results (a ``skip`` policy left failed reps) are
+        quarantined to ``<key>.partial.json`` instead and ``False`` is
+        returned — the primary keyspace only ever holds complete cells.
+        JSON float round-trip is exact (``repr`` shortest-round-trip),
+        so a later hit is bit-identical to this result.
+        """
+        envelope = json.dumps(
+            {
+                "key_version": _KEY_VERSION,
+                "times": rs.times.tolist(),
+                "anomalies": rs.anomalies,
+                "injected": rs.injected,
+                "label": spec.label(),
+                "noise": stack.kinds() if stack is not None else None,
+                "failures": [f.to_dict() for f in rs.failures],
+                "adaptive": rs.adaptive,
+            }
+        )
+        if rs.failures:
+            self._count("partial")
+            if self.enabled:
+                atomic_write_text(self.root / f"{key}.partial.json", envelope)
+            return False
+        if self.enabled:
+            atomic_write_text(self._path(key), envelope)
+        return True
+
     def stats(self) -> dict:
         """Counters: ``hits``, ``misses``, ``corrupt``, ``stale``,
         ``partial``.  ``corrupt`` counts torn entries salvaged (evicted
@@ -235,60 +341,33 @@ class ResultCache:
                 "observe nothing. Call run_experiment() directly (trace "
                 "collection does), or disable the cache with REPRO_NO_CACHE=1."
             )
-        stack = NoiseStack.coerce(noise if noise is not None else noise_config)
-        if stack is None:
-            stack = spec.noise
-        injecting = stack is not None and bool(stack)
-        reps = spec.resolved_reps(injecting)
-        spec = spec.with_(reps=reps)
-        if spec.adaptive is None and self.adaptive is not None:
-            spec = spec.with_(adaptive=self.adaptive)
-        key = self._key(spec, stack, reps)
-        path = self._path(key)
+        spec, stack, key = self.resolve_cell(spec, noise, noise_config)
         t0 = time.perf_counter()
-        if self.enabled and path.exists():
-            try:
-                data = json.loads(path.read_text())
-                if data.get("key_version") != _KEY_VERSION:
-                    self._count("stale")
-                    _log.warning(
-                        "evicting stale cache entry %s (key_version %s != %s) for %s",
-                        path.name,
-                        data.get("key_version"),
-                        _KEY_VERSION,
-                        spec.label(),
-                    )
-                    path.unlink(missing_ok=True)
-                else:
-                    rs = ResultSet(
-                        spec=spec,
-                        times=np.asarray(data["times"]),
-                        anomalies=data["anomalies"],
-                        injected=data["injected"],
-                        failures=[
-                            FailureRecord.from_dict(f) for f in data.get("failures", [])
-                        ],
-                        adaptive=data.get("adaptive"),
-                    )
-                    self._count("hits")
-                    if self.journal is not None:
-                        # attempt 0 marks a cache hit: no simulation ran
-                        self.journal.record_done(
-                            key,
-                            label=spec.label(),
-                            duration_s=time.perf_counter() - t0,
-                            attempt=0,
-                        )
-                    return rs
-            except (json.JSONDecodeError, KeyError):
-                self._count("corrupt")
-                _log.warning(
-                    "salvaging torn/corrupt cache entry %s for %s (evict + re-run)",
-                    path.name,
-                    spec.label(),
+        rs = self.load_entry(key, spec)
+        if rs is not None:
+            self._count("hits")
+            if self.journal is not None:
+                # attempt 0 marks a cache hit: no simulation ran
+                self.journal.record_done(
+                    key,
+                    label=spec.label(),
+                    duration_s=time.perf_counter() - t0,
+                    attempt=0,
                 )
-                path.unlink(missing_ok=True)
+            return rs
         self._count("misses")
+        rs = self._run_and_store(spec, stack, key, executor, on_run, policy, t0)
+        return rs
+
+    def _run_and_store(
+        self, spec, stack, key, executor, on_run, policy, t0
+    ) -> ResultSet:
+        """The miss path: simulate, persist, journal.
+
+        Split out so the concurrently-safe shared store can serialise
+        exactly this section under a per-key lock (and re-check for an
+        entry written by a racing process before running).
+        """
         rs = run_experiment(
             spec,
             noise=stack,
@@ -296,25 +375,10 @@ class ResultCache:
             executor=executor if executor is not None else self.executor,
             policy=policy if policy is not None else self.policy,
         )
-        envelope = json.dumps(
-            {
-                "key_version": _KEY_VERSION,
-                "times": rs.times.tolist(),
-                "anomalies": rs.anomalies,
-                "injected": rs.injected,
-                "label": spec.label(),
-                "noise": stack.kinds() if stack is not None else None,
-                "failures": [f.to_dict() for f in rs.failures],
-                "adaptive": rs.adaptive,
-            }
-        )
-        if rs.failures:
+        if not self.store_entry(key, spec, stack, rs):
             # Partial results never enter the primary keyspace: the
             # quarantine envelope keeps the failure records for
             # post-mortems while the cell stays re-runnable.
-            self._count("partial")
-            if self.enabled:
-                atomic_write_text(self.root / f"{key}.partial.json", envelope)
             if self.journal is not None:
                 duration = time.perf_counter() - t0
                 for record in rs.failures:
@@ -322,8 +386,6 @@ class ResultCache:
                         key, record, label=spec.label(), duration_s=duration
                     )
             return rs
-        if self.enabled:
-            atomic_write_text(path, envelope)
         if self.journal is not None:
             self.journal.record_done(
                 key,

@@ -123,10 +123,19 @@ class CampaignSettings:
     #: (threaded through the cache, so adaptive cells key — and cache —
     #: separately from fixed-rep ones); None keeps classic fixed reps
     adaptive: Optional["AdaptivePolicy"] = None
+    #: when set, every cell goes through the campaign service instead of
+    #: running in-process: :meth:`submit_or_run` submits to the service's
+    #: queue and waits for its workers, and ``cache`` is re-pointed at
+    #: the service's shared result store so both paths read and write
+    #: the same content-hash keyspace.  Tables render identically either
+    #: way — results always come back through the store envelope.
+    service: Optional[object] = None
 
     def __post_init__(self) -> None:
         from repro.harness.executor import get_executor
 
+        if self.service is not None:
+            self.cache = self.service.store
         self.executor = get_executor(self.jobs, chunk_size=self.chunk_size)
         if self.cache.executor is None:
             self.cache.executor = self.executor
@@ -191,6 +200,31 @@ class CampaignSettings:
     def spec_seed(self, *parts) -> int:
         """Stable per-cell seed derived from the campaign seed."""
         return self.seed + _stable_hash(*parts)
+
+    def submit_or_run(self, spec: ExperimentSpec, **kwargs):
+        """The cell execution seam every campaign call site goes through.
+
+        Without a ``service`` this is exactly ``cache.get_or_run``.
+        With one, the cell is submitted to the service queue and the
+        result read back from the shared store once a worker (or a
+        concurrent client's cache entry) produced it — bit-identical
+        either way, because both paths terminate in the same
+        content-hash envelope.  ``executor``/``policy`` overrides only
+        apply in-process (service workers run their own); ``noise`` is
+        honoured on both paths.
+        """
+        if self.service is None:
+            return self.cache.get_or_run(spec, **kwargs)
+        noise = kwargs.pop("noise", None)
+        if noise is None:
+            noise = kwargs.pop("noise_config", None)
+        kwargs.pop("executor", None)
+        kwargs.pop("policy", None)
+        if kwargs:
+            raise TypeError(
+                f"submit_or_run via a service does not accept: {sorted(kwargs)}"
+            )
+        return self.service.run_cell(spec, noise=noise)
 
 
 def _traced_cell(fn):
@@ -352,8 +386,8 @@ def table1(settings: Optional[CampaignSettings] = None, platform: str = "intel-9
     for wl in _WORKLOADS:
         seed = settings.spec_seed("table1", platform, wl)
         spec = ExperimentSpec(platform=platform, workload=wl, model="omp", strategy="Rm", seed=seed)
-        off = settings.cache.get_or_run(spec.with_(tracing=False)).mean
-        on = settings.cache.get_or_run(spec.with_(tracing=True)).mean
+        off = settings.submit_or_run(spec.with_(tracing=False)).mean
+        on = settings.submit_or_run(spec.with_(tracing=True)).mean
         rows[wl] = (off, on, (on / off - 1.0) * 100.0)
     return Table1Result(rows)
 
@@ -402,7 +436,7 @@ def table2(
                 spec = ExperimentSpec(
                     platform=plat, workload=wl, model=_model, strategy=_strat, seed=seed
                 )
-                return settings.cache.get_or_run(spec).sd * 1e3
+                return settings.submit_or_run(spec).sd * 1e3
 
             values = settings.map_cells(_cell, cells)
             sds[model][strat] = float(np.mean(values))
@@ -516,8 +550,8 @@ def injection_table(
                     use_smt=_smt,
                     seed=seed,
                 )
-                base = settings.cache.get_or_run(spec)
-                inj = settings.cache.get_or_run(
+                base = settings.submit_or_run(spec)
+                inj = settings.submit_or_run(
                     spec.with_(seed=seed + 1_000_003), noise=_cfg
                 )
                 return strat, base, inj
@@ -671,7 +705,7 @@ def table7(
             use_smt=use_smt,
             seed=seed,
         )
-        inj = settings.cache.get_or_run(spec, noise=info.config)
+        inj = settings.submit_or_run(spec, noise=info.config)
         err = signed_replication_error(inj.mean, info.worst_exec_time) * 100.0
         rows.append((workload, label, err, paper.TABLE7[(workload, label)]))
     return Table7Result(rows)
@@ -730,7 +764,7 @@ def figure1(
                     anomaly_prob=0.15,
                     workload_params={"schedule": sched, "chunk": chunk},
                 )
-                rs = settings.cache.get_or_run(spec)
+                rs = settings.submit_or_run(spec)
                 s = summarize(rs.times)
                 series[key].append((s.mean, s.sd, s.maximum))
     return FigureResult(
@@ -762,7 +796,7 @@ def figure2(
                 n_threads=t,
                 workload_params={"kernels": ("dot",)},
             )
-            rs = settings.cache.get_or_run(spec)
+            rs = settings.submit_or_run(spec)
             s = summarize(rs.times)
             series[key].append((s.mean, s.sd, s.maximum))
     return FigureResult(
@@ -843,7 +877,7 @@ def merge_ablation(
         )
         seed = settings.spec_seed("ablate", platform, workload, merge.value)
         inj_spec = spec.with_(seed=seed, anomaly_prob=None)
-        inj = settings.cache.get_or_run(inj_spec, noise=config)
+        inj = settings.submit_or_run(inj_spec, noise=config)
         accuracies[merge] = abs(signed_replication_error(inj.mean, coll.worst_exec_time))
         fifo[merge] = _fifo_busy(config)
     return MergeAblationResult(
@@ -885,6 +919,6 @@ def runlevel3_study(
     settings = settings or default_settings()
     seed = settings.spec_seed("rl3", platform, workload)
     spec = ExperimentSpec(platform=platform, workload=workload, model="omp", strategy="Rm", seed=seed)
-    gui = settings.cache.get_or_run(spec)
-    rl3 = settings.cache.get_or_run(spec.with_(runlevel3=True))
+    gui = settings.submit_or_run(spec)
+    rl3 = settings.submit_or_run(spec.with_(runlevel3=True))
     return Runlevel3Result(sd_gui=gui.sd, sd_runlevel3=rl3.sd)

@@ -37,8 +37,7 @@ Result transport
 The parallel backend has two ways to get bulk per-rep outputs home:
 
 * **pickle** — workers return ``RepResult`` lists through the pool's
-  result queue (the only transport when full ``RunResult`` payloads
-  are requested, and the serial/fallback path otherwise);
+  result queue (the serial/fallback path);
 * **shm** — the parent allocates one ``multiprocessing.shared_memory``
   block per dispatch (float64 exec times, int16 attempt counts, int16
   anomaly codes) and workers write their chunk's slice in place;
@@ -46,12 +45,26 @@ The parallel backend has two ways to get bulk per-rep outputs home:
   failure records) is pickled back.  Exec times cross as raw 64-bit
   floats, so bit-identity is preserved exactly.
 
+When full ``RunResult`` payloads are requested (``need_runs``, the
+``on_run``/trace-collection path), the bulk *trace columns* also ride
+shared memory: each chunk's worker concatenates its traces' arrays
+(starts/durations float64, cpus/source_ids int32, etypes int8) into a
+per-chunk segment whose name the **parent** chose and registered up
+front, so the parent can unlink it on every exit path even if the
+worker died mid-write.  Small per-rep remainders (source name tables,
+metadata, migration counts) ride the pickled marker.  Rebuilt traces
+are bit-identical: the columns cross as raw dtypes and the stable
+``(start, cpu)`` re-sort in ``Trace.__init__`` is order-preserving on
+already-sorted input.
+
 ``REPRO_SHM=0`` (or ``transport="pickle"``) forces the pickle path;
-the default ``auto`` uses shared memory whenever it is available and
-no full runs were requested.  The parent owns every segment and
-unlinks it in a ``finally`` that covers chunk failure, pool rebuild,
-hung-chunk kills, and abandoned iterators — workers only ever attach
-and close.  ``stats()`` counts ``shm_chunks`` / ``pickle_chunks``.
+the default ``auto`` uses shared memory whenever it is available.  The
+parent owns every segment — the scalar block it created and the trace
+segments it named — and unlinks them in a ``finally`` that covers
+chunk failure, pool rebuild, hung-chunk kills, and abandoned iterators
+— workers only ever attach/create-by-given-name and close.
+``stats()`` counts ``shm_chunks`` / ``pickle_chunks`` /
+``shm_trace_chunks``.
 
 Worker-invariant determinism contract
 -------------------------------------
@@ -97,33 +110,42 @@ import logging
 import multiprocessing
 import os
 import threading
-import time
 from abc import ABC, abstractmethod
-from collections import OrderedDict
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
 from repro import telemetry as _telemetry
-from repro.harness.chaos import get_chaos, mark_worker
+from repro.harness.chaos import mark_worker
+
+# The per-rep/per-chunk execution core lives in chunkrunner (shared
+# with the campaign service's remote workers); this module keeps its
+# historical names re-exported so existing imports stay valid.
+from repro.harness.chunkrunner import (  # noqa: F401 - re-exports
+    DEFAULT_RUNNER,
+    ChunkRunner,
+    RepResult,
+    rep_seed,
+)
+from repro.harness.chunkrunner import _execute_rep  # noqa: F401 - re-export
+from repro.harness.chunkrunner import resolved_context as _resolved_context
+from repro.harness.chunkrunner import run_one_rep as _run_one_rep
 from repro.harness.faults import (
     DEFAULT_POLICY,
     FailureRecord,
     FaultPolicy,
     RepExecutionError,
-    rep_deadline,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.experiment import ExperimentSpec, ResolvedContext
     from repro.noise.base import NoiseStack
-    from repro.sim.machine import RunResult
 
 __all__ = [
     "RepResult",
+    "ChunkRunner",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
@@ -140,18 +162,8 @@ _log = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
-# seeding and chunking primitives
+# chunking primitives
 # ----------------------------------------------------------------------
-def rep_seed(seed: int, index: int) -> np.random.SeedSequence:
-    """Seed stream of repetition ``index`` of an experiment.
-
-    Equal to ``SeedSequence(seed).spawn(reps)[index]`` for any
-    ``reps > index`` (children are keyed by spawn position only), so
-    workers can reseed any rep without materialising the full spawn.
-    """
-    return np.random.SeedSequence(seed, spawn_key=(index,))
-
-
 def resolve_chunk_size(chunk_size: Optional[int] = None) -> Optional[int]:
     """Chunk size from an explicit value or ``REPRO_CHUNK_SIZE``.
 
@@ -211,179 +223,6 @@ def chunk_indices(reps: int, jobs: int, chunk_size: Optional[int] = None) -> lis
     if reps < 0:
         raise ValueError(f"reps must be >= 0, got {reps}")
     return chunk_range(range(reps), jobs, chunk_size)
-
-
-# ----------------------------------------------------------------------
-# per-process resolved-context cache
-# ----------------------------------------------------------------------
-#: resolved contexts by context_key — kept tiny: a worker typically
-#: sees one configuration at a time, a campaign a handful interleaved
-_CONTEXT_CACHE_MAX = 8
-_context_cache: "OrderedDict[str, ResolvedContext]" = OrderedDict()
-_context_lock = threading.Lock()
-
-
-def _resolved_context(spec: "ExperimentSpec") -> "ResolvedContext":
-    """The spec's :class:`ResolvedContext`, via the per-process LRU.
-
-    Keyed by :func:`~repro.harness.experiment.context_key` (seed- and
-    rep-count-independent), so adaptive batches, sweep cells that vary
-    only the seed, and repeated chunks of one campaign cell all reuse
-    one resolved world per process.
-    """
-    from repro.harness.experiment import context_key, resolve_context
-
-    key = context_key(spec)
-    group = _telemetry.get_group("context")
-    with _context_lock:
-        context = _context_cache.get(key)
-        if context is not None:
-            _context_cache.move_to_end(key)
-            group.inc("hits")
-            return context
-    context = resolve_context(spec)
-    with _context_lock:
-        group.inc("builds")
-        _context_cache[key] = context
-        while len(_context_cache) > _CONTEXT_CACHE_MAX:
-            _context_cache.popitem(last=False)
-    return context
-
-
-# ----------------------------------------------------------------------
-# per-rep outcome
-# ----------------------------------------------------------------------
-@dataclass
-class RepResult:
-    """Outcome of one repetition, tagged with its index."""
-
-    index: int
-    exec_time: float
-    anomaly: Optional[str]
-    #: full :class:`~repro.sim.machine.RunResult` (trace included) when
-    #: the caller asked for it; ``None`` otherwise to keep worker
-    #: payloads small
-    run: Optional["RunResult"] = None
-    #: terminal failure under a ``skip`` policy (``exec_time`` is NaN);
-    #: ``None`` for a successful rep — including one that succeeded
-    #: after retries, which is bit-identical to a clean first run
-    error: Optional[FailureRecord] = None
-    #: attempts consumed (1 = clean first run)
-    attempts: int = 1
-
-
-def _execute_rep(
-    context: "ResolvedContext",
-    spec: "ExperimentSpec",
-    noise: Optional["NoiseStack"],
-    index: int,
-) -> "RunResult":
-    """Run repetition ``index`` on a prebuilt :class:`ResolvedContext`."""
-    from repro.harness.experiment import run_resolved
-
-    throttle_off = noise is not None and noise.disables_rt_throttle
-    rng = np.random.default_rng(rep_seed(spec.seed, index))
-    return run_resolved(
-        context,
-        rng,
-        noise,
-        rt_throttle=context.rt_throttle and not throttle_off,
-        meta={"run": index, "spec": spec.label()},
-    )
-
-
-def _run_one_rep(
-    context: "ResolvedContext",
-    spec: "ExperimentSpec",
-    noise: Optional["NoiseStack"],
-    index: int,
-    need_runs: bool,
-    policy: FaultPolicy,
-    base_attempt: int = 0,
-) -> RepResult:
-    """Contained attempt loop for one repetition.
-
-    Every attempt rebuilds the rep RNG from its original spawn key, so
-    a success on attempt *k* is bit-identical to a clean first run.
-    ``base_attempt`` counts prior *dispatches* of this rep (a chunk
-    re-dispatched after a pool breakage), letting deterministic chaos
-    injectors distinguish first attempts from recovery attempts.
-    """
-    started = time.perf_counter()
-    local_attempt = 0
-    while True:
-        attempt = base_attempt + local_attempt
-        local_attempt += 1
-        try:
-            chaos = get_chaos()
-            if not _telemetry.enabled():
-                # Disabled fast path: no span object, no attr dict.
-                with rep_deadline(policy.timeout):
-                    if chaos is not None:
-                        chaos.rep_fault(spec.seed, index, attempt, policy.timeout)
-                    result = _execute_rep(context, spec, noise, index)
-            else:
-                # The span wraps the deadline and any chaos injection, so
-                # failed/timed-out attempts surface as error-tagged spans.
-                with _telemetry.span(
-                    "rep" if attempt == 0 else "retry",
-                    spec=spec.label(),
-                    rep=index,
-                    attempt=attempt,
-                ):
-                    with rep_deadline(policy.timeout):
-                        if chaos is not None:
-                            chaos.rep_fault(spec.seed, index, attempt, policy.timeout)
-                        result = _execute_rep(context, spec, noise, index)
-            return RepResult(
-                index=index,
-                exec_time=result.exec_time,
-                anomaly=result.anomaly,
-                run=result if need_runs else None,
-                attempts=local_attempt,
-            )
-        except Exception as exc:
-            wall = time.perf_counter() - started
-            if local_attempt <= policy.retries:
-                _log.warning(
-                    "rep %d of %s failed (attempt %d, %s: %s); retrying",
-                    index,
-                    spec.label(),
-                    local_attempt,
-                    type(exc).__name__,
-                    exc,
-                )
-                delay = policy.backoff_delay(spec.seed, index, local_attempt)
-                if delay > 0:
-                    time.sleep(delay)
-                continue
-            record = FailureRecord.from_exception(index, "rep", exc, local_attempt, wall)
-            if policy.on_failure == "skip":
-                _log.warning(
-                    "rep %d of %s failed terminally after %d attempt(s) (%s: %s); skipping",
-                    index,
-                    spec.label(),
-                    local_attempt,
-                    type(exc).__name__,
-                    exc,
-                )
-                return RepResult(
-                    index=index,
-                    exec_time=float("nan"),
-                    anomaly=None,
-                    run=None,
-                    error=record,
-                    attempts=local_attempt,
-                )
-            if policy.on_failure == "raise" and local_attempt == 1:
-                # Fail-fast default: the original exception, unchanged.
-                raise
-            raise RepExecutionError(
-                f"rep {index} of {spec.label()} failed terminally after "
-                f"{local_attempt} attempt(s) in pid {os.getpid()}: "
-                f"{type(exc).__name__}: {exc}",
-                record,
-            ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -566,6 +405,148 @@ def _write_chunk_to_shm(desc: dict, reps: list[RepResult]) -> dict:
         seg.close()
 
 
+# Trace-segment layout for E concatenated events: starts f8[E] at 0,
+# durations f8[E] at 8E, cpus i32[E] at 16E, source_ids i32[E] at 20E,
+# etypes i8[E] at 24E — 25 bytes/event total.
+def _trace_views(buf, total: int) -> tuple:
+    starts = np.ndarray(total, dtype=np.float64, buffer=buf, offset=0)
+    durations = np.ndarray(total, dtype=np.float64, buffer=buf, offset=8 * total)
+    cpus = np.ndarray(total, dtype=np.int32, buffer=buf, offset=16 * total)
+    source_ids = np.ndarray(total, dtype=np.int32, buffer=buf, offset=20 * total)
+    etypes = np.ndarray(total, dtype=np.int8, buffer=buf, offset=24 * total)
+    return starts, durations, cpus, source_ids, etypes
+
+
+def _write_runs_to_shm(name: str, reps: list[RepResult]) -> dict:
+    """Worker side: ship a chunk's ``RunResult`` payloads via shm.
+
+    The bulk trace columns of every rep are concatenated into one
+    segment created under the parent-chosen ``name`` (the parent
+    registered it before dispatch, so it can unlink the segment even if
+    this worker dies mid-write).  Everything small — source name
+    tables, metadata, migration/preemption counts — rides the returned
+    marker entry, pickled.  Failed reps (no run) contribute a ``None``
+    entry and zero events.
+    """
+    from multiprocessing import shared_memory
+
+    entries: list = []
+    traces = []
+    total = 0
+    for rep in reps:
+        run = rep.run
+        if run is None:
+            entries.append(None)
+            continue
+        entry = {
+            "index": rep.index,
+            "migrations": run.migrations,
+            "preemptions": run.preemptions,
+            "meta": run.meta,
+            "trace": None,
+        }
+        trace = run.trace
+        if trace is not None:
+            entry["trace"] = {
+                "sources": trace.sources,
+                "exec_time": trace.exec_time,
+                "meta": trace.meta,
+                "events": trace.n_events,
+            }
+            traces.append(trace)
+            total += trace.n_events
+        entries.append(entry)
+    seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, 25 * total))
+    try:
+        starts, durations, cpus, source_ids, etypes = _trace_views(seg.buf, total)
+        try:
+            lo = 0
+            for trace in traces:
+                hi = lo + trace.n_events
+                starts[lo:hi] = trace.starts
+                durations[lo:hi] = trace.durations
+                cpus[lo:hi] = trace.cpus
+                source_ids[lo:hi] = trace.source_ids
+                etypes[lo:hi] = trace.etypes
+                lo = hi
+        finally:
+            del starts, durations, cpus, source_ids, etypes
+    finally:
+        seg.close()
+    return {"name": name, "events": total, "entries": entries}
+
+
+def _attach_runs_from_shm(runs: dict, reps: list[RepResult]) -> None:
+    """Parent side: rebuild each rep's ``RunResult`` from a trace segment.
+
+    Mutates the scalar-extracted ``reps`` in place.  Exec times and
+    anomalies come from the scalar block (already exact); the trace
+    columns are sliced out of the segment per rep — ``Trace.__init__``
+    re-materialises them (stable re-sort of already-sorted input), so
+    nothing keeps a reference into the segment after it is closed.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.core.trace import Trace
+    from repro.sim.machine import RunResult
+
+    seg = shared_memory.SharedMemory(name=runs["name"], create=False)
+    try:
+        starts, durations, cpus, source_ids, etypes = _trace_views(seg.buf, runs["events"])
+        try:
+            lo = 0
+            for rep, entry in zip(reps, runs["entries"]):
+                if entry is None:
+                    continue
+                trace = None
+                tinfo = entry["trace"]
+                if tinfo is not None:
+                    hi = lo + tinfo["events"]
+                    trace = Trace(
+                        cpus[lo:hi],
+                        etypes[lo:hi],
+                        source_ids[lo:hi],
+                        starts[lo:hi],
+                        durations[lo:hi],
+                        tinfo["sources"],
+                        tinfo["exec_time"],
+                        tinfo["meta"],
+                    )
+                    lo = hi
+                rep.run = RunResult(
+                    exec_time=rep.exec_time,
+                    trace=trace,
+                    anomaly=rep.anomaly,
+                    migrations=entry["migrations"],
+                    preemptions=entry["preemptions"],
+                    meta=entry["meta"],
+                )
+        finally:
+            del starts, durations, cpus, source_ids, etypes
+    finally:
+        seg.close()
+
+
+def _unlink_shm(name: str) -> None:
+    """Best-effort owner-side unlink of a named segment (idempotent)."""
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return
+    except Exception:  # pragma: no cover - best-effort teardown
+        return
+    try:
+        seg.close()
+    except Exception:  # pragma: no cover - best-effort teardown
+        pass
+    try:
+        seg.unlink()
+    except Exception:  # pragma: no cover - best-effort teardown
+        pass
+
+
 def _run_rep_chunk(payload: tuple):
     """Worker entry point: simulate one chunk of rep indices.
 
@@ -584,10 +565,14 @@ def _run_rep_chunk(payload: tuple):
     list (pre-telemetry 6-tuples still work — tests build them).  The
     optional 8th element is a shm block descriptor: bulk outputs are
     then written in place and only a small marker dict is returned.
+    The optional 9th element is a parent-chosen trace-segment name:
+    full ``RunResult`` payloads (``need_runs``) then ride shared
+    memory too, as ``runs`` in the marker.
     """
     spec, noise, indices, need_runs, policy, base_attempt = payload[:6]
     telem = payload[6] if len(payload) > 6 else None
     shm_desc = payload[7] if len(payload) > 7 else None
+    trace_name = payload[8] if len(payload) > 8 else None
     mark_worker(True)
     token = None
     if telem is not None:
@@ -603,14 +588,15 @@ def _run_rep_chunk(payload: tuple):
             reps=len(indices),
             transport="shm" if shm_desc is not None else "pickle",
         ) if (token is not None) else _nullcontext():
-            context = _resolved_context(spec)
-            results = [
-                _run_one_rep(context, spec, noise, i, need_runs, policy, base_attempt)
-                for i in indices
-            ]
-        out = (
-            _write_chunk_to_shm(shm_desc, results) if shm_desc is not None else results
-        )
+            results = DEFAULT_RUNNER.run(
+                spec, noise, indices, need_runs, policy, base_attempt
+            )
+        if shm_desc is not None and (trace_name is not None or not need_runs):
+            out = _write_chunk_to_shm(shm_desc, results)
+            if trace_name is not None and need_runs:
+                out["runs"] = _write_runs_to_shm(trace_name, results)
+        else:
+            out = results
         if token is not None:
             blob = _telemetry.worker_capture_end(token)
             token = None
@@ -831,6 +817,7 @@ class ParallelExecutor(Executor):
         "rep_failures",
         "shm_chunks",
         "pickle_chunks",
+        "shm_trace_chunks",
     )
 
     def stats(self) -> dict:
@@ -942,11 +929,9 @@ class ParallelExecutor(Executor):
             )
         return out
 
-    def _make_block(
-        self, spec, indices: range, need_runs: bool
-    ) -> Optional[_ShmResultBlock]:
+    def _make_block(self, spec, indices: range) -> Optional[_ShmResultBlock]:
         """Allocate the dispatch's shm block (None → pickle transport)."""
-        if need_runs or self.transport == "pickle" or not _shm_available():
+        if self.transport == "pickle" or not _shm_available():
             return None
         try:
             return _ShmResultBlock(indices, _anomaly_code_table(_resolved_context(spec)))
@@ -968,17 +953,25 @@ class ParallelExecutor(Executor):
             yield from self._serial_remainder(spec, noise, indices, need_runs, policy)
             return
         chunks = chunk_range(indices, self.jobs, self.chunk_size)
-        block = self._make_block(spec, indices, need_runs)
+        block = self._make_block(spec, indices)
+        trace_segments: set[str] = set()
         try:
-            yield from self._run_chunks(spec, noise, chunks, need_runs, policy, block)
+            yield from self._run_chunks(
+                spec, noise, chunks, need_runs, policy, block, trace_segments
+            )
         finally:
             # The single owner-side unlink: reached on normal completion,
             # chunk failure, pool rebuild, hung-chunk kill, and caller
-            # abandonment (generator close) alike.
+            # abandonment (generator close) alike.  Trace segments were
+            # *named* by the parent before dispatch, so segments whose
+            # worker died mid-write (or whose chunk was re-dispatched)
+            # are unlinked here too.
             if block is not None:
                 block.close()
+            for name in trace_segments:
+                _unlink_shm(name)
 
-    def _run_chunks(self, spec, noise, chunks, need_runs, policy, block):
+    def _run_chunks(self, spec, noise, chunks, need_runs, policy, block, trace_segments):
         shm_desc = block.descriptor() if block is not None else None
         dispatches = {cid: 0 for cid in range(len(chunks))}
         done: set[int] = set()
@@ -1000,22 +993,29 @@ class ParallelExecutor(Executor):
             telem = (
                 {"parent": _telemetry.current_span_id()} if _telemetry.enabled() else None
             )
+            def _payload(cid):
+                trace_name = None
+                if block is not None and need_runs:
+                    # Parent-chosen, dispatch-unique name: a re-dispatch
+                    # gets a fresh segment, and every name ever handed
+                    # out is registered for the owner-side unlink.
+                    trace_name = f"{block.name}t{cid}d{dispatches[cid]}"
+                    trace_segments.add(trace_name)
+                return (
+                    spec,
+                    noise,
+                    chunks[cid],
+                    need_runs,
+                    policy,
+                    dispatches[cid],
+                    telem,
+                    shm_desc,
+                    trace_name,
+                )
+
             try:
                 futures = {
-                    cid: pool.submit(
-                        _run_rep_chunk,
-                        (
-                            spec,
-                            noise,
-                            chunks[cid],
-                            need_runs,
-                            policy,
-                            dispatches[cid],
-                            telem,
-                            shm_desc,
-                        ),
-                    )
-                    for cid in pending
+                    cid: pool.submit(_run_rep_chunk, _payload(cid)) for cid in pending
                 }
             except (BrokenProcessPool, RuntimeError):
                 self._note_pool_break(pool)
@@ -1066,6 +1066,14 @@ class ParallelExecutor(Executor):
                     if isinstance(payload, dict):
                         reps_list = block.extract(chunks[cid], payload)
                         self._counters.inc("shm_chunks")
+                        runs = payload.get("runs")
+                        if runs is not None:
+                            _attach_runs_from_shm(runs, reps_list)
+                            self._counters.inc("shm_trace_chunks")
+                            # Segment fully consumed — release it now
+                            # rather than at end-of-dispatch.
+                            _unlink_shm(runs["name"])
+                            trace_segments.discard(runs["name"])
                     else:
                         reps_list = payload
                         self._counters.inc("pickle_chunks")

@@ -188,6 +188,34 @@ class ExperimentSpec:
         current.update(changes)
         return ExperimentSpec(**current)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (exact round-trip).
+
+        ``noise`` and ``adaptive`` serialise through their own
+        ``to_dict`` forms; everything else is scalars and a plain
+        params dict.  This is the wire format of the campaign-service
+        job queue, so :meth:`from_dict` must reconstruct a spec whose
+        cache key and results are identical to the original's.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("noise", "adaptive") and value is not None:
+                value = value.to_dict()
+            elif f.name == "workload_params":
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        noise = data.get("noise")
+        if isinstance(noise, dict):
+            data["noise"] = NoiseStack.from_dict(noise)
+        return cls(**data)
+
 
 @dataclass
 class ResultSet:

@@ -77,6 +77,7 @@ def sweep(
     noise: "NoiseLike" = None,
     policy: Optional["FaultPolicy"] = None,
     adaptive: Optional["AdaptivePolicy"] = None,
+    service=None,
     **axes: Sequence,
 ) -> SweepResult:
     """Run the cartesian grid of ``axes`` values over ``base``.
@@ -88,6 +89,13 @@ def sweep(
     ``executor`` selects the execution backend for cache misses
     (default: ``REPRO_JOBS``); grid points themselves run in order so
     the result table is stable.
+
+    ``service`` (a :class:`~repro.service.ServiceClient`) routes the
+    whole grid through the campaign service instead: every point is
+    queued up front so workers pipeline across cells, then the table
+    is collected from the shared store.  The result is bit-identical
+    to the in-process path — same enumeration order, same content
+    keys, same envelope round-trip.
 
     ``policy`` contains per-point rep failures
     (:class:`~repro.harness.faults.FaultPolicy`); under ``skip`` a grid
@@ -109,11 +117,13 @@ def sweep(
     unknown = set(axes) - _SWEEPABLE
     if unknown:
         raise ValueError(f"cannot sweep over: {sorted(unknown)} (allowed: {sorted(_SWEEPABLE)})")
-    cache = cache if cache is not None else ResultCache()
     if adaptive is not None and base.adaptive is None:
         base = base.with_(adaptive=adaptive)
     if noise is None:
         noise = noise_config
+    if service is not None:
+        return service.run_sweep(base, noise=noise, **axes)
+    cache = cache if cache is not None else ResultCache()
     names = tuple(axes)
     combos = list(itertools.product(*(axes[n] for n in names)))
     points: list[tuple] = []

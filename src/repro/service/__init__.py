@@ -1,0 +1,48 @@
+"""Campaign service: durable job queue, leased workers, shared store.
+
+Promotes campaigns from one-shot CLI invocations to a long-running
+service many clients can share:
+
+* :class:`~repro.service.queue.JobQueue` — a durable SQLite submission
+  queue (submit / lease / renew / complete / fail) with lease expiry
+  and attempt caps; jobs are keyed by the cell's content-hash result
+  key, so identical submissions from different clients coalesce into
+  one job.
+* :class:`~repro.service.scheduler.Scheduler` — ranks queued cells by
+  priority, aging, expected runtime (the resolved-context duration
+  estimate), and cache-hit probability.
+* :class:`~repro.service.store.SharedResultStore` — the
+  :class:`~repro.harness.cache.ResultCache` generalised for concurrent
+  multi-process access: per-key file locks serialise the
+  miss-run-store section, atomic writes keep envelopes untorn, and
+  duplicate submissions are served from the store with zero
+  re-simulation.
+* :class:`~repro.service.worker.Worker` — a process that leases jobs,
+  runs them through the existing executor / fault-policy / telemetry
+  stack unchanged, and heartbeats its leases; a SIGKILLed worker's
+  jobs are re-leased after expiry and re-run bit-identically (per-rep
+  seeding is content-derived, never worker-derived).
+* :class:`~repro.service.client.ServiceClient` — the submit/poll front
+  end behind ``repro-noise service`` and the campaign
+  ``submit_or_run`` seam.
+
+Bit-identity is the design constraint throughout: a sweep drained
+through the service — including after a mid-lease worker kill —
+renders byte-identical to the same sweep run in-process.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.queue import Job, JobQueue
+from repro.service.scheduler import Scheduler, SchedulerWeights
+from repro.service.store import SharedResultStore
+from repro.service.worker import Worker
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "Scheduler",
+    "SchedulerWeights",
+    "SharedResultStore",
+    "ServiceClient",
+    "Worker",
+]

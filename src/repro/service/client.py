@@ -1,0 +1,283 @@
+"""Client front end: submit cells and sweeps, poll, collect results.
+
+A :class:`ServiceClient` is how anything — the ``repro-noise service``
+CLI, the campaign ``submit_or_run`` seam, a second user on the same
+machine — talks to the service: it resolves a cell to its content-hash
+key (the exact key any in-process run would compute), checks the
+shared store first, and only queues work the store cannot serve.
+Results are always *read from the store*, never from a worker
+response channel, so a client cannot observe anything a plain
+in-process run would not have produced — the float round-trip through
+the envelope is exact, and tables render byte-identically.
+
+Sweeps submit every grid point up front (workers pipeline across
+cells) and are recorded in the queue as ordered key lists, so any
+client can later collect a sweep it did not submit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import logging
+import os
+import time
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro import telemetry as _telemetry
+from repro.harness.chunkrunner import resolved_context
+from repro.harness.experiment import ExperimentSpec, ResultSet
+from repro.service.queue import DEFAULT_MAX_ATTEMPTS, JobQueue
+from repro.service.store import SharedResultStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.experiment import NoiseLike
+    from repro.harness.sweep import SweepResult
+
+__all__ = ["ServiceClient"]
+
+_log = logging.getLogger(__name__)
+
+
+class ServiceClient:
+    """Submit/poll/collect front end over a queue + shared store."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: Optional[SharedResultStore] = None,
+        client_id: Optional[str] = None,
+        poll_s: float = 0.2,
+    ):
+        self.queue = queue
+        self.store = store if store is not None else SharedResultStore()
+        self.client_id = client_id or f"client-{os.getpid()}"
+        self.poll_s = poll_s
+        self._counters = _telemetry.new_group("service_client")
+
+    def stats(self) -> dict:
+        counts = self._counters.as_dict()
+        return {
+            key: int(counts.get(key, 0))
+            for key in ("submitted", "deduplicated", "store_served")
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expected_s(spec: ExperimentSpec) -> float:
+        """Scheduler input: estimated cell runtime in simulated seconds.
+
+        The resolved-context duration estimate (a pure function of the
+        spec) times the rep count.  Estimation failures are worth a
+        warning, not a refusal — the scheduler degrades to not knowing.
+        """
+        try:
+            return resolved_context(spec).expected * max(1, spec.reps)
+        except Exception as exc:
+            _log.warning(
+                "cannot estimate runtime of %s (%s: %s); scheduling it unweighted",
+                spec.label(),
+                type(exc).__name__,
+                exc,
+            )
+            return 0.0
+
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        noise: "NoiseLike" = None,
+        priority: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> str:
+        """Queue one cell; returns its content-hash key.
+
+        Idempotent across clients: if the key is already queued,
+        leased, or done, the existing job is shared (counted as
+        ``deduplicated``).  The job record carries the rep-resolved
+        spec, so the executing worker computes the identical key.
+        """
+        spec, stack, key = self.store.resolve_cell(spec, noise)
+        created = self.queue.submit(
+            key,
+            spec=spec.to_dict(),
+            noise=stack.to_dict() if stack is not None else None,
+            label=spec.label(),
+            priority=priority,
+            expected_s=self._expected_s(spec),
+            cached=self.store.has_entry(key),
+            max_attempts=max_attempts,
+            client=self.client_id,
+        )
+        self._counters.inc("submitted" if created else "deduplicated")
+        return key
+
+    def run_cell(
+        self,
+        spec: ExperimentSpec,
+        noise: "NoiseLike" = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> ResultSet:
+        """The ``submit_or_run`` backend: store-serve or submit-and-wait.
+
+        A cell the store can already serve never touches the queue
+        (zero re-simulation for duplicate submissions); anything else
+        is queued and awaited.  Requires at least one worker draining
+        the queue, or ``timeout`` to bound the wait.
+        """
+        spec, stack, key = self.store.resolve_cell(spec, noise)
+        rs = self.store.load_entry(key, spec)
+        if rs is not None:
+            self._counters.inc("store_served")
+            return rs
+        self.submit(spec, noise=stack, priority=priority)
+        self.wait([key], timeout=timeout)
+        return self._collect_one(key, spec)
+
+    def _collect_one(self, key: str, spec: ExperimentSpec) -> ResultSet:
+        rs = self.store.load_entry(key, spec)
+        if rs is not None:
+            return rs
+        job = self.queue.job(key)
+        detail = f": {job.error}" if job is not None and job.error else ""
+        raise RuntimeError(
+            f"cell {spec.label()} (key {key}) completed without a store entry{detail}"
+        )
+
+    # ------------------------------------------------------------------
+    def submit_sweep(
+        self,
+        base: ExperimentSpec,
+        noise: "NoiseLike" = None,
+        priority: int = 0,
+        title: Optional[str] = None,
+        **axes: Sequence,
+    ) -> str:
+        """Queue a whole grid up front; returns the sweep id.
+
+        Enumeration order matches :func:`repro.harness.sweep.sweep`
+        exactly (cartesian product in axis order), so the collected
+        table is row-for-row identical to the in-process one.  The id
+        is a content hash of the definition: re-submitting the same
+        sweep from another client converges on the same record.
+        """
+        from repro.harness.sweep import _SWEEPABLE
+
+        if not axes:
+            raise ValueError("sweep needs at least one axis")
+        unknown = set(axes) - _SWEEPABLE
+        if unknown:
+            raise ValueError(
+                f"cannot sweep over: {sorted(unknown)} (allowed: {sorted(_SWEEPABLE)})"
+            )
+        _base, stack, _ = self.store.resolve_cell(base, noise)
+        names = tuple(axes)
+        definition = {
+            "base": base.to_dict(),
+            "noise": stack.to_dict() if stack is not None else None,
+            "axes": {name: list(axes[name]) for name in names},
+            "order": list(names),
+            "title": title,
+        }
+        sweep_id = hashlib.sha256(
+            json.dumps(definition, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        keys = []
+        with _telemetry.span("service_sweep", axes=",".join(names), id=sweep_id):
+            for combo in itertools.product(*(axes[name] for name in names)):
+                spec = base.with_(**dict(zip(names, combo)))
+                keys.append(self.submit(spec, noise=stack, priority=priority))
+        self.queue.record_sweep(
+            sweep_id, definition, keys, title=title, client=self.client_id
+        )
+        return sweep_id
+
+    def collect_sweep(self, sweep_id: str) -> "SweepResult":
+        """Assemble a completed sweep from the store.
+
+        Rebuilds the grid from the recorded definition — same axis
+        order, same enumeration — and loads every point's entry, so
+        ``collect_sweep(submit_sweep(...)).render()`` is byte-identical
+        to ``sweep(...).render()`` over the same cells.
+        """
+        from repro.harness.sweep import SweepResult
+
+        record = self.queue.sweep(sweep_id)
+        if record is None:
+            raise KeyError(f"unknown sweep id {sweep_id!r}")
+        definition = record["definition"]
+        base = ExperimentSpec.from_dict(definition["base"])
+        noise = definition["noise"]
+        names = tuple(definition["order"])
+        axes = definition["axes"]
+        points: list[tuple] = []
+        results: list[ResultSet] = []
+        for combo in itertools.product(*(axes[name] for name in names)):
+            spec = base.with_(**dict(zip(names, combo)))
+            spec, stack, key = self.store.resolve_cell(spec, _revive_noise(noise))
+            points.append(combo)
+            results.append(self._collect_one(key, spec))
+        return SweepResult(axes=names, points=points, results=results)
+
+    def run_sweep(
+        self,
+        base: ExperimentSpec,
+        noise: "NoiseLike" = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        title: Optional[str] = None,
+        **axes: Sequence,
+    ) -> "SweepResult":
+        """Submit a sweep, wait for it to drain, and collect it."""
+        sweep_id = self.submit_sweep(
+            base, noise=noise, priority=priority, title=title, **axes
+        )
+        keys = self.queue.sweep(sweep_id)["keys"]
+        self.wait(keys, timeout=timeout)
+        return self.collect_sweep(sweep_id)
+
+    # ------------------------------------------------------------------
+    def wait(
+        self, keys: Optional[Sequence[str]] = None, timeout: Optional[float] = None
+    ) -> None:
+        """Block until the given keys (default: everything) are neither
+        queued nor leased.  Raises ``TimeoutError`` on expiry."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.queue.drained(keys):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"queue did not drain within {timeout:.1f}s "
+                    f"(status: {self.queue.counts()})"
+                )
+            time.sleep(self.poll_s)
+
+    def status(self) -> dict:
+        """Queue counts, per-sweep progress, and store statistics."""
+        counts = self.queue.counts()
+        sweeps = []
+        for sweep_id in self.queue.sweep_ids():
+            record = self.queue.sweep(sweep_id)
+            states = {"queued": 0, "leased": 0, "done": 0, "failed": 0}
+            for key in record["keys"]:
+                job = self.queue.job(key)
+                if job is not None:
+                    states[job.status] += 1
+            sweeps.append(
+                {
+                    "id": sweep_id,
+                    "title": record["title"],
+                    "cells": len(record["keys"]),
+                    **states,
+                }
+            )
+        return {"jobs": counts, "sweeps": sweeps, "store": self.store.stats()}
+
+
+def _revive_noise(payload):
+    """Revive a queue-recorded noise payload (``None`` stays ``None``)."""
+    if payload is None:
+        return None
+    from repro.noise.base import NoiseStack
+
+    return NoiseStack.from_dict(payload)

@@ -1,0 +1,446 @@
+r"""Durable SQLite-backed job queue for the campaign service.
+
+One row per experiment *cell*, keyed by the cell's content-hash result
+key (the :class:`~repro.harness.cache.ResultCache` key) — identical
+submissions from any number of clients coalesce into a single job, and
+a completed job's result is exactly the store entry under that key.
+Sweeps are recorded as ordered key lists over the same jobs, so two
+overlapping sweeps share cells.
+
+Lease lifecycle::
+
+    queued --lease--> leased --complete--> done
+      ^                 |  \--fail(retryable)--> queued
+      |                 \--fail(terminal)------> failed
+      \--(lease expiry, attempts left)----------/
+
+A worker renews its lease while running; a worker that dies silently
+(SIGKILL, OOM) simply stops renewing, and the next ``lease()`` call
+sweeps its expired jobs back to ``queued`` — or to ``failed`` once the
+attempt cap is exhausted.  Expiry, like every other transition, runs
+inside a ``BEGIN IMMEDIATE`` transaction, so exactly one worker can
+hold a job at a time.
+
+Durability follows the journal's conventions: WAL mode, a generous
+busy timeout, and every state change committed before the call
+returns.  The queue file can be inspected with any sqlite3 client.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["Job", "JobQueue", "DEFAULT_MAX_ATTEMPTS", "DEFAULT_LEASE_S"]
+
+#: lease dispatches (not rep retries) a job gets before it is failed
+DEFAULT_MAX_ATTEMPTS = 3
+#: seconds a lease lives without renewal
+DEFAULT_LEASE_S = 60.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    key           TEXT PRIMARY KEY,
+    spec          TEXT NOT NULL,
+    noise         TEXT,
+    label         TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'queued',
+    priority      INTEGER NOT NULL DEFAULT 0,
+    expected_s    REAL NOT NULL DEFAULT 0.0,
+    cached        INTEGER NOT NULL DEFAULT 0,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL DEFAULT 3,
+    submitted_at  REAL NOT NULL,
+    client        TEXT,
+    lease_owner   TEXT,
+    lease_expires REAL,
+    started_at    REAL,
+    finished_at   REAL,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
+CREATE TABLE IF NOT EXISTS sweeps (
+    id            TEXT PRIMARY KEY,
+    title         TEXT,
+    definition    TEXT NOT NULL,
+    submitted_at  REAL NOT NULL,
+    client        TEXT
+);
+CREATE TABLE IF NOT EXISTS sweep_jobs (
+    sweep_id  TEXT NOT NULL,
+    position  INTEGER NOT NULL,
+    key       TEXT NOT NULL,
+    PRIMARY KEY (sweep_id, position)
+);
+"""
+
+
+@dataclass
+class Job:
+    """One queued cell, as handed to a worker or a status listing."""
+
+    key: str
+    spec: dict
+    noise: Optional[dict]
+    label: str
+    status: str
+    priority: int
+    expected_s: float
+    cached: bool
+    attempts: int
+    max_attempts: int
+    submitted_at: float
+    lease_owner: Optional[str] = None
+    lease_expires: Optional[float] = None
+    error: Optional[str] = None
+
+    @classmethod
+    def from_row(cls, row: sqlite3.Row) -> "Job":
+        return cls(
+            key=row["key"],
+            spec=json.loads(row["spec"]),
+            noise=json.loads(row["noise"]) if row["noise"] else None,
+            label=row["label"],
+            status=row["status"],
+            priority=row["priority"],
+            expected_s=row["expected_s"],
+            cached=bool(row["cached"]),
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            submitted_at=row["submitted_at"],
+            lease_owner=row["lease_owner"],
+            lease_expires=row["lease_expires"],
+            error=row["error"],
+        )
+
+
+class JobQueue:
+    """The durable queue; safe for concurrent processes and threads.
+
+    Every instance owns one connection (serialised by an internal
+    lock); cross-process consistency comes from SQLite itself — WAL
+    mode plus ``BEGIN IMMEDIATE`` write transactions, with a busy
+    timeout that rides out lock contention instead of erroring.
+    """
+
+    def __init__(self, path: os.PathLike | str):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False, isolation_level=None
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        key: str,
+        spec: dict,
+        noise: Optional[dict],
+        label: str,
+        priority: int = 0,
+        expected_s: float = 0.0,
+        cached: bool = False,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        client: Optional[str] = None,
+    ) -> bool:
+        """Enqueue one cell; returns ``True`` if a new job was created.
+
+        Idempotent by key: re-submitting an existing queued / leased /
+        done job is a no-op (the caller shares the existing job's
+        fate), while re-submitting a *failed* job revives it with a
+        fresh attempt budget.
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cur = self._conn.execute(
+                    """INSERT INTO jobs (key, spec, noise, label, priority, expected_s,
+                                         cached, max_attempts, submitted_at, client)
+                       VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                       ON CONFLICT(key) DO UPDATE SET
+                           status = 'queued', attempts = 0, error = NULL,
+                           lease_owner = NULL, lease_expires = NULL,
+                           submitted_at = excluded.submitted_at,
+                           priority = excluded.priority,
+                           max_attempts = excluded.max_attempts
+                       WHERE jobs.status = 'failed'""",
+                    (
+                        key,
+                        json.dumps(spec, sort_keys=True),
+                        json.dumps(noise, sort_keys=True) if noise is not None else None,
+                        label,
+                        priority,
+                        expected_s,
+                        int(cached),
+                        max_attempts,
+                        now,
+                        client,
+                    ),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return cur.rowcount > 0
+
+    def record_sweep(
+        self,
+        sweep_id: str,
+        definition: dict,
+        keys: Sequence[str],
+        title: Optional[str] = None,
+        client: Optional[str] = None,
+    ) -> None:
+        """Register a sweep as an ordered key list over existing jobs."""
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO sweeps (id, title, definition, submitted_at, client)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (sweep_id, title, json.dumps(definition, sort_keys=True), now, client),
+                )
+                self._conn.execute("DELETE FROM sweep_jobs WHERE sweep_id = ?", (sweep_id,))
+                self._conn.executemany(
+                    "INSERT INTO sweep_jobs (sweep_id, position, key) VALUES (?, ?, ?)",
+                    [(sweep_id, i, k) for i, k in enumerate(keys)],
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    # ------------------------------------------------------------------
+    # lease lifecycle
+    # ------------------------------------------------------------------
+    def _expire_stale(self, now: float) -> None:
+        """Sweep expired leases back to queued (or failed). Caller holds
+        the transaction."""
+        rows = self._conn.execute(
+            "SELECT key, attempts, max_attempts, lease_owner FROM jobs"
+            " WHERE status = 'leased' AND lease_expires < ?",
+            (now,),
+        ).fetchall()
+        for row in rows:
+            if row["attempts"] >= row["max_attempts"]:
+                self._conn.execute(
+                    "UPDATE jobs SET status = 'failed', finished_at = ?,"
+                    " error = ? WHERE key = ?",
+                    (
+                        now,
+                        f"lease expired after {row['attempts']} attempt(s); "
+                        f"last owner {row['lease_owner']}",
+                        row["key"],
+                    ),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
+                    " lease_expires = NULL WHERE key = ?",
+                    (row["key"],),
+                )
+
+    def lease(
+        self,
+        owner: str,
+        limit: int = 1,
+        lease_s: float = DEFAULT_LEASE_S,
+        scheduler=None,
+    ) -> list[Job]:
+        """Atomically claim up to ``limit`` queued jobs for ``owner``.
+
+        Expired leases are swept first, so a dead worker's jobs become
+        claimable here without any separate reaper process.  Candidate
+        order is the :class:`~repro.service.scheduler.Scheduler`'s
+        ranking when one is supplied, else FIFO by submission time
+        (deterministically tie-broken by key either way).
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._expire_stale(now)
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE status = 'queued'"
+                    " ORDER BY submitted_at, key"
+                ).fetchall()
+                jobs = [Job.from_row(r) for r in rows]
+                if scheduler is not None:
+                    jobs = scheduler.rank(jobs, now)
+                claimed = jobs[: max(0, limit)]
+                for job in claimed:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = 'leased', lease_owner = ?,"
+                        " lease_expires = ?, attempts = attempts + 1,"
+                        " started_at = COALESCE(started_at, ?) WHERE key = ?",
+                        (owner, now + lease_s, now, job.key),
+                    )
+                    job.status = "leased"
+                    job.lease_owner = owner
+                    job.lease_expires = now + lease_s
+                    job.attempts += 1
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return claimed
+
+    def renew(self, key: str, owner: str, lease_s: float = DEFAULT_LEASE_S) -> bool:
+        """Extend ``owner``'s lease; ``False`` if the lease was lost."""
+        now = time.time()
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET lease_expires = ? WHERE key = ? AND"
+                " status = 'leased' AND lease_owner = ?",
+                (now + lease_s, key, owner),
+            )
+        return cur.rowcount > 0
+
+    def complete(self, key: str, owner: str) -> bool:
+        """Mark ``owner``'s leased job done; ``False`` if lease was lost."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET status = 'done', finished_at = ?, error = NULL"
+                " WHERE key = ? AND status = 'leased' AND lease_owner = ?",
+                (time.time(), key, owner),
+            )
+        return cur.rowcount > 0
+
+    def fail(self, key: str, owner: str, error: str, retryable: bool = True) -> bool:
+        """Record a failed execution: requeue if attempts remain (and the
+        failure is retryable), else fail terminally."""
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT attempts, max_attempts FROM jobs WHERE key = ? AND"
+                    " status = 'leased' AND lease_owner = ?",
+                    (key, owner),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("ROLLBACK")
+                    return False
+                if retryable and row["attempts"] < row["max_attempts"]:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
+                        " lease_expires = NULL, error = ? WHERE key = ?",
+                        (error, key),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = 'failed', finished_at = ?,"
+                        " error = ? WHERE key = ?",
+                        (now, error, key),
+                    )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def job(self, key: str) -> Optional[Job]:
+        with self._lock:
+            row = self._conn.execute("SELECT * FROM jobs WHERE key = ?", (key,)).fetchone()
+        return Job.from_row(row) if row is not None else None
+
+    def jobs(self, status: Optional[str] = None) -> list[Job]:
+        with self._lock:
+            if status is None:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs ORDER BY submitted_at, key"
+                ).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE status = ? ORDER BY submitted_at, key",
+                    (status,),
+                ).fetchall()
+        return [Job.from_row(r) for r in rows]
+
+    def counts(self) -> dict:
+        """Job counts by status (all four statuses always present)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        out = {"queued": 0, "leased": 0, "done": 0, "failed": 0}
+        for row in rows:
+            out[row["status"]] = row["n"]
+        return out
+
+    def drained(self, keys: Optional[Sequence[str]] = None) -> bool:
+        """No queued or leased work left (optionally among ``keys``)."""
+        with self._lock:
+            if keys is None:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) AS n FROM jobs WHERE status IN ('queued', 'leased')"
+                ).fetchone()
+                return row["n"] == 0
+            marks = ",".join("?" for _ in keys)
+            row = self._conn.execute(
+                f"SELECT COUNT(*) AS n FROM jobs WHERE key IN ({marks})"
+                " AND status IN ('queued', 'leased')",
+                tuple(keys),
+            ).fetchone()
+            return row["n"] == 0
+
+    def sweep(self, sweep_id: str) -> Optional[dict]:
+        """The sweep's definition plus its ordered job keys."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM sweeps WHERE id = ?", (sweep_id,)
+            ).fetchone()
+            if row is None:
+                return None
+            keys = [
+                r["key"]
+                for r in self._conn.execute(
+                    "SELECT key FROM sweep_jobs WHERE sweep_id = ? ORDER BY position",
+                    (sweep_id,),
+                ).fetchall()
+            ]
+        return {
+            "id": row["id"],
+            "title": row["title"],
+            "definition": json.loads(row["definition"]),
+            "submitted_at": row["submitted_at"],
+            "client": row["client"],
+            "keys": keys,
+        }
+
+    def sweep_ids(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id FROM sweeps ORDER BY submitted_at, id"
+            ).fetchall()
+        return [r["id"] for r in rows]

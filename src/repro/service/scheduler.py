@@ -1,0 +1,76 @@
+"""Scheduler: ranks queued cells for lease order.
+
+Scoring is a pure function of the job row and the clock, so the
+ranking is reproducible from the queue database alone::
+
+    score = priority * w.priority
+          + age_s    * w.aging
+          - expected_s * w.runtime
+          + (1 if store had the key at submit) * w.cache_hit
+
+* **priority** — client-assigned urgency, the dominant term;
+* **aging** — seconds since submission, so starved low-priority work
+  eventually overtakes fresh high-priority work;
+* **expected runtime** — the resolved-context duration estimate times
+  the rep count, recorded at submit; shorter cells first empties the
+  queue fastest (smallest-job-first) without starving long ones
+  (aging wins eventually);
+* **cache-hit probability** — cells whose key already had a store
+  entry at submit are near-free (the worker serves them from the
+  store), so they jump the queue and unblock waiting clients early.
+
+Ties break deterministically by submission time then key, so two
+schedulers over the same snapshot produce the same order.  Scheduling
+affects *when* a cell runs, never *what* it computes — results are
+content-keyed and bit-identical in any execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.queue import Job
+
+__all__ = ["Scheduler", "SchedulerWeights"]
+
+
+@dataclass(frozen=True)
+class SchedulerWeights:
+    """Relative weights of the four scoring terms (score units are
+    arbitrary; only differences matter)."""
+
+    #: per unit of client-assigned priority
+    priority: float = 100.0
+    #: per second of queue age — a cell gains one priority unit's worth
+    #: of score every ``priority / aging`` seconds of waiting
+    aging: float = 1.0
+    #: per second of expected runtime (subtracted: shortest-first)
+    runtime: float = 10.0
+    #: flat bonus for cells already present in the shared store
+    cache_hit: float = 1000.0
+
+
+class Scheduler:
+    """Deterministic scorer/ranker over queued jobs."""
+
+    def __init__(self, weights: SchedulerWeights | None = None):
+        self.weights = weights if weights is not None else SchedulerWeights()
+
+    def score(self, job: "Job", now: float) -> float:
+        w = self.weights
+        age = max(0.0, now - job.submitted_at)
+        return (
+            job.priority * w.priority
+            + age * w.aging
+            - job.expected_s * w.runtime
+            + (w.cache_hit if job.cached else 0.0)
+        )
+
+    def rank(self, jobs: list["Job"], now: float) -> list["Job"]:
+        """Jobs in lease order: descending score, stable deterministic
+        tie-break (submission time, then key)."""
+        return sorted(
+            jobs, key=lambda j: (-self.score(j, now), j.submitted_at, j.key)
+        )

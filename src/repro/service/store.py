@@ -1,0 +1,116 @@
+"""Concurrently-safe shared result store.
+
+The :class:`~repro.harness.cache.ResultCache` is already safe for
+*threads* (distinct keys write distinct files; writes are atomic).
+Sharing one directory between *processes* — service workers, in-process
+campaigns, multiple clients — adds one failure mode: two processes
+missing on the same key would both simulate it.  Harmless for
+correctness (the runs are deterministic, so the ``os.replace`` race
+loser overwrites the winner with identical bytes) but wasteful, and
+the whole point of a shared store is that duplicate submissions cost
+nothing.
+
+:class:`SharedResultStore` therefore serialises the miss-run-store
+section under a per-key ``flock`` file lock (``.locks/<key>.lock``
+next to the entries): the lock loser re-checks the store on entry and
+is served the winner's result with zero re-simulation.  Reads stay
+lock-free — entries are immutable once written (atomic rename), so a
+reader either sees a complete envelope or nothing.
+
+Counters on top of the cache's: ``lock_waits`` (a miss found the key
+locked and blocked) and ``shared_hits`` (the re-check under the lock
+was served another process's result).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import ResultSet
+
+try:  # POSIX only; the store degrades to lock-free elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+__all__ = ["SharedResultStore"]
+
+_log = logging.getLogger(__name__)
+
+
+class SharedResultStore(ResultCache):
+    """A :class:`ResultCache` whose miss path is multi-process safe.
+
+    Drop-in: same constructor, same ``get_or_run`` contract, same
+    envelopes on disk — an in-process campaign and a fleet of service
+    workers can point at one directory and serve each other's results.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._locks_dir = self.root / ".locks"
+
+    def stats(self) -> dict:
+        out = super().stats()
+        counts = self._counters.as_dict()
+        out["lock_waits"] = int(counts.get("lock_waits", 0))
+        out["shared_hits"] = int(counts.get("shared_hits", 0))
+        return out
+
+    @contextmanager
+    def _key_lock(self, key: str):
+        """Exclusive advisory lock for ``key``'s miss section.
+
+        Yields ``True`` when the lock was contended (another process
+        held it when we arrived).  Lock files are tiny and reusable;
+        they are never deleted while the store lives, so the
+        inode-based flock cannot race a concurrent unlink.
+        """
+        if fcntl is None or not self.enabled:  # pragma: no cover - non-POSIX
+            yield False
+            return
+        self._locks_dir.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self._locks_dir / f"{key}.lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            contended = False
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except BlockingIOError:
+                contended = True
+                self._count("lock_waits")
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield contended
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def _run_and_store(self, spec, stack, key, executor, on_run, policy, t0):
+        with self._key_lock(key):
+            # Unconditional double-check: even an uncontended acquire can
+            # follow another process's complete run-release (it published
+            # between our miss and our lock), so trusting the pre-lock
+            # miss would re-simulate.  Reading a missing entry is cheap.
+            rs = self.load_entry(key, spec)
+            if rs is not None:
+                self._count("shared_hits")
+                if self.journal is not None:
+                    self.journal.record_done(
+                        key,
+                        label=spec.label(),
+                        duration_s=time.perf_counter() - t0,
+                        attempt=0,
+                    )
+                return rs
+            return super()._run_and_store(spec, stack, key, executor, on_run, policy, t0)
+
+    def load_for(self, spec, noise=None) -> Optional[ResultSet]:
+        """Lock-free read of a cell's entry (``None`` when absent)."""
+        spec, _stack, key = self.resolve_cell(spec, noise)
+        return self.load_entry(key, spec)

@@ -1,0 +1,169 @@
+"""Service worker: lease jobs, execute, stream results to the store.
+
+A worker is a plain process (``repro-noise service start``) around the
+*unchanged* execution stack: each leased job goes through
+``SharedResultStore.get_or_run`` → ``run_experiment`` → the configured
+:class:`~repro.harness.executor.Executor` (serial or process pool) and
+whatever :class:`~repro.harness.faults.FaultPolicy` / telemetry the
+worker was started with.  Nothing about execution knows it is running
+under a lease, which is precisely why service results are bit-identical
+to in-process ones: determinism lives in content (per-rep spawn-key
+seeding), never in the transport.
+
+While a job runs, a daemon heartbeat thread renews its lease at a
+third of the lease interval.  A SIGKILLed worker stops heartbeating
+and its leases expire; the queue re-leases the jobs to the next worker,
+which re-runs them from their original seeds — or serves them straight
+from the store if the dead worker got far enough to publish.  The
+job's ``attempts`` field feeds the re-lease budget; rep-level retries
+inside an attempt stay governed by the fault policy, exactly as
+in-process.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from typing import Optional
+
+from repro import telemetry as _telemetry
+from repro.harness.experiment import ExperimentSpec
+from repro.noise.base import NoiseStack
+from repro.service.queue import DEFAULT_LEASE_S, Job, JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.store import SharedResultStore
+
+__all__ = ["Worker"]
+
+_log = logging.getLogger(__name__)
+
+
+class Worker:
+    """Lease-execute-complete loop over a queue + shared store."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: SharedResultStore,
+        worker_id: Optional[str] = None,
+        executor=None,
+        policy=None,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = 0.5,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        self.queue = queue
+        self.store = store
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.executor = executor
+        self.policy = policy
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self._stop = threading.Event()
+        self._counters = _telemetry.new_group("service_worker")
+
+    def stop(self) -> None:
+        """Ask the run loop to exit after the current job."""
+        self._stop.set()
+
+    def stats(self) -> dict:
+        counts = self._counters.as_dict()
+        return {
+            key: int(counts.get(key, 0))
+            for key in ("jobs_done", "jobs_failed", "lease_losses", "renewals")
+        }
+
+    # ------------------------------------------------------------------
+    def _heartbeat(self, job: Job, lost: threading.Event) -> threading.Thread:
+        """Renew ``job``'s lease until stopped; flag ``lost`` if it slips."""
+        def beat():
+            interval = max(0.1, self.lease_s / 3.0)
+            while not lost.wait(interval):
+                if self.queue.renew(job.key, self.worker_id, self.lease_s):
+                    self._counters.inc("renewals")
+                else:
+                    self._counters.inc("lease_losses")
+                    lost.set()
+                    return
+
+        thread = threading.Thread(target=beat, daemon=True, name=f"hb-{job.key[:8]}")
+        thread.start()
+        return thread
+
+    def run_job(self, job: Job) -> bool:
+        """Execute one leased job; returns success.
+
+        The spec arrives rep-resolved from submit (``resolve_cell``
+        pinned the environment-defaulted counts), so the key this
+        worker's ``get_or_run`` computes equals the job key and the
+        result lands exactly where every client looks for it.
+        """
+        spec = ExperimentSpec.from_dict(job.spec)
+        stack = NoiseStack.from_dict(job.noise) if job.noise is not None else None
+        lost = threading.Event()
+        heartbeat = self._heartbeat(job, lost)
+        try:
+            with _telemetry.span("service_job", key=job.key, label=job.label):
+                self.store.get_or_run(
+                    spec, noise=stack, executor=self.executor, policy=self.policy
+                )
+        except Exception as exc:
+            lost.set()
+            heartbeat.join()
+            self._counters.inc("jobs_failed")
+            _log.warning(
+                "job %s (%s) failed in %s: %s: %s",
+                job.key,
+                job.label,
+                self.worker_id,
+                type(exc).__name__,
+                exc,
+            )
+            self.queue.fail(job.key, self.worker_id, f"{type(exc).__name__}: {exc}")
+            return False
+        lost.set()
+        heartbeat.join()
+        if self.queue.complete(job.key, self.worker_id):
+            self._counters.inc("jobs_done")
+        else:
+            # The lease expired mid-run (e.g. a long stop-the-world
+            # pause) and the job was re-leased.  The result is in the
+            # store regardless — the other lease holder will be served
+            # from it — so nothing is lost but the accounting.
+            self._counters.inc("lease_losses")
+            _log.warning(
+                "job %s finished but its lease was lost; result stored anyway",
+                job.key,
+            )
+        return True
+
+    def run(
+        self,
+        drain: bool = False,
+        max_jobs: Optional[int] = None,
+    ) -> int:
+        """The worker loop; returns the number of jobs executed.
+
+        ``drain=True`` exits once the queue has no queued or leased
+        work; otherwise the loop polls until :meth:`stop` (or
+        ``max_jobs``).
+        """
+        done = 0
+        while not self._stop.is_set():
+            if max_jobs is not None and done >= max_jobs:
+                break
+            leased = self.queue.lease(
+                self.worker_id, limit=1, lease_s=self.lease_s, scheduler=self.scheduler
+            )
+            if not leased:
+                if drain and self.queue.drained():
+                    break
+                time.sleep(self.poll_s)
+                continue
+            for job in leased:
+                self.run_job(job)
+                done += 1
+        return done

@@ -1,0 +1,459 @@
+"""Campaign service tests: queue, scheduler, shared store, workers.
+
+The hard guarantees under test:
+
+* queue durability — leases expire when their holder dies (including a
+  real SIGKILLed worker process) and the job is re-leased and re-run
+  from its original seeds, bit-identically;
+* shared-store concurrency — two processes hammering one directory
+  never re-simulate a key the other already ran;
+* transport neutrality — tables collected through the service render
+  byte-identically to in-process ones.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import ExperimentSpec
+from repro.harness.sweep import sweep
+from repro.noise.base import NoiseStack
+from repro.service import (
+    Job,
+    JobQueue,
+    Scheduler,
+    SchedulerWeights,
+    ServiceClient,
+    SharedResultStore,
+    Worker,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def spec(**kw):
+    kw.setdefault("platform", "intel-9700kf")
+    kw.setdefault("workload", "nbody")
+    kw.setdefault("reps", 3)
+    kw.setdefault("seed", 42)
+    return ExperimentSpec(**kw)
+
+
+def submit(queue, key, **kw):
+    kw.setdefault("spec", {"k": key})
+    kw.setdefault("noise", None)
+    kw.setdefault("label", key)
+    return queue.submit(key, **kw)
+
+
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_submit_lease_complete(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        assert submit(q, "a") is True
+        assert q.counts() == {"queued": 1, "leased": 0, "done": 0, "failed": 0}
+        (job,) = q.lease("w1")
+        assert job.key == "a" and job.attempts == 1 and job.spec == {"k": "a"}
+        assert q.counts()["leased"] == 1
+        assert q.complete("a", "w1") is True
+        assert q.counts()["done"] == 1
+        assert q.drained()
+
+    def test_submit_is_idempotent(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        assert submit(q, "a") is True
+        assert submit(q, "a") is False  # deduplicated, not re-queued
+        assert q.counts()["queued"] == 1
+
+    def test_resubmit_revives_failed_job(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "a", max_attempts=1)
+        (job,) = q.lease("w1")
+        q.fail(job.key, "w1", "boom", retryable=False)
+        assert q.counts()["failed"] == 1
+        assert submit(q, "a") is True  # revived
+        assert q.counts() == {"queued": 1, "leased": 0, "done": 0, "failed": 0}
+
+    def test_fail_retryable_requeues_until_attempt_cap(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "a", max_attempts=2)
+        (job,) = q.lease("w1")
+        q.fail(job.key, "w1", "transient")
+        assert q.counts()["queued"] == 1  # attempt 1 of 2: requeued
+        (job,) = q.lease("w1")
+        assert job.attempts == 2
+        q.fail(job.key, "w1", "transient")
+        assert q.counts()["failed"] == 1  # cap reached
+        assert q.job("a").error == "transient"
+
+    def test_expired_lease_is_relet_to_next_worker(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "a")
+        (job,) = q.lease("w1", lease_s=0.05)
+        assert q.lease("w2") == []  # still held
+        time.sleep(0.1)
+        (job,) = q.lease("w2")
+        assert job.lease_owner == "w2" and job.attempts == 2
+
+    def test_expiry_past_attempt_cap_fails_the_job(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "a", max_attempts=1)
+        q.lease("w1", lease_s=0.05)
+        time.sleep(0.1)
+        assert q.lease("w2") == []
+        assert q.counts()["failed"] == 1
+
+    def test_renew_requires_current_owner(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "a")
+        q.lease("w1")
+        assert q.renew("a", "w2") is False
+        assert q.renew("a", "w1") is True
+        assert q.complete("a", "w2") is False  # wrong owner cannot complete
+
+    def test_sweep_record_roundtrip(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        for key in ("a", "b"):
+            submit(q, key)
+        q.record_sweep("s1", {"axes": {"x": [1, 2]}}, ["a", "b"], title="demo")
+        record = q.sweep("s1")
+        assert record["keys"] == ["a", "b"]
+        assert record["title"] == "demo"
+        assert record["definition"] == {"axes": {"x": [1, 2]}}
+        assert q.sweep_ids() == ["s1"]
+        assert q.sweep("nope") is None
+
+    def test_drained_for_subset_of_keys(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "a")
+        submit(q, "b")
+        (job,) = q.lease("w1")
+        q.complete(job.key, "w1")
+        assert q.drained([job.key])
+        assert not q.drained()
+
+
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def job(self, key, **kw):
+        kw.setdefault("spec", {})
+        kw.setdefault("noise", None)
+        kw.setdefault("label", key)
+        kw.setdefault("status", "queued")
+        kw.setdefault("priority", 0)
+        kw.setdefault("expected_s", 0.0)
+        kw.setdefault("cached", False)
+        kw.setdefault("attempts", 0)
+        kw.setdefault("max_attempts", 3)
+        kw.setdefault("submitted_at", 100.0)
+        return Job(key=key, **kw)
+
+    def test_priority_dominates(self):
+        s = Scheduler()
+        ranked = s.rank([self.job("lo"), self.job("hi", priority=5)], now=100.0)
+        assert [j.key for j in ranked] == ["hi", "lo"]
+
+    def test_cached_jobs_jump_the_queue(self):
+        s = Scheduler()
+        ranked = s.rank([self.job("cold"), self.job("warm", cached=True)], now=100.0)
+        assert ranked[0].key == "warm"
+
+    def test_shortest_job_first_among_equals(self):
+        s = Scheduler()
+        ranked = s.rank(
+            [self.job("slow", expected_s=10.0), self.job("fast", expected_s=1.0)],
+            now=100.0,
+        )
+        assert ranked[0].key == "fast"
+
+    def test_aging_eventually_overtakes_priority(self):
+        s = Scheduler(SchedulerWeights(priority=100.0, aging=1.0))
+        old = self.job("old", submitted_at=0.0)
+        # Against a priority-1 job submitted *just now*, the old job's
+        # accumulated age decides: under 100 s of waiting it loses,
+        # past 100 s it overtakes every such newcomer.
+        young = s.rank([self.job("f", priority=1, submitted_at=50.0), old], now=50.0)
+        starved = s.rank([self.job("f", priority=1, submitted_at=150.0), old], now=150.0)
+        assert young[0].key == "f"
+        assert starved[0].key == "old"
+
+    def test_tie_break_is_deterministic(self):
+        s = Scheduler()
+        a, b = self.job("a"), self.job("b")
+        assert [j.key for j in s.rank([b, a], now=100.0)] == ["a", "b"]
+
+    def test_queue_leases_in_scheduler_order(self, tmp_path):
+        q = JobQueue(tmp_path / "q.sqlite")
+        submit(q, "bulk")
+        submit(q, "urgent", priority=9)
+        keys = [j.key for j in q.lease("w1", limit=2, scheduler=Scheduler())]
+        assert keys == ["urgent", "bulk"]
+
+
+# ----------------------------------------------------------------------
+class TestSpecRoundTrip:
+    def test_plain_spec(self):
+        s = spec(strategy="TP", use_smt=False, workload_params={"cg_iters": 7})
+        assert ExperimentSpec.from_dict(s.to_dict()) == s
+
+    def test_noise_and_adaptive_survive(self):
+        from repro.harness.adaptive import AdaptivePolicy
+
+        s = spec(adaptive=AdaptivePolicy(target_rel_hw=0.05))
+        revived = ExperimentSpec.from_dict(s.to_dict())
+        assert revived.adaptive == s.adaptive
+        from repro.noise import parse_noise_spec
+
+        stack = NoiseStack(
+            [parse_noise_spec("hpas.membw:start=0,duration=0.1,bandwidth_gbs=5")]
+        )
+        assert NoiseStack.from_dict(stack.to_dict()).kinds() == stack.kinds()
+
+
+# ----------------------------------------------------------------------
+def _hammer(root, specs_json, stats_path, salt):
+    """Child-process body: run every spec against the shared store."""
+    store = SharedResultStore(Path(root))
+    specs = [ExperimentSpec.from_dict(d) for d in json.loads(specs_json)]
+    # Deterministically different orders per process: more collisions.
+    specs = specs[salt:] + specs[:salt]
+    means = {}
+    for s in specs:
+        means[s.label() + f"/{s.seed}"] = float(store.get_or_run(s).mean).hex()
+    st = store.stats()
+    Path(stats_path).write_text(
+        json.dumps({"stats": st, "means": means})
+    )
+
+
+class TestSharedResultStore:
+    def test_second_read_is_a_hit(self, tmp_path):
+        store = SharedResultStore(tmp_path)
+        first = store.get_or_run(spec())
+        again = store.get_or_run(spec())
+        assert (first.times == again.times).all()
+        assert store.stats()["hits"] == 1
+
+    def test_matches_plain_result_cache_bytes(self, tmp_path):
+        plain = ResultCache(tmp_path / "plain").get_or_run(spec())
+        shared = SharedResultStore(tmp_path / "shared").get_or_run(spec())
+        assert [t.hex() for t in plain.times] == [t.hex() for t in shared.times]
+
+    def test_two_processes_never_resimulate(self, tmp_path):
+        specs = [spec(seed=s) for s in range(6)]
+        specs_json = json.dumps([s.to_dict() for s in specs])
+        ctx = multiprocessing.get_context("spawn")
+        procs = []
+        for salt in (0, 3):
+            stats_path = tmp_path / f"stats{salt}.json"
+            p = ctx.Process(
+                target=_hammer,
+                args=(str(tmp_path / "store"), specs_json, str(stats_path), salt),
+            )
+            p.start()
+            procs.append((p, stats_path))
+        for p, _ in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        reports = [json.loads(path.read_text()) for _, path in procs]
+        # Every key was simulated exactly once across both processes:
+        # a process's own simulations are its misses not served under
+        # the per-key lock.
+        sims = sum(
+            r["stats"]["misses"] - r["stats"]["shared_hits"] for r in reports
+        )
+        assert sims == len(specs)
+        # ... and both observed bit-identical results for every cell.
+        assert reports[0]["means"] == reports[1]["means"]
+
+
+# ----------------------------------------------------------------------
+class TestServiceEndToEnd:
+    def parts(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        return queue, store, ServiceClient(queue, store, poll_s=0.01)
+
+    def drain(self, queue, store, **kw):
+        kw.setdefault("poll_s", 0.01)
+        return Worker(queue, store, **kw).run(drain=True)
+
+    def test_submit_drain_collect(self, tmp_path):
+        queue, store, client = self.parts(tmp_path)
+        key = client.submit(spec())
+        assert queue.counts()["queued"] == 1
+        assert self.drain(queue, store) == 1
+        rs = client.run_cell(spec())
+        assert client.stats()["store_served"] == 1
+        golden = ResultCache(tmp_path / "golden").get_or_run(spec())
+        assert [t.hex() for t in rs.times] == [t.hex() for t in golden.times]
+        assert queue.job(key).status == "done"
+
+    def test_failed_job_surfaces_error(self, tmp_path):
+        queue, store, client = self.parts(tmp_path)
+        bad = spec(platform="no-such-platform")
+        key = client.submit(bad, max_attempts=1)
+        self.drain(queue, store)
+        assert queue.job(key).status == "failed"
+        with pytest.raises(RuntimeError, match="without a store entry"):
+            client._collect_one(key, bad)
+
+    def test_sweep_renders_identically_to_in_process(self, tmp_path):
+        queue, store, client = self.parts(tmp_path)
+        base = spec(reps=3, seed=9)
+        sweep_id = client.submit_sweep(
+            base, strategy=("Rm", "TP"), model=("omp", "sycl")
+        )
+        self.drain(queue, store)
+        service_render = client.collect_sweep(sweep_id).render()
+        in_process = sweep(
+            base,
+            cache=ResultCache(tmp_path / "golden"),
+            strategy=("Rm", "TP"),
+            model=("omp", "sycl"),
+        ).render()
+        assert service_render == in_process
+
+    def test_sweep_helper_routes_through_service(self, tmp_path):
+        queue, store, client = self.parts(tmp_path)
+        worker = Worker(queue, store, poll_s=0.01)
+        import threading
+
+        t = threading.Thread(target=worker.run, kwargs={"drain": False})
+        t.start()
+        try:
+            result = sweep(spec(reps=2), service=client, model=("omp", "sycl"))
+        finally:
+            worker.stop()
+            t.join(timeout=30)
+        assert len(result) == 2
+        golden = sweep(
+            spec(reps=2), cache=ResultCache(tmp_path / "golden"), model=("omp", "sycl")
+        )
+        assert result.render() == golden.render()
+
+    def test_second_client_is_fully_store_served(self, tmp_path):
+        queue, store, client1 = self.parts(tmp_path)
+        base = spec(reps=2, seed=7)
+        client1.submit_sweep(base, seed=tuple(range(10)), title="grid")
+        self.drain(queue, store)
+        engine_runs_before = self._engine_runs(tmp_path / "store")
+        client2 = ServiceClient(queue, SharedResultStore(tmp_path / "store"))
+        sweep_id = client2.submit_sweep(base, seed=tuple(range(10)), title="grid")
+        stats = client2.stats()
+        # >= 90% of the resubmitted grid never re-queued; here: all of it.
+        assert stats["deduplicated"] == 10 and stats["submitted"] == 0
+        client2.collect_sweep(sweep_id)
+        # ... and nothing was re-simulated to serve the second client.
+        assert self._engine_runs(tmp_path / "store") == engine_runs_before
+
+    @staticmethod
+    def _engine_runs(store_root):
+        """Number of entry files = simulations that actually ran."""
+        return len(list(Path(store_root).glob("*.json")))
+
+    def test_campaign_seam_renders_identically(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BASELINE_REPS", "3")
+        from repro.harness import campaigns
+
+        queue, store, client = self.parts(tmp_path)
+        worker = Worker(queue, store, poll_s=0.01)
+        import threading
+
+        t = threading.Thread(target=worker.run, kwargs={"drain": False})
+        t.start()
+        try:
+            via_service = campaigns.table2(
+                campaigns.default_settings(service=client),
+                platforms=("intel-9700kf",),
+                workloads=("nbody",),
+            ).render()
+        finally:
+            worker.stop()
+            t.join(timeout=60)
+        in_process = campaigns.table2(
+            campaigns.default_settings(cache=ResultCache(tmp_path / "golden")),
+            platforms=("intel-9700kf",),
+            workloads=("nbody",),
+        ).render()
+        assert via_service == in_process
+
+
+# ----------------------------------------------------------------------
+_KILLABLE_WORKER = textwrap.dedent(
+    """
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, {src!r})
+    from repro.service import JobQueue, SharedResultStore, Worker
+    worker = Worker(
+        JobQueue(Path({queue!r})),
+        SharedResultStore(Path({store!r})),
+        worker_id="victim",
+        lease_s=1.0,
+        poll_s=0.02,
+    )
+    worker.run(drain=True)
+    """
+)
+
+
+class TestKilledWorker:
+    def test_sigkill_mid_lease_then_bit_identical_rerun(self, tmp_path):
+        """The acceptance scenario: SIGKILL a worker mid-job, let the
+        lease expire, drain with a second worker, and require the sweep
+        to be byte-identical to a never-interrupted in-process run."""
+        queue = JobQueue(tmp_path / "queue.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        client = ServiceClient(queue, store, poll_s=0.01)
+        base = spec(
+            workload="minife", workload_params={"cg_iters": 40}, reps=16, seed=3
+        )
+        sweep_id = client.submit_sweep(base, model=("omp", "sycl"))
+
+        script = _KILLABLE_WORKER.format(
+            src=SRC,
+            queue=str(tmp_path / "queue.sqlite"),
+            store=str(tmp_path / "store"),
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script])
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if queue.jobs("leased"):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("victim worker never leased a job")
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        leased = queue.jobs("leased")
+        assert leased, "job should still look leased right after the kill"
+        interrupted_key = leased[0].key
+
+        # The second worker has to wait out the orphaned lease, then
+        # re-runs the job from its original seeds.
+        Worker(queue, store, worker_id="rescuer", poll_s=0.05).run(drain=True)
+        assert queue.counts()["failed"] == 0
+        assert queue.job(interrupted_key).status == "done"
+        assert queue.job(interrupted_key).attempts == 2
+
+        service_render = client.collect_sweep(sweep_id).render()
+        in_process = sweep(
+            base,
+            cache=ResultCache(tmp_path / "golden"),
+            model=("omp", "sycl"),
+        ).render()
+        assert service_render == in_process

@@ -124,15 +124,54 @@ class TestEquivalence:
         assert serial.anomalies == via_shm.anomalies
         np.testing.assert_array_equal(serial.times, via_shm.times)
 
-    def test_on_run_falls_back_to_pickle(self):
-        """Trace delivery (need_runs) keeps the classic pickle path —
-        Run objects are not bulk scalars — and still works."""
+    def test_on_run_rides_trace_segments(self):
+        """Trace delivery (need_runs) rides shm too: scalars in the
+        dispatch block, trace columns in per-chunk segments."""
         s = spec(reps=4)
         seen = []
         rs, stats = run_with("auto", s, on_run=lambda i, r: seen.append(i))
         assert seen == [0, 1, 2, 3]
-        assert stats["shm_chunks"] == 0 and stats["pickle_chunks"] > 0
+        assert stats["shm_chunks"] > 0 and stats["shm_trace_chunks"] > 0
+        assert stats["pickle_chunks"] == 0
         assert len(rs.times) == 4
+
+    def test_traces_bitwise_identical_across_transports(self):
+        """Rebuilt-from-shm traces equal serial and pickled ones down to
+        the last bit of every column — the stable (start, cpu) re-sort
+        in Trace.__init__ is order-preserving on sorted input."""
+        s = spec(workload="schedbench", reps=4, seed=5, tracing=True)
+
+        def collect(executor):
+            runs = {}
+            result = run_experiment(s, executor=executor, on_run=lambda i, r: runs.__setitem__(i, r))
+            return result, runs
+
+        serial, serial_runs = collect(SerialExecutor())
+        ex = ParallelExecutor(2, transport="auto")
+        try:
+            via_shm, shm_runs = collect(ex)
+            stats = ex.stats()
+        finally:
+            ex.close()
+        assert stats["shm_trace_chunks"] > 0
+        assert serial_runs.keys() == shm_runs.keys()
+        for i, ref in serial_runs.items():
+            got = shm_runs[i]
+            assert got.exec_time.hex() == ref.exec_time.hex()
+            assert got.anomaly == ref.anomaly
+            assert got.migrations == ref.migrations
+            assert got.preemptions == ref.preemptions
+            assert got.meta == ref.meta
+            if ref.trace is None:
+                assert got.trace is None
+                continue
+            for col in ("cpus", "etypes", "source_ids", "starts", "durations"):
+                np.testing.assert_array_equal(
+                    getattr(got.trace, col), getattr(ref.trace, col)
+                )
+            assert got.trace.sources == ref.trace.sources
+            assert got.trace.exec_time.hex() == ref.trace.exec_time.hex()
+            assert got.trace.meta == ref.trace.meta
 
     def test_skip_policy_failures_cross_the_wire(self, monkeypatch):
         """Contained failures (NaN time + FailureRecord) are pickled
@@ -200,6 +239,33 @@ class TestLeaks:
                 policy=FaultPolicy(on_failure="skip", max_retries=0, backoff_base=0.0),
             )
             assert ex.stats()["degraded"]
+        finally:
+            ex.close()
+        assert shm_segments() == before
+
+    def test_trace_run_leaves_nothing(self):
+        """need_runs dispatches create per-chunk trace segments; all of
+        them are gone after the run."""
+        before = shm_segments()
+        _, stats = run_with(
+            "auto", spec(workload="schedbench", reps=6, tracing=True), on_run=lambda i, r: None
+        )
+        assert stats["shm_trace_chunks"] > 0
+        assert shm_segments() == before
+
+    def test_trace_run_chunk_failure_leaves_nothing(self, monkeypatch):
+        """A chunk that dies before (or while) writing its trace segment
+        must not orphan it — the parent registered the name up front."""
+        before = shm_segments()
+        monkeypatch.setenv("REPRO_CHAOS", "raise!:13:1.0")
+        ex = ParallelExecutor(2, transport="auto")
+        try:
+            run_experiment(
+                spec(reps=6, tracing=True),
+                executor=ex,
+                on_run=lambda i, r: None,
+                policy=FaultPolicy(on_failure="skip", max_retries=0, backoff_base=0.0),
+            )
         finally:
             ex.close()
         assert shm_segments() == before

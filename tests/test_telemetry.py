@@ -184,6 +184,7 @@ class TestStatsShapes:
             "rep_retries": 0,
             "rep_failures": 0,
             "shm_chunks": 0,
+            "shm_trace_chunks": 0,
             "pickle_chunks": 0,
             "degraded": False,
         }
@@ -212,7 +213,7 @@ class TestStatsShapes:
         ex = SerialExecutor()
         policy = FaultPolicy(on_failure="retry", max_retries=2, backoff_base=0.0)
 
-        import repro.harness.executor as executor_mod
+        import repro.harness.chunkrunner as executor_mod
 
         original = executor_mod._execute_rep
 

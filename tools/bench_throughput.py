@@ -34,6 +34,14 @@ Scenarios::
     adaptive   a64fx/minife           — the sim-bound cell under a ±5 %
                                         adaptive-CI stop rule; reports
                                         reps actually run per cell
+    service    a64fx/minife           — the sim-bound cell submitted to
+                                        the campaign service (durable
+                                        queue + lease worker + shared
+                                        store) and drained inline; the
+                                        number is end-to-end including
+                                        the queue/lease/store tax, and
+                                        bit-identity to serial is a
+                                        hard failure
 
 Usage::
 
@@ -97,6 +105,9 @@ SCENARIOS = {
         "reps": 24,
         "mode": "batched",
         "jobs": 2,
+        # every probed width lands in the JSON record's "points"; the
+        # regression gate compares only the canonical "jobs" width
+        "probe_jobs": [1, 2, 4],
     },
     # The sim-bound cell under CI-driven early stopping: reps/sec here
     # counts reps *actually run*; the interesting number is
@@ -108,6 +119,18 @@ SCENARIOS = {
         "reps": 40,
         "mode": "adaptive",
         "adaptive": {"target_rel_hw": 0.05, "min_reps": 8, "batch": 8, "n_boot": 300},
+    },
+    # The sim-bound cell through the whole campaign service: submit to
+    # a fresh durable queue, lease + execute with an inline worker,
+    # publish to the shared store, read back.  Measures the service tax
+    # over a plain serial run (each timing repeat uses a fresh queue and
+    # store so nothing is served from cache).
+    "service": {
+        "platform": "a64fx",
+        "workload": "minife",
+        "workload_params": {"cg_iters": 40},
+        "reps": 12,
+        "mode": "service",
     },
 }
 
@@ -172,6 +195,42 @@ def bench(spec: ExperimentSpec, executor, repeats: int) -> tuple[float, np.ndarr
         elapsed = time.perf_counter() - t0
         best = max(best, len(rs.times) / elapsed)
         times = rs.times
+    return best, times
+
+
+def bench_service(spec: ExperimentSpec, repeats: int) -> tuple[float, np.ndarray]:
+    """Best-of-``repeats`` end-to-end service runs/sec and the result.
+
+    Each repeat gets a fresh queue database and store directory, so the
+    measured time is always submit → lease → execute → publish → read
+    back, never a cache hit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import JobQueue, ServiceClient, SharedResultStore, Worker
+
+    best = 0.0
+    times = None
+    for _ in range(repeats):
+        tmp = Path(tempfile.mkdtemp(prefix="bench_service_"))
+        try:
+            queue = JobQueue(tmp / "queue.sqlite")
+            store = SharedResultStore(tmp / "store")
+            client = ServiceClient(queue, store)
+            t0 = time.perf_counter()
+            client.submit(spec)
+            Worker(
+                queue, store, executor=SerialExecutor(), poll_s=0.01
+            ).run(drain=True)
+            rs = store.load_for(spec)
+            elapsed = time.perf_counter() - t0
+            if rs is None:
+                raise RuntimeError("service run left no store entry")
+            best = max(best, len(rs.times) / elapsed)
+            times = rs.times
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
     return best, times
 
 
@@ -268,20 +327,41 @@ def main(argv=None) -> int:
 
     tb = TableBuilder(["backend", "runs/sec", "speedup", "bit-identical"])
     tb.add_row("serial", f"{serial_rps:.1f}", "1.00x", "-")
+    points = []
     if mode == "batched":
         # The scenario's measured number *is* the batched parallel path;
-        # bit-identity to serial stays a hard failure.
-        with ParallelExecutor(pool_jobs) as ex:
-            measured_rps, times = bench(spec, ex, args.repeats)
-            stats = ex.stats()
-        transport = "shm" if stats["shm_chunks"] > 0 else "pickle"
+        # bit-identity to serial stays a hard failure.  Every width in
+        # probe_jobs is measured and recorded; the canonical "jobs"
+        # width feeds the regression gate.
+        for jobs in scenario.get("probe_jobs", [pool_jobs]):
+            with ParallelExecutor(jobs) as ex:
+                rps, times = bench(spec, ex, args.repeats)
+                stats = ex.stats()
+            width_transport = "shm" if stats["shm_chunks"] > 0 else "pickle"
+            identical = bool((times == reference).all())
+            tb.add_row(
+                f"batched jobs={jobs} ({width_transport})",
+                f"{rps:.1f}", f"{rps / serial_rps:.2f}x", str(identical),
+            )
+            if not identical:
+                print("FATAL: batched results diverged from serial", file=sys.stderr)
+                return 1
+            points.append({"jobs": jobs, "reps_per_sec": round(rps, 4)})
+            if jobs == pool_jobs:
+                measured_rps = rps
+                transport = width_transport
+    elif mode == "service":
+        # End-to-end through the durable queue + lease worker + shared
+        # store; the gap to serial is the service tax per cell.
+        measured_rps, times = bench_service(spec, args.repeats)
+        transport = "service"
         identical = bool((times == reference).all())
         tb.add_row(
-            f"batched jobs={pool_jobs} ({transport})",
+            "service (queue+worker+store)",
             f"{measured_rps:.1f}", f"{measured_rps / serial_rps:.2f}x", str(identical),
         )
         if not identical:
-            print("FATAL: batched results diverged from serial", file=sys.stderr)
+            print("FATAL: service results diverged from serial", file=sys.stderr)
             return 1
     elif not args.serial_only:
         for jobs in args.jobs:
@@ -319,6 +399,7 @@ def main(argv=None) -> int:
             "mode": mode,
             "jobs": pool_jobs if mode == "batched" else 1,
             "transport": transport,
+            "host_cpus": os.cpu_count(),
             "mean_reps_per_cell": round(mean_reps_per_cell, 2),
             "reps_per_sec": round(measured_rps, 4),
             "calibration_mops": round(calib, 4),
@@ -326,6 +407,8 @@ def main(argv=None) -> int:
             "git_rev": git_rev(),
             "telemetry": telemetry_snapshot(spec),
         }
+        if points:
+            record["points"] = points
     if args.json:
         out = Path(args.json)
         out.parent.mkdir(parents=True, exist_ok=True)

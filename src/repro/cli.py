@@ -13,9 +13,10 @@ Subcommands mirror the paper's workflow:
 * ``campaign``  — run whole artefact campaigns with a checkpoint
   journal and ``--resume``;
 * ``service``   — the campaign service: ``start`` a lease-based worker,
-  ``submit`` cells or whole sweeps to its durable queue, ``status`` /
-  ``watch`` progress, ``drain`` the queue and exit (see
-  docs/campaign_service.md);
+  ``submit`` cells or whole sweeps to its durable queue (``--shard``
+  splits big cells into chunk sub-jobs), ``status`` / ``watch``
+  progress, ``drain`` the queue and exit, ``prune`` old finished job
+  rows (see docs/campaign_service.md);
 * ``platforms`` — list platform presets;
 * ``noise``     — list registered noise sources and their parameters;
 * ``telemetry`` — summarize or re-export a telemetry log collected with
@@ -383,6 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--priority", type=int, default=0, help="scheduler priority (higher first)"
     )
     sp.add_argument("--title", default=None, help="sweep title used when rendering")
+    sp.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="REPS",
+        help="shard threshold: cells with more reps are split into chunk "
+        "sub-jobs of at most REPS reps each, so several workers run one "
+        "cell concurrently (default: $REPRO_SHARD_REPS, 0 disables; "
+        "results are bit-identical either way)",
+    )
 
     sp = svc.add_parser("status", help="queue counts, sweeps, and store stats")
     _add_service_args(sp)
@@ -404,6 +415,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_args(sp)
     _add_exec_args(sp)
     _add_fault_args(sp)
+    sp.add_argument(
+        "--keep-finished",
+        action="store_true",
+        help="skip the automatic prune of finished job rows older than "
+        "the retention window after draining",
+    )
+
+    sp = svc.add_parser(
+        "prune",
+        help="delete done/failed job rows older than the retention window "
+        "(results are unaffected: they live in the store)",
+    )
+    _add_service_args(sp)
+    sp.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="retention window (default: $REPRO_PRUNE_S or 7 days; 0 "
+        "prunes every finished row)",
+    )
 
     p = sub.add_parser("analyze", help="analyse a saved trace JSON")
     p.add_argument("trace", help="trace JSON from `repro-noise trace`")
@@ -778,6 +810,14 @@ def _cmd_service(args) -> int:
             done = -1
             print(f"{worker.worker_id}: interrupted")
         print(f"{worker.worker_id}: {worker.stats()}")
+        if (
+            args.action == "drain"
+            and done >= 0
+            and not getattr(args, "keep_finished", False)
+        ):
+            pruned = queue.prune()
+            if pruned:
+                print(f"pruned {pruned} finished job row(s) past retention")
         return 0 if done >= 0 else 130
 
     if args.action == "submit":
@@ -791,17 +831,29 @@ def _cmd_service(args) -> int:
         axes = dict(_sweep_axis(text) for text in args.sweep)
         if axes:
             sweep_id = client.submit_sweep(
-                spec, noise=noise, priority=args.priority, title=args.title, **axes
+                spec,
+                noise=noise,
+                priority=args.priority,
+                title=args.title,
+                shard=args.shard,
+                **axes,
             )
             record = queue.sweep(sweep_id)
+            stats = client.stats()
+            sharded = f", {stats['sharded']} sharded" if stats["sharded"] else ""
             print(
                 f"sweep {sweep_id}: {len(record['keys'])} cells queued "
-                f"({client.stats()['deduplicated']} already known)"
+                f"({stats['deduplicated']} already known{sharded})"
             )
             print(f"collect with: repro-noise service watch --sweep-id {sweep_id}")
         else:
-            key = client.submit(spec, noise=noise, priority=args.priority)
-            print(f"queued {spec.label()} as {key}")
+            key = client.submit(spec, noise=noise, priority=args.priority, shard=args.shard)
+            job = queue.job(key)
+            if job is not None and job.status == "sharded":
+                n = len(queue.children(key))
+                print(f"queued {spec.label()} as {key} ({n} chunk sub-jobs)")
+            else:
+                print(f"queued {spec.label()} as {key}")
         return 0
 
     if args.action == "status":
@@ -809,19 +861,29 @@ def _cmd_service(args) -> int:
         jobs = status["jobs"]
         print(
             f"queue {queue.path}: "
-            + ", ".join(f"{jobs[k]} {k}" for k in ("queued", "leased", "done", "failed"))
+            + ", ".join(
+                f"{jobs[k]} {k}"
+                for k in ("queued", "leased", "sharded", "done", "failed")
+            )
         )
         for sw in status["sweeps"]:
             title = f" ({sw['title']})" if sw["title"] else ""
+            sharded = f", {sw['sharded']} sharded" if sw.get("sharded") else ""
             print(
                 f"  sweep {sw['id']}{title}: {sw['done']}/{sw['cells']} done, "
-                f"{sw['leased']} leased, {sw['failed']} failed"
+                f"{sw['leased']} leased{sharded}, {sw['failed']} failed"
             )
         st = status["store"]
         print(
             f"store {store.root}: {st['hits']} hits, {st['misses']} misses, "
-            f"{st['shared_hits']} shared hits, {st['lock_waits']} lock waits"
+            f"{st['shared_hits']} shared hits, {st['lock_waits']} lock waits, "
+            f"{st['chunk_merges']} chunk merges"
         )
+        return 0
+
+    if args.action == "prune":
+        pruned = queue.prune(args.older_than)
+        print(f"pruned {pruned} finished job row(s) from {queue.path}")
         return 0
 
     # watch

@@ -167,6 +167,13 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def entry_path(self, key: str) -> Path:
+        """Where ``key``'s primary envelope lives (exists only after a
+        store).  Public so byte-level comparisons — the service's
+        sharded-merge tests, CI's bit-identity diffs — can address the
+        exact artefact instead of reconstructing the layout."""
+        return self._path(key)
+
     def has_entry(self, key: str) -> bool:
         """Whether a (possibly stale/torn) entry exists for ``key``."""
         return self.enabled and self._path(key).exists()

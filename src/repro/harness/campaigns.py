@@ -130,6 +130,12 @@ class CampaignSettings:
     #: the same content-hash keyspace.  Tables render identically either
     #: way — results always come back through the store envelope.
     service: Optional[object] = None
+    #: shard threshold for service-routed cells: a cell with more reps
+    #: than this submits as chunk sub-jobs several workers can run
+    #: concurrently (``None`` defers to the client's own threshold /
+    #: ``REPRO_SHARD_REPS``; ignored without a ``service``).  Sharding
+    #: never changes results — rep seeding is positional.
+    shard: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.harness.executor import get_executor
@@ -224,7 +230,7 @@ class CampaignSettings:
             raise TypeError(
                 f"submit_or_run via a service does not accept: {sorted(kwargs)}"
             )
-        return self.service.run_cell(spec, noise=noise)
+        return self.service.run_cell(spec, noise=noise, shard=self.shard)
 
 
 def _traced_cell(fn):

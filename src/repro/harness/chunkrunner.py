@@ -55,7 +55,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.noise.base import NoiseStack
     from repro.sim.machine import RunResult
 
-__all__ = ["RepResult", "ChunkRunner", "DEFAULT_RUNNER", "rep_seed", "resolved_context"]
+__all__ = [
+    "RepResult",
+    "ChunkRunner",
+    "DEFAULT_RUNNER",
+    "rep_seed",
+    "resolved_context",
+    "shard_ranges",
+]
 
 _log = logging.getLogger(__name__)
 
@@ -68,6 +75,22 @@ def rep_seed(seed: int, index: int) -> np.random.SeedSequence:
     workers can reseed any rep without materialising the full spawn.
     """
     return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+def shard_ranges(reps: int, shard: int) -> list[range]:
+    """Deterministic rep-slice boundaries for sharding a cell.
+
+    Exactly the :func:`~repro.harness.executor.chunk_range` partition
+    with an explicit chunk size — fixed ``shard``-rep slices in index
+    order — so a cell split across service workers is carved the same
+    way an in-process executor would carve it, and any transport can
+    recompute the boundaries from ``(reps, shard)`` alone.
+    """
+    from repro.harness.executor import chunk_range
+
+    if reps < 1:
+        raise ValueError(f"shard_ranges needs reps >= 1, got {reps}")
+    return chunk_range(range(reps), 1, chunk_size=shard)
 
 
 # ----------------------------------------------------------------------

@@ -78,6 +78,7 @@ def sweep(
     policy: Optional["FaultPolicy"] = None,
     adaptive: Optional["AdaptivePolicy"] = None,
     service=None,
+    shard: Optional[int] = None,
     **axes: Sequence,
 ) -> SweepResult:
     """Run the cartesian grid of ``axes`` values over ``base``.
@@ -95,7 +96,10 @@ def sweep(
     queued up front so workers pipeline across cells, then the table
     is collected from the shared store.  The result is bit-identical
     to the in-process path — same enumeration order, same content
-    keys, same envelope round-trip.
+    keys, same envelope round-trip.  ``shard`` (service path only)
+    additionally splits cells above the threshold into chunk sub-jobs
+    so several workers chew one cell concurrently — still
+    bit-identical, because rep seeding is positional.
 
     ``policy`` contains per-point rep failures
     (:class:`~repro.harness.faults.FaultPolicy`); under ``skip`` a grid
@@ -122,7 +126,7 @@ def sweep(
     if noise is None:
         noise = noise_config
     if service is not None:
-        return service.run_sweep(base, noise=noise, **axes)
+        return service.run_sweep(base, noise=noise, shard=shard, **axes)
     cache = cache if cache is not None else ResultCache()
     names = tuple(axes)
     combos = list(itertools.product(*(axes[n] for n in names)))

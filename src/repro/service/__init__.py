@@ -24,14 +24,21 @@ service many clients can share:
   seeding is content-derived, never worker-derived).
 * :class:`~repro.service.client.ServiceClient` — the submit/poll front
   end behind ``repro-noise service`` and the campaign
-  ``submit_or_run`` seam.
+  ``submit_or_run`` seam; a shard threshold splits big cells into
+  chunk sub-jobs so several workers chew one cell concurrently.
+* :class:`~repro.service.notify.NotifyChannel` — fifo-based wakeups
+  (submit → idle workers, complete → waiting clients) that collapse
+  the poll-interval queue tax; waiters keep polling as a fallback, so
+  a lost wakeup costs latency, never correctness.
 
 Bit-identity is the design constraint throughout: a sweep drained
-through the service — including after a mid-lease worker kill —
-renders byte-identical to the same sweep run in-process.
+through the service — including after a mid-lease worker kill, and
+including cells sharded across several workers — renders
+byte-identical to the same sweep run in-process.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.notify import NotifyChannel, Subscription, notify_enabled
 from repro.service.queue import Job, JobQueue
 from repro.service.scheduler import Scheduler, SchedulerWeights
 from repro.service.store import SharedResultStore
@@ -40,6 +47,9 @@ from repro.service.worker import Worker
 __all__ = [
     "Job",
     "JobQueue",
+    "NotifyChannel",
+    "Subscription",
+    "notify_enabled",
     "Scheduler",
     "SchedulerWeights",
     "SharedResultStore",

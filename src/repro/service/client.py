@@ -13,6 +13,17 @@ the envelope is exact, and tables render byte-identically.
 Sweeps submit every grid point up front (workers pipeline across
 cells) and are recorded in the queue as ordered key lists, so any
 client can later collect a sweep it did not submit.
+
+A **shard threshold** (``shard=`` per call, per client, or
+``REPRO_SHARD_REPS``) splits big cells into chunk sub-jobs at submit:
+a cell with more reps than the threshold is queued as a ``sharded``
+parent plus one leasable chunk per deterministic ``chunk_range`` slice,
+so several workers chew one cell concurrently.  Sharding never changes
+bytes — it only changes *which process* runs which rep indices, and
+rep seeding is positional.  Adaptive-rep cells are never sharded (their
+batch loop is inherently sequential).  Waiting is event-driven: the
+client parks on the queue's complete notify channel instead of
+sleeping the full poll interval between drain checks.
 """
 
 from __future__ import annotations
@@ -26,8 +37,8 @@ import time
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro import telemetry as _telemetry
-from repro.harness.chunkrunner import resolved_context
-from repro.harness.experiment import ExperimentSpec, ResultSet
+from repro.harness.chunkrunner import resolved_context, shard_ranges
+from repro.harness.experiment import ExperimentSpec, ResultSet, env_int
 from repro.service.queue import DEFAULT_MAX_ATTEMPTS, JobQueue
 from repro.service.store import SharedResultStore
 
@@ -41,7 +52,13 @@ _log = logging.getLogger(__name__)
 
 
 class ServiceClient:
-    """Submit/poll/collect front end over a queue + shared store."""
+    """Submit/poll/collect front end over a queue + shared store.
+
+    ``shard`` is the client's default shard threshold: cells with more
+    reps than this are split into chunk sub-jobs of at most ``shard``
+    reps each.  ``None`` reads ``REPRO_SHARD_REPS`` (0, the default,
+    disables sharding).
+    """
 
     def __init__(
         self,
@@ -49,18 +66,27 @@ class ServiceClient:
         store: Optional[SharedResultStore] = None,
         client_id: Optional[str] = None,
         poll_s: float = 0.2,
+        shard: Optional[int] = None,
     ):
         self.queue = queue
         self.store = store if store is not None else SharedResultStore()
         self.client_id = client_id or f"client-{os.getpid()}"
         self.poll_s = poll_s
+        self.shard = shard if shard is not None else env_int("REPRO_SHARD_REPS", 0)
         self._counters = _telemetry.new_group("service_client")
 
     def stats(self) -> dict:
         counts = self._counters.as_dict()
         return {
             key: int(counts.get(key, 0))
-            for key in ("submitted", "deduplicated", "store_served")
+            for key in (
+                "submitted",
+                "sharded",
+                "deduplicated",
+                "store_served",
+                "client_merges",
+                "notify_wakes",
+            )
         }
 
     # ------------------------------------------------------------------
@@ -83,25 +109,65 @@ class ServiceClient:
             )
             return 0.0
 
+    def _shard_threshold(self, shard: Optional[int]) -> int:
+        threshold = self.shard if shard is None else shard
+        return max(0, int(threshold or 0))
+
     def submit(
         self,
         spec: ExperimentSpec,
         noise: "NoiseLike" = None,
         priority: int = 0,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        shard: Optional[int] = None,
     ) -> str:
         """Queue one cell; returns its content-hash key.
 
         Idempotent across clients: if the key is already queued,
-        leased, or done, the existing job is shared (counted as
-        ``deduplicated``).  The job record carries the rep-resolved
+        leased, sharded, or done, the existing job is shared (counted
+        as ``deduplicated``).  The job record carries the rep-resolved
         spec, so the executing worker computes the identical key.
+
+        ``shard`` (default: the client threshold) splits a cell with
+        more reps than the threshold into chunk sub-jobs of at most
+        that many reps each; cells the store can already serve, and
+        adaptive-rep cells (their batch loop is sequential by
+        construction), always submit whole.
         """
         spec, stack, key = self.store.resolve_cell(spec, noise)
+        threshold = self._shard_threshold(shard)
+        noise_payload = stack.to_dict() if stack is not None else None
+        if (
+            threshold > 0
+            and spec.reps > threshold
+            and spec.adaptive is None
+            and self.store.enabled
+            and not self.store.has_entry(key)
+        ):
+            chunks = [
+                (r.start, r.stop) for r in shard_ranges(spec.reps, threshold)
+            ]
+            created = self.queue.submit_sharded(
+                key,
+                spec=spec.to_dict(),
+                noise=noise_payload,
+                label=spec.label(),
+                chunks=chunks,
+                priority=priority,
+                expected_s=self._expected_s(spec),
+                max_attempts=max_attempts,
+                client=self.client_id,
+            )
+            if created:
+                self._counters.inc("submitted")
+                self._counters.inc("sharded")
+            else:
+                self._counters.inc("deduplicated")
+            return key
         created = self.queue.submit(
             key,
             spec=spec.to_dict(),
-            noise=stack.to_dict() if stack is not None else None,
+            noise=noise_payload,
             label=spec.label(),
             priority=priority,
             expected_s=self._expected_s(spec),
@@ -118,24 +184,53 @@ class ServiceClient:
         noise: "NoiseLike" = None,
         priority: int = 0,
         timeout: Optional[float] = None,
+        shard: Optional[int] = None,
     ) -> ResultSet:
         """The ``submit_or_run`` backend: store-serve or submit-and-wait.
 
         A cell the store can already serve never touches the queue
         (zero re-simulation for duplicate submissions); anything else
-        is queued and awaited.  Requires at least one worker draining
-        the queue, or ``timeout`` to bound the wait.
+        is queued — sharded when over the threshold — and awaited.
+        Requires at least one worker draining the queue, or ``timeout``
+        to bound the wait.
         """
         spec, stack, key = self.store.resolve_cell(spec, noise)
         rs = self.store.load_entry(key, spec)
         if rs is not None:
             self._counters.inc("store_served")
             return rs
-        self.submit(spec, noise=stack, priority=priority)
+        self.submit(spec, noise=stack, priority=priority, shard=shard)
         self.wait([key], timeout=timeout)
-        return self._collect_one(key, spec)
+        return self._collect_one(key, spec, stack)
 
-    def _collect_one(self, key: str, spec: ExperimentSpec) -> ResultSet:
+    def _ensure_merged(self, key: str, spec: ExperimentSpec, stack) -> None:
+        """Client-side merge fallback for sharded cells.
+
+        The last-finishing worker normally merges; but if every chunk is
+        done and the envelope still is not there (merging worker died
+        between ``complete_chunk`` and the merge, say), *whoever
+        collects* can assemble it — the chunk entries are all the merge
+        needs, and the per-key flock arbitrates a race with a
+        simultaneously recovering worker.
+        """
+        if self.store.has_entry(key):
+            return
+        job = self.queue.job(key)
+        if job is None or job.status != "sharded":
+            return
+        children = self.queue.children(key)
+        if not children or any(c.status != "done" for c in children):
+            return
+        self.store.merge_chunks(
+            spec, stack, key, [(c.chunk_start, c.chunk_stop) for c in children]
+        )
+        self.queue.finalize_parent(key)
+        self._counters.inc("client_merges")
+
+    def _collect_one(
+        self, key: str, spec: ExperimentSpec, stack=None
+    ) -> ResultSet:
+        self._ensure_merged(key, spec, stack)
         rs = self.store.load_entry(key, spec)
         if rs is not None:
             return rs
@@ -152,6 +247,7 @@ class ServiceClient:
         noise: "NoiseLike" = None,
         priority: int = 0,
         title: Optional[str] = None,
+        shard: Optional[int] = None,
         **axes: Sequence,
     ) -> str:
         """Queue a whole grid up front; returns the sweep id.
@@ -187,7 +283,9 @@ class ServiceClient:
         with _telemetry.span("service_sweep", axes=",".join(names), id=sweep_id):
             for combo in itertools.product(*(axes[name] for name in names)):
                 spec = base.with_(**dict(zip(names, combo)))
-                keys.append(self.submit(spec, noise=stack, priority=priority))
+                keys.append(
+                    self.submit(spec, noise=stack, priority=priority, shard=shard)
+                )
         self.queue.record_sweep(
             sweep_id, definition, keys, title=title, client=self.client_id
         )
@@ -217,7 +315,7 @@ class ServiceClient:
             spec = base.with_(**dict(zip(names, combo)))
             spec, stack, key = self.store.resolve_cell(spec, _revive_noise(noise))
             points.append(combo)
-            results.append(self._collect_one(key, spec))
+            results.append(self._collect_one(key, spec, stack))
         return SweepResult(axes=names, points=points, results=results)
 
     def run_sweep(
@@ -227,11 +325,12 @@ class ServiceClient:
         priority: int = 0,
         timeout: Optional[float] = None,
         title: Optional[str] = None,
+        shard: Optional[int] = None,
         **axes: Sequence,
     ) -> "SweepResult":
         """Submit a sweep, wait for it to drain, and collect it."""
         sweep_id = self.submit_sweep(
-            base, noise=noise, priority=priority, title=title, **axes
+            base, noise=noise, priority=priority, title=title, shard=shard, **axes
         )
         keys = self.queue.sweep(sweep_id)["keys"]
         self.wait(keys, timeout=timeout)
@@ -242,15 +341,32 @@ class ServiceClient:
         self, keys: Optional[Sequence[str]] = None, timeout: Optional[float] = None
     ) -> None:
         """Block until the given keys (default: everything) are neither
-        queued nor leased.  Raises ``TimeoutError`` on expiry."""
+        queued nor leased.  Raises ``TimeoutError`` on expiry.
+
+        Event-driven: subscribes to the queue's complete notify channel
+        *before* the first drain check (no lost-wakeup window) and
+        parks there between checks, with ``poll_s`` as the fallback
+        timeout — so completion latency is set by the channel, not the
+        poll interval, yet a lost notification only costs one period.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
-        while not self.queue.drained(keys):
-            if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"queue did not drain within {timeout:.1f}s "
-                    f"(status: {self.queue.counts()})"
-                )
-            time.sleep(self.poll_s)
+        subscription = self.queue.notify_complete.subscribe(
+            probe=self.queue.data_version
+        )
+        try:
+            while not self.queue.drained(keys):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"queue did not drain within {timeout:.1f}s "
+                        f"(status: {self.queue.counts()})"
+                    )
+                remaining = self.poll_s
+                if deadline is not None:
+                    remaining = min(remaining, max(0.0, deadline - time.monotonic()))
+                if subscription.wait(remaining):
+                    self._counters.inc("notify_wakes")
+        finally:
+            subscription.close()
 
     def status(self) -> dict:
         """Queue counts, per-sweep progress, and store statistics."""
@@ -258,7 +374,7 @@ class ServiceClient:
         sweeps = []
         for sweep_id in self.queue.sweep_ids():
             record = self.queue.sweep(sweep_id)
-            states = {"queued": 0, "leased": 0, "done": 0, "failed": 0}
+            states = dict.fromkeys(("queued", "leased", "sharded", "done", "failed"), 0)
             for key in record["keys"]:
                 job = self.queue.job(key)
                 if job is not None:

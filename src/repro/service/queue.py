@@ -14,6 +14,18 @@ Lease lifecycle::
       |                 \--fail(terminal)------> failed
       \--(lease expiry, attempts left)----------/
 
+Cells whose rep count exceeds the client's shard threshold are split
+into **chunk sub-jobs** (:meth:`JobQueue.submit_sharded`): a *parent*
+row in status ``sharded`` plus one child row per deterministic
+``chunk_range`` slice, each an ordinary leasable job any worker can
+claim.  Children complete via :meth:`JobQueue.complete_chunk`, which
+reports — inside the same transaction — whether that completion was
+the *last* one, so exactly one worker merges the per-rep chunk arrays
+back into the parent's envelope and :meth:`finalize_parent`\ s the
+parent to ``done``.  A terminal chunk failure fails the parent and its
+still-queued siblings; a SIGKILLed worker's chunk leases expire and
+re-lease like any other job.
+
 A worker renews its lease while running; a worker that dies silently
 (SIGKILL, OOM) simply stops renewing, and the next ``lease()`` call
 sweeps its expired jobs back to ``queued`` — or to ``failed`` once the
@@ -23,26 +35,51 @@ hold a job at a time.
 
 Durability follows the journal's conventions: WAL mode, a generous
 busy timeout, and every state change committed before the call
-returns.  The queue file can be inspected with any sqlite3 client.
+returns.  On top of SQLite's own busy timeout, every write transaction
+retries a bounded number of times with seeded jittered backoff when the
+database is locked (counted as ``busy_retries`` in telemetry), so a
+fleet of workers hammering one queue file degrades to waiting, never to
+erroring.  The queue file can be inspected with any sqlite3 client.
+
+State changes broadcast on two :class:`~repro.service.notify.NotifyChannel`\ s
+(``<queue>.notify/submit`` wakes idle workers, ``<queue>.notify/complete``
+wakes waiting clients); delivery is best-effort — waiters re-check on
+wake and keep their poll interval as a timeout, so a lost wakeup costs
+latency, never correctness.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import sqlite3
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-__all__ = ["Job", "JobQueue", "DEFAULT_MAX_ATTEMPTS", "DEFAULT_LEASE_S"]
+from repro import telemetry as _telemetry
+from repro.service.notify import NotifyChannel
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_LEASE_S",
+    "DEFAULT_RETENTION_S",
+]
 
 #: lease dispatches (not rep retries) a job gets before it is failed
 DEFAULT_MAX_ATTEMPTS = 3
 #: seconds a lease lives without renewal
 DEFAULT_LEASE_S = 60.0
+#: default retention of finished (done/failed) job rows for prune()
+DEFAULT_RETENTION_S = 7 * 86400.0
+#: bounded retries of a write transaction on SQLITE_BUSY, on top of the
+#: connection's own 30s busy timeout
+_BUSY_RETRIES = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -62,9 +99,13 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_expires REAL,
     started_at    REAL,
     finished_at   REAL,
-    error         TEXT
+    error         TEXT,
+    parent        TEXT,
+    chunk_start   INTEGER,
+    chunk_stop    INTEGER
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
+CREATE INDEX IF NOT EXISTS idx_jobs_parent ON jobs(parent);
 CREATE TABLE IF NOT EXISTS sweeps (
     id            TEXT PRIMARY KEY,
     title         TEXT,
@@ -80,10 +121,24 @@ CREATE TABLE IF NOT EXISTS sweep_jobs (
 );
 """
 
+#: columns added after the first released schema; applied by ALTER
+#: TABLE when an older queue file is opened
+_MIGRATIONS = (
+    ("parent", "TEXT"),
+    ("chunk_start", "INTEGER"),
+    ("chunk_stop", "INTEGER"),
+)
+
+_STATUSES = ("queued", "leased", "sharded", "done", "failed")
+
+
+def _chunk_key(key: str, start: int, stop: int) -> str:
+    return f"{key}:{start}-{stop}"
+
 
 @dataclass
 class Job:
-    """One queued cell, as handed to a worker or a status listing."""
+    """One queued cell (or chunk sub-job), as handed to a worker."""
 
     key: str
     spec: dict
@@ -99,6 +154,18 @@ class Job:
     lease_owner: Optional[str] = None
     lease_expires: Optional[float] = None
     error: Optional[str] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: parent cell key when this row is a chunk sub-job; ``None`` for
+    #: whole-cell jobs and for parent rows themselves
+    parent: Optional[str] = None
+    #: rep-index slice ``[chunk_start, chunk_stop)`` for chunk sub-jobs
+    chunk_start: Optional[int] = None
+    chunk_stop: Optional[int] = None
+    #: sibling chunks already leased or done, filled in by ``lease()``
+    #: for the scheduler's finish-in-flight-cells-first bonus (never
+    #: persisted — it is a property of the queue snapshot, not the job)
+    siblings_active: int = field(default=0, compare=False)
 
     @classmethod
     def from_row(cls, row: sqlite3.Row) -> "Job":
@@ -117,6 +184,11 @@ class Job:
             lease_owner=row["lease_owner"],
             lease_expires=row["lease_expires"],
             error=row["error"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            parent=row["parent"],
+            chunk_start=row["chunk_start"],
+            chunk_stop=row["chunk_stop"],
         )
 
 
@@ -126,22 +198,52 @@ class JobQueue:
     Every instance owns one connection (serialised by an internal
     lock); cross-process consistency comes from SQLite itself — WAL
     mode plus ``BEGIN IMMEDIATE`` write transactions, with a busy
-    timeout that rides out lock contention instead of erroring.
+    timeout that rides out lock contention instead of erroring, and a
+    bounded seeded-backoff retry above that for the pathological case
+    where the timeout itself expires under a worker stampede.
     """
 
-    def __init__(self, path: os.PathLike | str):
+    def __init__(
+        self,
+        path: os.PathLike | str,
+        busy_timeout_s: float = 30.0,
+        busy_retries: int = _BUSY_RETRIES,
+    ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.busy_retries = busy_retries
         self._lock = threading.Lock()
+        self._counters = _telemetry.get_group("service_queue")
+        # Deterministic per-instance backoff jitter: seeded from the
+        # queue path and pid so two workers of one stampede desynchronise
+        # the same way on every run.
+        self._busy_rng = random.Random(f"{self.path}:{os.getpid()}")
         self._conn = sqlite3.connect(
-            self.path, timeout=30.0, check_same_thread=False, isolation_level=None
+            self.path,
+            timeout=busy_timeout_s,
+            check_same_thread=False,
+            isolation_level=None,
         )
         self._conn.row_factory = sqlite3.Row
         with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_s * 1000)}")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            self._migrate()
+        notify_root = self.path.parent / f"{self.path.name}.notify"
+        #: wakes idle workers: fired whenever a row becomes leasable
+        self.notify_submit = NotifyChannel(notify_root / "submit")
+        #: wakes waiting clients: fired whenever a row leaves the
+        #: pending (queued/leased) set
+        self.notify_complete = NotifyChannel(notify_root / "complete")
+
+    def _migrate(self) -> None:
+        """Add post-v1 columns to queue files created before them."""
+        cols = {r["name"] for r in self._conn.execute("PRAGMA table_info(jobs)")}
+        for name, decl in _MIGRATIONS:
+            if name not in cols:
+                self._conn.execute(f"ALTER TABLE jobs ADD COLUMN {name} {decl}")
 
     def close(self) -> None:
         with self._lock:
@@ -152,6 +254,63 @@ class JobQueue:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # write-transaction plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_busy(exc: BaseException) -> bool:
+        if not isinstance(exc, sqlite3.OperationalError):
+            return False
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _busy_backoff(self, attempt: int) -> float:
+        """Jittered exponential backoff, deterministic per instance."""
+        base = 0.005 * (2 ** (attempt - 1))
+        return min(0.25, base * (0.5 + 0.5 * self._busy_rng.random()))
+
+    def _write_txn(self, body: Callable[[sqlite3.Connection], object]):
+        """Run ``body(conn)`` inside ``BEGIN IMMEDIATE``, retrying the
+        whole transaction (bounded, seeded backoff) when SQLite reports
+        the database busy/locked despite the connection's own timeout.
+        ``body`` must be a pure function of the connection state — it
+        re-reads whatever it needs on every attempt."""
+        attempt = 0
+        while True:
+            try:
+                with self._lock:
+                    self._conn.execute("BEGIN IMMEDIATE")
+                    try:
+                        out = body(self._conn)
+                        self._conn.execute("COMMIT")
+                        return out
+                    except BaseException:
+                        try:
+                            self._conn.execute("ROLLBACK")
+                        except sqlite3.OperationalError:
+                            pass  # BEGIN itself failed: no txn to roll back
+                        raise
+            except sqlite3.OperationalError as exc:
+                if not self._is_busy(exc) or attempt >= self.busy_retries:
+                    raise
+                attempt += 1
+                self._counters.inc("busy_retries")
+                time.sleep(self._busy_backoff(attempt))
+
+    def stats(self) -> dict:
+        """Queue-level telemetry counters (shared registry view)."""
+        counts = self._counters.as_dict()
+        return {
+            key: int(counts.get(key, 0))
+            for key in ("busy_retries", "pruned", "expired_requeues")
+        }
+
+    def data_version(self) -> int:
+        """SQLite's change counter for *other* connections' commits —
+        the notify channels' poll-fallback probe."""
+        with self._lock:
+            return int(self._conn.execute("PRAGMA data_version").fetchone()[0])
 
     # ------------------------------------------------------------------
     # submission
@@ -171,43 +330,137 @@ class JobQueue:
         """Enqueue one cell; returns ``True`` if a new job was created.
 
         Idempotent by key: re-submitting an existing queued / leased /
-        done job is a no-op (the caller shares the existing job's
-        fate), while re-submitting a *failed* job revives it with a
-        fresh attempt budget.
+        sharded / done job is a no-op (the caller shares the existing
+        job's fate), while re-submitting a *failed* job revives it with
+        a fresh attempt budget (stale chunk children of a previously
+        sharded attempt are dropped).
         """
         now = time.time()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                cur = self._conn.execute(
-                    """INSERT INTO jobs (key, spec, noise, label, priority, expected_s,
-                                         cached, max_attempts, submitted_at, client)
-                       VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                       ON CONFLICT(key) DO UPDATE SET
-                           status = 'queued', attempts = 0, error = NULL,
-                           lease_owner = NULL, lease_expires = NULL,
-                           submitted_at = excluded.submitted_at,
-                           priority = excluded.priority,
-                           max_attempts = excluded.max_attempts
-                       WHERE jobs.status = 'failed'""",
+
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
+                """INSERT INTO jobs (key, spec, noise, label, priority, expected_s,
+                                     cached, max_attempts, submitted_at, client)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                   ON CONFLICT(key) DO UPDATE SET
+                       status = 'queued', attempts = 0, error = NULL,
+                       lease_owner = NULL, lease_expires = NULL,
+                       submitted_at = excluded.submitted_at,
+                       priority = excluded.priority,
+                       max_attempts = excluded.max_attempts
+                   WHERE jobs.status = 'failed'""",
+                (
+                    key,
+                    json.dumps(spec, sort_keys=True),
+                    json.dumps(noise, sort_keys=True) if noise is not None else None,
+                    label,
+                    priority,
+                    expected_s,
+                    int(cached),
+                    max_attempts,
+                    now,
+                    client,
+                ),
+            )
+            if cur.rowcount > 0:
+                # Revived after a failed *sharded* attempt: the cell now
+                # runs whole, so its stale chunk children must not linger
+                # as leasable work.
+                conn.execute("DELETE FROM jobs WHERE parent = ?", (key,))
+            return cur.rowcount > 0
+
+        created = self._write_txn(body)
+        if created:
+            self.notify_submit.notify()
+        return created
+
+    def submit_sharded(
+        self,
+        key: str,
+        spec: dict,
+        noise: Optional[dict],
+        label: str,
+        chunks: Sequence[tuple[int, int]],
+        priority: int = 0,
+        expected_s: float = 0.0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        client: Optional[str] = None,
+    ) -> bool:
+        """Enqueue one cell as a ``sharded`` parent plus one leasable
+        chunk sub-job per ``(start, stop)`` rep slice.
+
+        ``chunks`` must partition ``range(reps)`` in order — the caller
+        derives them from the deterministic ``chunk_range`` boundaries.
+        Idempotency matches :meth:`submit`: an existing non-failed job
+        under ``key`` wins (returns ``False``); a failed one is revived
+        as a fresh sharded attempt with fresh children.  Parent rows are
+        never leasable (status ``sharded``); they hold the cell's spec
+        and collect the merge. ``expected_s`` is the *whole cell's*
+        estimate; children get the rep-proportional slice of it so the
+        scheduler compares shards and whole cells on one scale.
+        """
+        if not chunks:
+            raise ValueError("submit_sharded needs at least one chunk")
+        spans = [(int(start), int(stop)) for start, stop in chunks]
+        total = sum(stop - start for start, stop in spans)
+        if total <= 0 or any(stop <= start for start, stop in spans):
+            raise ValueError(f"degenerate chunk spans: {spans}")
+        now = time.time()
+        spec_json = json.dumps(spec, sort_keys=True)
+        noise_json = json.dumps(noise, sort_keys=True) if noise is not None else None
+
+        def body(conn: sqlite3.Connection) -> bool:
+            row = conn.execute(
+                "SELECT status FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+            if row is not None and row["status"] != "failed":
+                return False
+            conn.execute("DELETE FROM jobs WHERE parent = ?", (key,))
+            if row is None:
+                conn.execute(
+                    """INSERT INTO jobs (key, spec, noise, label, status, priority,
+                                         expected_s, max_attempts, submitted_at, client)
+                       VALUES (?, ?, ?, ?, 'sharded', ?, ?, ?, ?, ?)""",
+                    (key, spec_json, noise_json, label, priority, expected_s,
+                     max_attempts, now, client),
+                )
+            else:
+                conn.execute(
+                    """UPDATE jobs SET status = 'sharded', attempts = 0, error = NULL,
+                           lease_owner = NULL, lease_expires = NULL, finished_at = NULL,
+                           submitted_at = ?, priority = ?, expected_s = ?,
+                           max_attempts = ? WHERE key = ?""",
+                    (now, priority, expected_s, max_attempts, key),
+                )
+            conn.executemany(
+                """INSERT INTO jobs (key, spec, noise, label, priority, expected_s,
+                                     max_attempts, submitted_at, client,
+                                     parent, chunk_start, chunk_stop)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                [
                     (
-                        key,
-                        json.dumps(spec, sort_keys=True),
-                        json.dumps(noise, sort_keys=True) if noise is not None else None,
-                        label,
+                        _chunk_key(key, start, stop),
+                        spec_json,
+                        noise_json,
+                        f"{label}[{start}:{stop}]",
                         priority,
-                        expected_s,
-                        int(cached),
+                        expected_s * (stop - start) / total,
                         max_attempts,
                         now,
                         client,
-                    ),
-                )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-        return cur.rowcount > 0
+                        key,
+                        start,
+                        stop,
+                    )
+                    for start, stop in spans
+                ],
+            )
+            return True
+
+        created = self._write_txn(body)
+        if created:
+            self.notify_submit.notify()
+        return created
 
     def record_sweep(
         self,
@@ -219,53 +472,72 @@ class JobQueue:
     ) -> None:
         """Register a sweep as an ordered key list over existing jobs."""
         now = time.time()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO sweeps (id, title, definition, submitted_at, client)"
-                    " VALUES (?, ?, ?, ?, ?)",
-                    (sweep_id, title, json.dumps(definition, sort_keys=True), now, client),
-                )
-                self._conn.execute("DELETE FROM sweep_jobs WHERE sweep_id = ?", (sweep_id,))
-                self._conn.executemany(
-                    "INSERT INTO sweep_jobs (sweep_id, position, key) VALUES (?, ?, ?)",
-                    [(sweep_id, i, k) for i, k in enumerate(keys)],
-                )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+
+        def body(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "INSERT OR REPLACE INTO sweeps (id, title, definition, submitted_at, client)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (sweep_id, title, json.dumps(definition, sort_keys=True), now, client),
+            )
+            conn.execute("DELETE FROM sweep_jobs WHERE sweep_id = ?", (sweep_id,))
+            conn.executemany(
+                "INSERT INTO sweep_jobs (sweep_id, position, key) VALUES (?, ?, ?)",
+                [(sweep_id, i, k) for i, k in enumerate(keys)],
+            )
+
+        self._write_txn(body)
 
     # ------------------------------------------------------------------
     # lease lifecycle
     # ------------------------------------------------------------------
-    def _expire_stale(self, now: float) -> None:
+    def _expire_stale(self, conn: sqlite3.Connection, now: float) -> int:
         """Sweep expired leases back to queued (or failed). Caller holds
-        the transaction."""
-        rows = self._conn.execute(
-            "SELECT key, attempts, max_attempts, lease_owner FROM jobs"
+        the transaction.  Returns how many became leasable again."""
+        rows = conn.execute(
+            "SELECT key, attempts, max_attempts, lease_owner, parent FROM jobs"
             " WHERE status = 'leased' AND lease_expires < ?",
             (now,),
         ).fetchall()
+        requeued = 0
         for row in rows:
             if row["attempts"] >= row["max_attempts"]:
-                self._conn.execute(
+                error = (
+                    f"lease expired after {row['attempts']} attempt(s); "
+                    f"last owner {row['lease_owner']}"
+                )
+                conn.execute(
                     "UPDATE jobs SET status = 'failed', finished_at = ?,"
                     " error = ? WHERE key = ?",
-                    (
-                        now,
-                        f"lease expired after {row['attempts']} attempt(s); "
-                        f"last owner {row['lease_owner']}",
-                        row["key"],
-                    ),
+                    (now, error, row["key"]),
                 )
+                if row["parent"] is not None:
+                    self._fail_parent_of(conn, row["parent"], row["key"], error, now)
             else:
-                self._conn.execute(
+                conn.execute(
                     "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
                     " lease_expires = NULL WHERE key = ?",
                     (row["key"],),
                 )
+                requeued += 1
+        return requeued
+
+    @staticmethod
+    def _fail_parent_of(
+        conn: sqlite3.Connection, parent: str, chunk_key: str, error: str, now: float
+    ) -> None:
+        """A chunk failed terminally: fail its parent cell and every
+        still-queued sibling (leased siblings finish harmlessly — their
+        chunk entries are ignored once the parent is failed)."""
+        conn.execute(
+            "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
+            " WHERE key = ? AND status = 'sharded'",
+            (now, f"chunk {chunk_key} failed: {error}", parent),
+        )
+        conn.execute(
+            "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
+            " WHERE parent = ? AND status = 'queued'",
+            (now, f"sibling chunk of {parent} failed", parent),
+        )
 
     def lease(
         self,
@@ -280,91 +552,248 @@ class JobQueue:
         claimable here without any separate reaper process.  Candidate
         order is the :class:`~repro.service.scheduler.Scheduler`'s
         ranking when one is supplied, else FIFO by submission time
-        (deterministically tie-broken by key either way).
+        (deterministically tie-broken by key either way).  Chunk
+        sub-jobs carry ``siblings_active`` (leased + done siblings) so
+        the scheduler can prefer finishing in-flight cells.
         """
         now = time.time()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                self._expire_stale(now)
-                rows = self._conn.execute(
-                    "SELECT * FROM jobs WHERE status = 'queued'"
-                    " ORDER BY submitted_at, key"
-                ).fetchall()
-                jobs = [Job.from_row(r) for r in rows]
-                if scheduler is not None:
-                    jobs = scheduler.rank(jobs, now)
-                claimed = jobs[: max(0, limit)]
-                for job in claimed:
-                    self._conn.execute(
-                        "UPDATE jobs SET status = 'leased', lease_owner = ?,"
-                        " lease_expires = ?, attempts = attempts + 1,"
-                        " started_at = COALESCE(started_at, ?) WHERE key = ?",
-                        (owner, now + lease_s, now, job.key),
+
+        def body(conn: sqlite3.Connection):
+            requeued = self._expire_stale(conn, now)
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE status = 'queued'"
+                " ORDER BY submitted_at, key"
+            ).fetchall()
+            jobs = [Job.from_row(r) for r in rows]
+            if any(job.parent is not None for job in jobs):
+                progress = {
+                    r["parent"]: r["n"]
+                    for r in conn.execute(
+                        "SELECT parent, COUNT(*) AS n FROM jobs"
+                        " WHERE parent IS NOT NULL AND status IN ('leased', 'done')"
+                        " GROUP BY parent"
                     )
-                    job.status = "leased"
-                    job.lease_owner = owner
-                    job.lease_expires = now + lease_s
-                    job.attempts += 1
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+                }
+                for job in jobs:
+                    if job.parent is not None:
+                        job.siblings_active = progress.get(job.parent, 0)
+            if scheduler is not None:
+                jobs = scheduler.rank(jobs, now)
+            claimed = jobs[: max(0, limit)]
+            for job in claimed:
+                conn.execute(
+                    "UPDATE jobs SET status = 'leased', lease_owner = ?,"
+                    " lease_expires = ?, attempts = attempts + 1,"
+                    " started_at = COALESCE(started_at, ?) WHERE key = ?",
+                    (owner, now + lease_s, now, job.key),
+                )
+                job.status = "leased"
+                job.lease_owner = owner
+                job.lease_expires = now + lease_s
+                job.attempts += 1
+            return claimed, requeued
+
+        claimed, requeued = self._write_txn(body)
+        if requeued:
+            self._counters.inc("expired_requeues", requeued)
+            self.notify_submit.notify()
         return claimed
 
     def renew(self, key: str, owner: str, lease_s: float = DEFAULT_LEASE_S) -> bool:
         """Extend ``owner``'s lease; ``False`` if the lease was lost."""
         now = time.time()
-        with self._lock:
-            cur = self._conn.execute(
+
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
                 "UPDATE jobs SET lease_expires = ? WHERE key = ? AND"
                 " status = 'leased' AND lease_owner = ?",
                 (now + lease_s, key, owner),
             )
-        return cur.rowcount > 0
+            return cur.rowcount > 0
+
+        return self._write_txn(body)
 
     def complete(self, key: str, owner: str) -> bool:
         """Mark ``owner``'s leased job done; ``False`` if lease was lost."""
-        with self._lock:
-            cur = self._conn.execute(
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
                 "UPDATE jobs SET status = 'done', finished_at = ?, error = NULL"
                 " WHERE key = ? AND status = 'leased' AND lease_owner = ?",
-                (time.time(), key, owner),
+                (now, key, owner),
             )
-        return cur.rowcount > 0
+            return cur.rowcount > 0
+
+        done = self._write_txn(body)
+        if done:
+            self.notify_complete.notify()
+        return done
+
+    def complete_chunk(self, key: str, owner: str) -> tuple[bool, Optional[str]]:
+        """Mark ``owner``'s leased chunk done; returns ``(last, parent)``.
+
+        ``last`` is ``True`` iff this completion left the parent in
+        status ``sharded`` with zero unfinished children — decided
+        inside the write transaction, so under any interleaving exactly
+        one completer observes it and performs the merge.  A lost lease
+        returns ``(False, None)``; the re-leased twin will store the
+        identical chunk bytes anyway.
+        """
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> tuple[bool, Optional[str]]:
+            row = conn.execute(
+                "SELECT parent FROM jobs WHERE key = ? AND status = 'leased'"
+                " AND lease_owner = ?",
+                (key, owner),
+            ).fetchone()
+            if row is None or row["parent"] is None:
+                return False, None
+            conn.execute(
+                "UPDATE jobs SET status = 'done', finished_at = ?, error = NULL"
+                " WHERE key = ?",
+                (now, key),
+            )
+            parent = row["parent"]
+            prow = conn.execute(
+                "SELECT status FROM jobs WHERE key = ?", (parent,)
+            ).fetchone()
+            remaining = conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE parent = ? AND status != 'done'",
+                (parent,),
+            ).fetchone()["n"]
+            last = prow is not None and prow["status"] == "sharded" and remaining == 0
+            return last, parent
+
+        last, parent = self._write_txn(body)
+        if parent is not None:
+            self.notify_complete.notify()
+        return last, parent
+
+    def finalize_parent(self, key: str) -> bool:
+        """Move a fully-merged ``sharded`` parent to ``done``."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'done', finished_at = ?, error = NULL"
+                " WHERE key = ? AND status = 'sharded'",
+                (now, key),
+            )
+            return cur.rowcount > 0
+
+        done = self._write_txn(body)
+        if done:
+            self.notify_complete.notify()
+        return done
+
+    def fail_parent(self, key: str, error: str) -> bool:
+        """Fail a ``sharded`` parent directly (merge could not complete)
+        along with its still-queued children."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
+                " WHERE key = ? AND status = 'sharded'",
+                (now, error, key),
+            )
+            if cur.rowcount:
+                conn.execute(
+                    "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
+                    " WHERE parent = ? AND status = 'queued'",
+                    (now, f"sibling merge of {key} failed", key),
+                )
+            return cur.rowcount > 0
+
+        failed = self._write_txn(body)
+        if failed:
+            self.notify_complete.notify()
+        return failed
 
     def fail(self, key: str, owner: str, error: str, retryable: bool = True) -> bool:
         """Record a failed execution: requeue if attempts remain (and the
-        failure is retryable), else fail terminally."""
+        failure is retryable), else fail terminally.  A terminal chunk
+        failure propagates to its parent cell and queued siblings."""
         now = time.time()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                row = self._conn.execute(
-                    "SELECT attempts, max_attempts FROM jobs WHERE key = ? AND"
-                    " status = 'leased' AND lease_owner = ?",
-                    (key, owner),
-                ).fetchone()
-                if row is None:
-                    self._conn.execute("ROLLBACK")
-                    return False
-                if retryable and row["attempts"] < row["max_attempts"]:
-                    self._conn.execute(
-                        "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
-                        " lease_expires = NULL, error = ? WHERE key = ?",
-                        (error, key),
-                    )
-                else:
-                    self._conn.execute(
-                        "UPDATE jobs SET status = 'failed', finished_at = ?,"
-                        " error = ? WHERE key = ?",
-                        (now, error, key),
-                    )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+
+        def body(conn: sqlite3.Connection) -> Optional[bool]:
+            row = conn.execute(
+                "SELECT attempts, max_attempts, parent FROM jobs WHERE key = ? AND"
+                " status = 'leased' AND lease_owner = ?",
+                (key, owner),
+            ).fetchone()
+            if row is None:
+                return None
+            if retryable and row["attempts"] < row["max_attempts"]:
+                conn.execute(
+                    "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
+                    " lease_expires = NULL, error = ? WHERE key = ?",
+                    (error, key),
+                )
+                return True  # requeued
+            conn.execute(
+                "UPDATE jobs SET status = 'failed', finished_at = ?,"
+                " error = ? WHERE key = ?",
+                (now, error, key),
+            )
+            if row["parent"] is not None:
+                self._fail_parent_of(conn, row["parent"], key, error, now)
+            return False  # terminal
+
+        requeued = self._write_txn(body)
+        if requeued is None:
+            return False
+        if requeued:
+            self.notify_submit.notify()
+        else:
+            self.notify_complete.notify()
         return True
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+    def prune(self, older_than_s: Optional[float] = None) -> int:
+        """Delete done/failed job rows finished before the retention
+        window; returns how many rows went.
+
+        The default window comes from ``REPRO_PRUNE_S`` (seconds; unset
+        means 7 days).  Chunk children go with their parent; a parent is
+        only pruned once none of its children are queued or leased.
+        Results are untouched — they live in the store under the same
+        key, so a pruned cell is still collectable and a re-submission
+        is served without re-simulation.  Sweep records are kept (a few
+        bytes each) so old sweeps remain renderable from the store.
+        """
+        if older_than_s is None:
+            raw = os.environ.get("REPRO_PRUNE_S", "")
+            older_than_s = float(raw) if raw else DEFAULT_RETENTION_S
+        cutoff = time.time() - max(0.0, older_than_s)
+
+        def body(conn: sqlite3.Connection) -> int:
+            keys = [
+                r["key"]
+                for r in conn.execute(
+                    "SELECT key FROM jobs j WHERE parent IS NULL"
+                    " AND status IN ('done', 'failed')"
+                    " AND COALESCE(finished_at, submitted_at) < ?"
+                    " AND NOT EXISTS (SELECT 1 FROM jobs c WHERE c.parent = j.key"
+                    "                 AND c.status IN ('queued', 'leased'))",
+                    (cutoff,),
+                )
+            ]
+            pruned = 0
+            for key in keys:
+                pruned += conn.execute(
+                    "DELETE FROM jobs WHERE key = ? OR parent = ?", (key, key)
+                ).rowcount
+            return pruned
+
+        pruned = self._write_txn(body)
+        if pruned:
+            self._counters.inc("pruned", pruned)
+        return pruned
 
     # ------------------------------------------------------------------
     # inspection
@@ -387,19 +816,28 @@ class JobQueue:
                 ).fetchall()
         return [Job.from_row(r) for r in rows]
 
+    def children(self, key: str) -> list[Job]:
+        """A sharded parent's chunk sub-jobs, in rep-index order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE parent = ? ORDER BY chunk_start", (key,)
+            ).fetchall()
+        return [Job.from_row(r) for r in rows]
+
     def counts(self) -> dict:
-        """Job counts by status (all four statuses always present)."""
+        """Job counts by status (all five statuses always present)."""
         with self._lock:
             rows = self._conn.execute(
                 "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
             ).fetchall()
-        out = {"queued": 0, "leased": 0, "done": 0, "failed": 0}
+        out = dict.fromkeys(_STATUSES, 0)
         for row in rows:
             out[row["status"]] = row["n"]
         return out
 
     def drained(self, keys: Optional[Sequence[str]] = None) -> bool:
-        """No queued or leased work left (optionally among ``keys``)."""
+        """No queued or leased work left (optionally among ``keys`` —
+        chunk sub-jobs of a listed parent count as its work)."""
         with self._lock:
             if keys is None:
                 row = self._conn.execute(
@@ -408,9 +846,10 @@ class JobQueue:
                 return row["n"] == 0
             marks = ",".join("?" for _ in keys)
             row = self._conn.execute(
-                f"SELECT COUNT(*) AS n FROM jobs WHERE key IN ({marks})"
+                f"SELECT COUNT(*) AS n FROM jobs WHERE"
+                f" (key IN ({marks}) OR parent IN ({marks}))"
                 " AND status IN ('queued', 'leased')",
-                tuple(keys),
+                tuple(keys) + tuple(keys),
             ).fetchone()
             return row["n"] == 0
 

@@ -7,6 +7,7 @@ ranking is reproducible from the queue database alone::
           + age_s    * w.aging
           - expected_s * w.runtime
           + (1 if store had the key at submit) * w.cache_hit
+          + (1 if a chunk of an in-flight cell)  * w.shard_progress
 
 * **priority** — client-assigned urgency, the dominant term;
 * **aging** — seconds since submission, so starved low-priority work
@@ -17,7 +18,12 @@ ranking is reproducible from the queue database alone::
   (aging wins eventually);
 * **cache-hit probability** — cells whose key already had a store
   entry at submit are near-free (the worker serves them from the
-  store), so they jump the queue and unblock waiting clients early.
+  store), so they jump the queue and unblock waiting clients early;
+* **shard progress** — a chunk whose sibling chunks are already leased
+  or done belongs to a cell that is *partially computed*: finishing it
+  releases a whole merged result, while starting a fresh cell merely
+  begins another.  Preferring in-flight cells bounds the number of
+  half-done parents and cuts sweep tail latency.
 
 Ties break deterministically by submission time then key, so two
 schedulers over the same snapshot produce the same order.  Scheduling
@@ -38,7 +44,7 @@ __all__ = ["Scheduler", "SchedulerWeights"]
 
 @dataclass(frozen=True)
 class SchedulerWeights:
-    """Relative weights of the four scoring terms (score units are
+    """Relative weights of the five scoring terms (score units are
     arbitrary; only differences matter)."""
 
     #: per unit of client-assigned priority
@@ -50,6 +56,12 @@ class SchedulerWeights:
     runtime: float = 10.0
     #: flat bonus for cells already present in the shared store
     cache_hit: float = 1000.0
+    #: flat bonus for chunk sub-jobs whose cell is already in flight
+    #: (some sibling chunk leased or done) — finish before starting.
+    #: Below ``cache_hit`` (store-served cells stay near-free) and above
+    #: five priority units, so only an explicitly urgent fresh cell
+    #: preempts completing a half-done one.
+    shard_progress: float = 500.0
 
 
 class Scheduler:
@@ -66,6 +78,11 @@ class Scheduler:
             + age * w.aging
             - job.expected_s * w.runtime
             + (w.cache_hit if job.cached else 0.0)
+            + (
+                w.shard_progress
+                if job.parent is not None and job.siblings_active > 0
+                else 0.0
+            )
         )
 
     def rank(self, jobs: list["Job"], now: float) -> list["Job"]:

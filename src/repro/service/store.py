@@ -20,18 +20,36 @@ reader either sees a complete envelope or nothing.
 Counters on top of the cache's: ``lock_waits`` (a miss found the key
 locked and blocked) and ``shared_hits`` (the re-check under the lock
 was served another process's result).
+
+The store is also the *assembly point for sharded cells*: workers
+publish each finished rep slice as an immutable **chunk entry**
+(``<key>.chunk-<start>-<stop>.json``, atomic rename like everything
+else), and the last finisher — or the collecting client, whoever gets
+there — merges the slices in rep-index order into the ordinary
+envelope under the parent key (:meth:`SharedResultStore.merge_chunks`,
+serialised by the same per-key flock).  The merge goes through the
+cache's own ``store_entry``, so a sharded cell's envelope is
+byte-identical to an in-process run's: JSON float round-trip is exact,
+rep *i* was seeded from its spawn key regardless of which worker ran
+it, and partial results (skip-policy failures inside a chunk)
+quarantine exactly as they would in-process.  Chunk files are deleted
+after a successful merge (``chunk_merges`` counts them).
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import time
 from contextlib import contextmanager
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.harness.cache import ResultCache
 from repro.harness.experiment import ResultSet
+from repro.harness.faults import FailureRecord, atomic_write_text
 
 try:  # POSIX only; the store degrades to lock-free elsewhere
     import fcntl
@@ -60,6 +78,7 @@ class SharedResultStore(ResultCache):
         counts = self._counters.as_dict()
         out["lock_waits"] = int(counts.get("lock_waits", 0))
         out["shared_hits"] = int(counts.get("shared_hits", 0))
+        out["chunk_merges"] = int(counts.get("chunk_merges", 0))
         return out
 
     @contextmanager
@@ -114,3 +133,123 @@ class SharedResultStore(ResultCache):
         """Lock-free read of a cell's entry (``None`` when absent)."""
         spec, _stack, key = self.resolve_cell(spec, noise)
         return self.load_entry(key, spec)
+
+    # ------------------------------------------------------------------
+    # sharded cells: chunk entries + merge
+    # ------------------------------------------------------------------
+    def chunk_path(self, key: str, start: int, stop: int):
+        """Where the ``[start, stop)`` rep slice of ``key`` lands."""
+        return self.root / f"{key}.chunk-{start}-{stop}.json"
+
+    def store_chunk(self, key: str, start: int, stop: int, results: Sequence) -> None:
+        """Publish one finished rep slice of a sharded cell (atomic).
+
+        ``results`` are :class:`~repro.harness.chunkrunner.RepResult`\\ s
+        for exactly the indices ``range(start, stop)``, in order.  The
+        slice envelope round-trips floats exactly, so the merged cell is
+        bit-identical to one computed in a single process.  Idempotent:
+        a re-leased chunk (dead worker, lost lease) rewrites identical
+        bytes.
+        """
+        indices = [r.index for r in results]
+        if indices != list(range(start, stop)):
+            raise ValueError(
+                f"chunk [{start}, {stop}) of {key} got rep indices {indices}"
+            )
+        from repro.harness.cache import _KEY_VERSION
+
+        envelope = json.dumps(
+            {
+                "key_version": _KEY_VERSION,
+                "parent": key,
+                "start": start,
+                "stop": stop,
+                "times": [r.exec_time for r in results],
+                "anomalies": [r.anomaly for r in results],
+                "failures": [
+                    r.error.to_dict() for r in results if r.error is not None
+                ],
+            }
+        )
+        if self.enabled:
+            atomic_write_text(self.chunk_path(key, start, stop), envelope)
+
+    def load_chunk(self, key: str, start: int, stop: int) -> Optional[dict]:
+        """One slice envelope, or ``None`` when absent/torn/stale."""
+        from repro.harness.cache import _KEY_VERSION
+
+        path = self.chunk_path(key, start, stop)
+        if not (self.enabled and path.exists()):
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        if (
+            data.get("key_version") != _KEY_VERSION
+            or len(data.get("times", [])) != stop - start
+        ):
+            return None
+        return data
+
+    def merge_chunks(
+        self,
+        spec,
+        stack,
+        key: str,
+        chunks: Sequence[tuple[int, int]],
+    ) -> ResultSet:
+        """Assemble a sharded cell's chunk entries into its envelope.
+
+        ``spec`` must be rep-resolved (the job rows carry it that way)
+        and ``chunks`` must partition ``range(spec.reps)``.  Runs under
+        the per-key flock with a double-check, so the last-finishing
+        worker and a collecting client can race freely: one merges, the
+        other is served.  The merged :class:`ResultSet` goes through
+        ``store_entry`` — same envelope bytes as an in-process run,
+        same ``.partial.json`` quarantine when a skip policy left
+        failed reps.  Chunk files are removed after a successful merge.
+        """
+        spans = sorted((int(a), int(b)) for a, b in chunks)
+        expected = []
+        cursor = 0
+        for start, stop in spans:
+            expected.append((cursor, start))
+            cursor = stop
+        if any(a != b for a, b in expected) or cursor != spec.reps:
+            raise ValueError(
+                f"chunks {spans} do not partition range({spec.reps}) for {key}"
+            )
+        with self._key_lock(key):
+            rs = self.load_entry(key, spec)
+            if rs is not None:
+                self._count("shared_hits")
+                return rs
+            times = np.empty(spec.reps, dtype=np.float64)
+            anomalies: list = [None] * spec.reps
+            failures: list[FailureRecord] = []
+            for start, stop in spans:
+                data = self.load_chunk(key, start, stop)
+                if data is None:
+                    raise RuntimeError(
+                        f"missing or torn chunk entry [{start}, {stop}) for {key}; "
+                        "cannot merge (the chunk job will re-run on re-lease)"
+                    )
+                times[start:stop] = data["times"]
+                anomalies[start:stop] = data["anomalies"]
+                failures.extend(
+                    FailureRecord.from_dict(f) for f in data.get("failures", [])
+                )
+            failures.sort(key=lambda f: f.index)
+            rs = ResultSet(
+                spec=spec,
+                times=times,
+                anomalies=anomalies,
+                injected=stack is not None and bool(stack),
+                failures=failures,
+            )
+            self.store_entry(key, spec, stack, rs)
+            self._count("chunk_merges")
+            for start, stop in spans:
+                self.chunk_path(key, start, stop).unlink(missing_ok=True)
+            return rs

@@ -18,6 +18,22 @@ from the store if the dead worker got far enough to publish.  The
 job's ``attempts`` field feeds the re-lease budget; rep-level retries
 inside an attempt stay governed by the fault policy, exactly as
 in-process.
+
+Two kinds of job arrive from one lease call:
+
+* **whole cells** run through ``get_or_run`` as before;
+* **chunk sub-jobs** of a sharded cell run their rep slice directly on
+  the :class:`~repro.harness.chunkrunner.ChunkRunner` (the same code a
+  pool worker runs), publish the slice as a chunk entry, and — when the
+  queue says theirs was the last slice — merge the cell and finalize
+  the parent.  Seeding is per-rep, so which worker runs which slice
+  can never show up in the bytes.
+
+When the queue is empty the worker does not spin on a poll interval:
+it blocks on the queue's submit :class:`~repro.service.notify.NotifyChannel`
+with the poll interval as a *timeout*, so submission-to-lease latency
+is microseconds with the channel live and at worst one poll period
+without it.
 """
 
 from __future__ import annotations
@@ -25,10 +41,10 @@ from __future__ import annotations
 import logging
 import os
 import threading
-import time
 from typing import Optional
 
 from repro import telemetry as _telemetry
+from repro.harness.chunkrunner import DEFAULT_RUNNER
 from repro.harness.experiment import ExperimentSpec
 from repro.noise.base import NoiseStack
 from repro.service.queue import DEFAULT_LEASE_S, Job, JobQueue
@@ -73,7 +89,16 @@ class Worker:
         counts = self._counters.as_dict()
         return {
             key: int(counts.get(key, 0))
-            for key in ("jobs_done", "jobs_failed", "lease_losses", "renewals")
+            for key in (
+                "jobs_done",
+                "jobs_failed",
+                "chunks_done",
+                "merges",
+                "lease_losses",
+                "renewals",
+                "notify_wakes",
+                "idle_waits",
+            )
         }
 
     # ------------------------------------------------------------------
@@ -140,6 +165,91 @@ class Worker:
             )
         return True
 
+    def run_chunk_job(self, job: Job) -> bool:
+        """Execute one leased chunk sub-job; returns success.
+
+        The rep slice ``[chunk_start, chunk_stop)`` runs on the shared
+        :class:`~repro.harness.chunkrunner.ChunkRunner` — bit-identical
+        to the same indices inside any in-process dispatch, because
+        each rep reseeds from its own spawn key.  The finished slice is
+        published as an immutable chunk entry; if the queue reports
+        this was the last outstanding slice, this worker merges the
+        cell into its envelope and finalizes the parent.  (A client
+        racing to collect may merge first — the per-key flock makes
+        that a no-op here.)
+        """
+        spec = ExperimentSpec.from_dict(job.spec)
+        stack = NoiseStack.from_dict(job.noise) if job.noise is not None else None
+        lost = threading.Event()
+        heartbeat = self._heartbeat(job, lost)
+        try:
+            with _telemetry.span(
+                "service_chunk",
+                key=job.key,
+                label=job.label,
+                start=job.chunk_start,
+                stop=job.chunk_stop,
+            ):
+                # A parent entry can already exist (a concurrent
+                # in-process run of the same cell); computing the slice
+                # again would be wasted, not wrong.
+                if not self.store.has_entry(job.parent):
+                    results = DEFAULT_RUNNER.run(
+                        spec,
+                        stack,
+                        range(job.chunk_start, job.chunk_stop),
+                        need_runs=False,
+                        policy=self.policy,
+                        base_attempt=job.attempts - 1,
+                    )
+                    self.store.store_chunk(
+                        job.parent, job.chunk_start, job.chunk_stop, results
+                    )
+        except Exception as exc:
+            lost.set()
+            heartbeat.join()
+            self._counters.inc("jobs_failed")
+            _log.warning(
+                "chunk %s (%s) failed in %s: %s: %s",
+                job.key,
+                job.label,
+                self.worker_id,
+                type(exc).__name__,
+                exc,
+            )
+            self.queue.fail(job.key, self.worker_id, f"{type(exc).__name__}: {exc}")
+            return False
+        lost.set()
+        heartbeat.join()
+        last, parent = self.queue.complete_chunk(job.key, self.worker_id)
+        if parent is None:
+            self._counters.inc("lease_losses")
+            _log.warning(
+                "chunk %s finished but its lease was lost; slice stored anyway",
+                job.key,
+            )
+            return True
+        self._counters.inc("chunks_done")
+        if last:
+            try:
+                chunks = [
+                    (c.chunk_start, c.chunk_stop) for c in self.queue.children(parent)
+                ]
+                self.store.merge_chunks(spec, stack, parent, chunks)
+                self.queue.finalize_parent(parent)
+                self._counters.inc("merges")
+            except Exception as exc:
+                _log.warning(
+                    "merge of sharded cell %s failed in %s: %s: %s",
+                    parent,
+                    self.worker_id,
+                    type(exc).__name__,
+                    exc,
+                )
+                self.queue.fail_parent(parent, f"merge failed: {type(exc).__name__}: {exc}")
+                return False
+        return True
+
     def run(
         self,
         drain: bool = False,
@@ -148,22 +258,40 @@ class Worker:
         """The worker loop; returns the number of jobs executed.
 
         ``drain=True`` exits once the queue has no queued or leased
-        work; otherwise the loop polls until :meth:`stop` (or
-        ``max_jobs``).
+        work; otherwise the loop runs until :meth:`stop` (or
+        ``max_jobs``).  An empty queue parks the worker on the submit
+        notify channel with ``poll_s`` as the fallback timeout —
+        ``notify_wakes`` counts event-driven wakeups, ``idle_waits``
+        the timeouts that fell back to a plain re-check.
         """
         done = 0
-        while not self._stop.is_set():
-            if max_jobs is not None and done >= max_jobs:
-                break
-            leased = self.queue.lease(
-                self.worker_id, limit=1, lease_s=self.lease_s, scheduler=self.scheduler
-            )
-            if not leased:
-                if drain and self.queue.drained():
+        subscription = self.queue.notify_submit.subscribe(
+            probe=self.queue.data_version
+        )
+        try:
+            while not self._stop.is_set():
+                if max_jobs is not None and done >= max_jobs:
                     break
-                time.sleep(self.poll_s)
-                continue
-            for job in leased:
-                self.run_job(job)
-                done += 1
+                leased = self.queue.lease(
+                    self.worker_id,
+                    limit=1,
+                    lease_s=self.lease_s,
+                    scheduler=self.scheduler,
+                )
+                if not leased:
+                    if drain and self.queue.drained():
+                        break
+                    if subscription.wait(self.poll_s):
+                        self._counters.inc("notify_wakes")
+                    else:
+                        self._counters.inc("idle_waits")
+                    continue
+                for job in leased:
+                    if job.parent is not None:
+                        self.run_chunk_job(job)
+                    else:
+                        self.run_job(job)
+                    done += 1
+        finally:
+            subscription.close()
         return done

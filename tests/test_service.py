@@ -60,7 +60,7 @@ class TestJobQueue:
     def test_submit_lease_complete(self, tmp_path):
         q = JobQueue(tmp_path / "q.sqlite")
         assert submit(q, "a") is True
-        assert q.counts() == {"queued": 1, "leased": 0, "done": 0, "failed": 0}
+        assert q.counts() == {"queued": 1, "leased": 0, "sharded": 0, "done": 0, "failed": 0}
         (job,) = q.lease("w1")
         assert job.key == "a" and job.attempts == 1 and job.spec == {"k": "a"}
         assert q.counts()["leased"] == 1
@@ -81,7 +81,7 @@ class TestJobQueue:
         q.fail(job.key, "w1", "boom", retryable=False)
         assert q.counts()["failed"] == 1
         assert submit(q, "a") is True  # revived
-        assert q.counts() == {"queued": 1, "leased": 0, "done": 0, "failed": 0}
+        assert q.counts() == {"queued": 1, "leased": 0, "sharded": 0, "done": 0, "failed": 0}
 
     def test_fail_retryable_requeues_until_attempt_cap(self, tmp_path):
         q = JobQueue(tmp_path / "q.sqlite")

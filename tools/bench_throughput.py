@@ -41,7 +41,16 @@ Scenarios::
                                         number is end-to-end including
                                         the queue/lease/store tax, and
                                         bit-identity to serial is a
-                                        hard failure
+                                        hard failure.  Also probes the
+                                        queue tax itself (submit→lease /
+                                        submit→complete from queue-row
+                                        timestamps, notify channel on vs
+                                        the poll fallback) and intra-cell
+                                        sharding (the cell split into
+                                        chunk sub-jobs drained by two
+                                        worker processes); committed
+                                        baseline:
+                                        benchmarks/out/bench_service.json
 
 Usage::
 
@@ -131,6 +140,10 @@ SCENARIOS = {
         "workload_params": {"cg_iters": 40},
         "reps": 12,
         "mode": "service",
+        # intra-cell sharding probe: the scenario cell split into
+        # shard-rep chunks drained by this many worker *processes*
+        "shard": 3,
+        "shard_workers": 2,
     },
 }
 
@@ -232,6 +245,152 @@ def bench_service(spec: ExperimentSpec, repeats: int) -> tuple[float, np.ndarray
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
     return best, times
+
+
+def bench_notify_latency(notify: bool, rounds: int = 5) -> dict:
+    """Queue-tax probe: submit→lease and submit→complete latency of a
+    tiny cell against an *idle* worker, from the queue's own row
+    timestamps (``started_at``/``finished_at`` − ``submitted_at``).
+
+    ``notify=True`` measures the fifo notify channel; ``False`` forces
+    ``REPRO_NOTIFY=0``, i.e. the poll fallback — the difference is the
+    wakeup tax the channel removes.  The cell is deliberately tiny so
+    the queue tax dominates execution time.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.service import JobQueue, ServiceClient, SharedResultStore, Worker
+
+    prev = os.environ.get("REPRO_NOTIFY")
+    os.environ["REPRO_NOTIFY"] = "1" if notify else "0"
+    tmp = Path(tempfile.mkdtemp(prefix="bench_notify_"))
+    try:
+        queue = JobQueue(tmp / "queue.sqlite")
+        store = SharedResultStore(tmp / "store")
+        client = ServiceClient(queue, store)
+        worker = Worker(queue, store, executor=SerialExecutor(), poll_s=0.5)
+        thread = threading.Thread(target=worker.run, kwargs={"drain": False})
+        thread.start()
+        lease_lat, complete_lat, collect_lat = [], [], []
+        try:
+            for i in range(rounds):
+                time.sleep(0.3)  # let the worker park idle
+                tiny = ExperimentSpec(
+                    platform="intel-9700kf",
+                    workload="nbody",
+                    reps=1,
+                    seed=9000 + i,
+                    tracing=False,
+                )
+                t0 = time.perf_counter()
+                key = client.submit(tiny)
+                client.wait([key], timeout=120)
+                collect_lat.append(time.perf_counter() - t0)
+                job = queue.job(key)
+                lease_lat.append(job.started_at - job.submitted_at)
+                complete_lat.append(job.finished_at - job.submitted_at)
+        finally:
+            worker.stop()
+            queue.notify_submit.notify()  # unpark an idle fifo wait
+            thread.join(timeout=30)
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        return {
+            "notify": notify,
+            "rounds": rounds,
+            "worker_poll_s": 0.5,
+            "submit_to_lease_s": round(mean(lease_lat), 6),
+            "submit_to_lease_min_s": round(min(lease_lat), 6),
+            "submit_to_complete_s": round(mean(complete_lat), 6),
+            "submit_to_collect_s": round(mean(collect_lat), 6),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+        if prev is None:
+            os.environ.pop("REPRO_NOTIFY", None)
+        else:
+            os.environ["REPRO_NOTIFY"] = prev
+
+
+_BENCH_WORKER = """\
+import sys
+sys.path.insert(0, {src!r})
+from pathlib import Path
+from repro.service import JobQueue, SharedResultStore, Worker
+from repro.harness.executor import SerialExecutor
+Worker(
+    JobQueue(Path({queue!r})),
+    SharedResultStore(Path({store!r})),
+    executor=SerialExecutor(),
+    poll_s=0.05,
+).run(drain=True)
+"""
+
+
+def _drain_with_processes(tmp: Path, n_workers: int) -> float:
+    """Wall seconds for ``n_workers`` subprocess workers to drain."""
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _BENCH_WORKER.format(
+                    src=str(ROOT / "src"),
+                    queue=str(tmp / "queue.sqlite"),
+                    store=str(tmp / "store"),
+                ),
+            ]
+        )
+        for _ in range(n_workers)
+    ]
+    t0 = time.perf_counter()
+    for proc in procs:
+        proc.wait(timeout=1800)
+        if proc.returncode != 0:
+            raise RuntimeError(f"bench worker exited {proc.returncode}")
+    return time.perf_counter() - t0
+
+
+def bench_shard(
+    spec: ExperimentSpec, shard: int, n_workers: int, reference: np.ndarray
+) -> dict:
+    """Intra-cell sharding probe: the scenario cell drained whole by one
+    worker process vs. sharded into ``shard``-rep chunks drained by
+    ``n_workers`` processes.  Bit-identity to the serial reference is a
+    hard failure either way."""
+    import math
+    import shutil
+    import tempfile
+
+    from repro.service import JobQueue, ServiceClient, SharedResultStore
+
+    walls = {}
+    for label, shard_arg, workers in (
+        ("whole", None, 1),
+        ("sharded", shard, n_workers),
+    ):
+        tmp = Path(tempfile.mkdtemp(prefix="bench_shard_"))
+        try:
+            queue = JobQueue(tmp / "queue.sqlite")
+            store = SharedResultStore(tmp / "store")
+            ServiceClient(queue, store).submit(spec, shard=shard_arg)
+            walls[label] = _drain_with_processes(tmp, workers)
+            rs = store.load_for(spec)
+            if rs is None:
+                raise RuntimeError(f"{label} service run left no store entry")
+            if not (rs.times == reference).all():
+                raise RuntimeError(f"{label} service results diverged from serial")
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "shard": shard,
+        "workers": n_workers,
+        "chunks": math.ceil(spec.reps / shard),
+        "whole_cell_s": round(walls["whole"], 4),
+        "sharded_s": round(walls["sharded"], 4),
+        "speedup": round(walls["whole"] / walls["sharded"], 3),
+    }
 
 
 def profile_serial(spec: ExperimentSpec, top: int) -> None:
@@ -350,7 +509,9 @@ def main(argv=None) -> int:
             if jobs == pool_jobs:
                 measured_rps = rps
                 transport = width_transport
-    elif mode == "service":
+    latency = None
+    shard_probe = None
+    if mode == "service":
         # End-to-end through the durable queue + lease worker + shared
         # store; the gap to serial is the service tax per cell.
         measured_rps, times = bench_service(spec, args.repeats)
@@ -362,6 +523,30 @@ def main(argv=None) -> int:
         )
         if not identical:
             print("FATAL: service results diverged from serial", file=sys.stderr)
+            return 1
+        # Queue-tax probes: event-driven wakeups vs the poll fallback,
+        # and the scenario cell sharded across worker processes.
+        latency = {
+            "notify": bench_notify_latency(notify=True),
+            "poll": bench_notify_latency(notify=False),
+        }
+        if latency["notify"]["submit_to_complete_s"] >= latency["poll"]["submit_to_complete_s"]:
+            print(
+                "WARNING: notify channel did not beat the poll fallback "
+                f"({latency['notify']['submit_to_complete_s']*1e3:.1f} ms vs "
+                f"{latency['poll']['submit_to_complete_s']*1e3:.1f} ms) — "
+                "noisy host?",
+                file=sys.stderr,
+            )
+        try:
+            shard_probe = bench_shard(
+                spec,
+                shard=scenario.get("shard", 3),
+                n_workers=scenario.get("shard_workers", 2),
+                reference=reference,
+            )
+        except RuntimeError as exc:
+            print(f"FATAL: {exc}", file=sys.stderr)
             return 1
     elif not args.serial_only:
         for jobs in args.jobs:
@@ -383,6 +568,22 @@ def main(argv=None) -> int:
         text += (
             f"\nadaptive stop rule ran {mean_reps_per_cell:.0f}/{spec.reps} reps "
             f"(reps/sec above counts reps actually run)"
+        )
+    if latency is not None:
+        text += (
+            "\nqueue tax (idle worker, tiny cell, queue-row timestamps):"
+            f"\n  notify on:  submit->lease {latency['notify']['submit_to_lease_s']*1e3:7.2f} ms, "
+            f"submit->complete {latency['notify']['submit_to_complete_s']*1e3:7.2f} ms"
+            f"\n  notify off: submit->lease {latency['poll']['submit_to_lease_s']*1e3:7.2f} ms, "
+            f"submit->complete {latency['poll']['submit_to_complete_s']*1e3:7.2f} ms"
+        )
+    if shard_probe is not None:
+        text += (
+            f"\nsharding: {shard_probe['chunks']} chunks x {shard_probe['shard']} reps "
+            f"across {shard_probe['workers']} worker processes: "
+            f"{shard_probe['whole_cell_s']:.2f}s whole -> "
+            f"{shard_probe['sharded_s']:.2f}s sharded "
+            f"({shard_probe['speedup']:.2f}x, bit-identical)"
         )
     print(text)
 
@@ -409,6 +610,10 @@ def main(argv=None) -> int:
         }
         if points:
             record["points"] = points
+        if latency is not None:
+            record["latency"] = latency
+        if shard_probe is not None:
+            record["shard"] = shard_probe
     if args.json:
         out = Path(args.json)
         out.parent.mkdir(parents=True, exist_ok=True)

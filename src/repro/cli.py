@@ -12,11 +12,14 @@ Subcommands mirror the paper's workflow:
 * ``figure``    — regenerate a paper figure (1–2);
 * ``campaign``  — run whole artefact campaigns with a checkpoint
   journal and ``--resume``;
-* ``service``   — the campaign service: ``start`` a lease-based worker,
-  ``submit`` cells or whole sweeps to its durable queue (``--shard``
-  splits big cells into chunk sub-jobs), ``status`` / ``watch``
-  progress, ``drain`` the queue and exit, ``prune`` old finished job
-  rows (see docs/campaign_service.md);
+* ``service``   — the campaign service: ``start`` a lease-based worker
+  (or a supervised fleet with ``--workers N --supervise``), ``submit``
+  cells or whole sweeps to its durable queue (``--shard`` splits big
+  cells into chunk sub-jobs), ``status`` / ``watch`` progress (worker
+  liveness included), ``drain`` the queue and exit, ``prune`` old
+  finished job rows, ``dlq`` to inspect/revive quarantined poison
+  jobs, ``fsck`` to cross-check queue↔store invariants and re-queue
+  lost work (see docs/campaign_service.md);
 * ``platforms`` — list platform presets;
 * ``noise``     — list registered noise sources and their parameters;
 * ``telemetry`` — summarize or re-export a telemetry log collected with
@@ -367,6 +370,28 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument(
         "--worker-id", default=None, help="worker name (default: worker-<pid>)"
     )
+    sp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --supervise: size of the supervised worker fleet",
+    )
+    sp.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run a supervisor instead of a worker: spawn N worker "
+        "processes, restart crashes with seeded backoff (crash loops are "
+        "parked), release dead workers' leases immediately, drain "
+        "gracefully on SIGTERM (second signal = fail-fast)",
+    )
+    sp.add_argument(
+        "--supervisor-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed of the supervisor's restart-backoff schedule",
+    )
 
     sp = svc.add_parser("submit", help="queue one cell, or a sweep grid")
     _add_service_args(sp)
@@ -435,6 +460,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="retention window (default: $REPRO_PRUNE_S or 7 days; 0 "
         "prunes every finished row)",
+    )
+
+    sp = svc.add_parser(
+        "dlq",
+        help="dead-letter queue: jobs quarantined after killing workers "
+        "(list, show forensics, retry with a fresh budget, purge)",
+    )
+    _add_service_args(sp)
+    sp.add_argument(
+        "dlq_action",
+        choices=["list", "show", "retry", "purge"],
+        metavar="ACTION",
+        help="list | show | retry | purge",
+    )
+    sp.add_argument(
+        "key",
+        nargs="?",
+        default=None,
+        help="job key (required for show/retry; purge without a key "
+        "drops every quarantined job)",
+    )
+
+    sp = svc.add_parser(
+        "fsck",
+        help="cross-check queue<->store invariants (lost results, corrupt "
+        "entries, unmergeable sharded cells, dead workers' leases)",
+    )
+    _add_service_args(sp)
+    sp.add_argument(
+        "--repair",
+        action="store_true",
+        help="re-queue lost work, quarantine corrupt entries, release "
+        "dead workers' leases, delete orphan chunk files",
     )
 
     p = sub.add_parser("analyze", help="analyse a saved trace JSON")
@@ -785,10 +843,92 @@ def _sweep_axis(text: str) -> tuple[str, list]:
     return field.strip(), [coerce(v) for v in raw.split("+")]
 
 
+def _cmd_service_dlq(args, queue) -> int:
+    action = args.dlq_action
+    if action == "list":
+        entries = queue.dlq_list()
+        if not entries:
+            print("dlq: empty")
+            return 0
+        for job in entries:
+            failure = job.failure or {}
+            deaths = failure.get("deaths", [])
+            print(
+                f"{job.key}  {job.label}  reason={failure.get('reason', '?')}"
+                f"  deaths={len(deaths)}  attempts={job.attempts}"
+            )
+        return 0
+
+    if action in ("show", "retry") and args.key is None:
+        raise SystemExit(f"repro-noise: service dlq {action} requires a job key")
+
+    if action == "show":
+        job = queue.job(args.key)
+        if job is None:
+            raise SystemExit(f"repro-noise: unknown job {args.key!r}")
+        failure = job.failure or {}
+        record = failure.get("record", {})
+        print(f"key:      {job.key}")
+        print(f"label:    {job.label}")
+        print(f"status:   {job.status}")
+        print(f"reason:   {failure.get('reason', '-')}")
+        print(f"error:    {record.get('error', '-')}: {record.get('message', job.error or '-')}")
+        print(f"attempts: {job.attempts}/{job.max_attempts}")
+        if failure.get("chunk"):
+            start, stop = failure["chunk"]
+            print(f"chunk:    reps [{start}:{stop}]")
+        for death in failure.get("deaths", []) or job.deaths:
+            pid = death.get("pid")
+            print(
+                f"death:    worker {death.get('worker')}"
+                + (f" (pid {pid})" if pid is not None else "")
+                + f" attempt {death.get('attempt')}: {death.get('detail')}"
+            )
+        spec = failure.get("spec") or job.spec
+        if spec:
+            print("spec:     " + json.dumps(spec, sort_keys=True))
+        print(f"revive:   repro-noise service dlq retry {job.key}")
+        return 0
+
+    if action == "retry":
+        if queue.dlq_retry(args.key):
+            print(f"re-queued {args.key} with a fresh attempt budget")
+            return 0
+        raise SystemExit(
+            f"repro-noise: {args.key!r} is not quarantined or failed"
+        )
+
+    # purge
+    purged = queue.dlq_purge(args.key)
+    print(f"purged {purged} quarantined job(s)")
+    return 0
+
+
 def _cmd_service(args) -> int:
     queue, store, client = _service_parts(args)
 
+    if args.action == "start" and getattr(args, "supervise", False):
+        from repro.service import Supervisor
+
+        supervisor = Supervisor(
+            queue,
+            store_root=store.root,
+            workers=max(1, getattr(args, "workers", 1)),
+            seed=getattr(args, "supervisor_seed", 0),
+            drain=getattr(args, "drain", False),
+            lease_s=getattr(args, "lease", None),
+        )
+        supervisor.install_signal_handlers()
+        print(
+            f"supervisor {supervisor.id_prefix}: {len(supervisor.slots)} worker(s) "
+            f"over {queue.path} -> {store.root}"
+        )
+        deaths = supervisor.run()
+        print(f"supervisor {supervisor.id_prefix}: {supervisor.stats()}")
+        return 0 if deaths == 0 else 1
+
     if args.action in ("start", "drain"):
+        from repro.harness.chaos import mark_service_worker
         from repro.service import Worker
 
         worker = Worker(
@@ -799,6 +939,10 @@ def _cmd_service(args) -> int:
             policy=_policy_from(args),
             lease_s=getattr(args, "lease", None) or 60.0,
         )
+        # This process is a real service worker: the kill-worker chaos
+        # profile may take it down, and SIGTERM means drain gracefully.
+        mark_service_worker()
+        worker.install_signal_handlers()
         drain = args.action == "drain" or getattr(args, "drain", False)
         print(
             f"{worker.worker_id}: leasing from {queue.path} "
@@ -819,6 +963,16 @@ def _cmd_service(args) -> int:
             if pruned:
                 print(f"pruned {pruned} finished job row(s) past retention")
         return 0 if done >= 0 else 130
+
+    if args.action == "dlq":
+        return _cmd_service_dlq(args, queue)
+
+    if args.action == "fsck":
+        from repro.service import fsck
+
+        report = fsck(queue, store, repair=args.repair)
+        print(report.summary())
+        return 0 if report.clean or report.repaired else 1
 
     if args.action == "submit":
         spec = _spec_from(args)
@@ -863,21 +1017,38 @@ def _cmd_service(args) -> int:
             f"queue {queue.path}: "
             + ", ".join(
                 f"{jobs[k]} {k}"
-                for k in ("queued", "leased", "sharded", "done", "failed")
+                for k in (
+                    "queued", "leased", "sharded", "done", "failed", "quarantined",
+                )
             )
         )
         for sw in status["sweeps"]:
             title = f" ({sw['title']})" if sw["title"] else ""
             sharded = f", {sw['sharded']} sharded" if sw.get("sharded") else ""
+            quarantined = (
+                f", {sw['quarantined']} quarantined" if sw.get("quarantined") else ""
+            )
             print(
                 f"  sweep {sw['id']}{title}: {sw['done']}/{sw['cells']} done, "
                 f"{sw['leased']} leased{sharded}, {sw['failed']} failed"
+                f"{quarantined}"
             )
+        for info in status["workers"]:
+            # 'lost' is derived from heartbeat age: a crashed worker
+            # shows up here immediately, not when its lease expires.
+            print(
+                f"  worker {info['id']} (pid {info['pid']}): {info['state']}, "
+                f"heartbeat {info['heartbeat_age_s']}s ago, "
+                f"{info['jobs_done']} jobs done"
+            )
+        for entry in status["dlq"]:
+            print(f"  dlq {entry['key']} ({entry['label']}): {entry['error']}")
         st = status["store"]
         print(
             f"store {store.root}: {st['hits']} hits, {st['misses']} misses, "
             f"{st['shared_hits']} shared hits, {st['lock_waits']} lock waits, "
-            f"{st['chunk_merges']} chunk merges"
+            f"{st['chunk_merges']} chunk merges, "
+            f"{st['integrity_quarantined']} integrity quarantines"
         )
         return 0
 

@@ -133,6 +133,49 @@ class ResultCache:
         return int(self._counters.get("partial"))
 
     # ------------------------------------------------------------------
+    # envelope integrity: sha256 sealed at publish, verified on read
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _seal(payload: dict) -> str:
+        """Serialise ``payload`` with a sha256 of its own JSON appended
+        as the last field.  Bit-flips anywhere in the body — including
+        ones that keep the JSON parseable — fail verification; the seal
+        piggybacks on JSON's exact float round-trip, so sealing changes
+        no value bytes."""
+        body = json.dumps(payload)
+        sealed = dict(payload)
+        sealed["sha256"] = hashlib.sha256(body.encode()).hexdigest()
+        return json.dumps(sealed)
+
+    @staticmethod
+    def _verify_sealed(data: dict) -> bool:
+        """Check a parsed envelope against its recorded seal.  Entries
+        written before sealing carry no ``sha256`` field and pass (their
+        torn-file protection is the JSON parse itself)."""
+        recorded = data.get("sha256")
+        if recorded is None:
+            return True
+        body = {k: v for k, v in data.items() if k != "sha256"}
+        return hashlib.sha256(json.dumps(body).encode()).hexdigest() == recorded
+
+    def _quarantine_corrupt(self, path: Path, label: str) -> None:
+        """Move an integrity-failed entry aside to ``<name>.corrupt``
+        (preserved for post-mortems, out of the primary keyspace) and
+        count it.  The caller reports a miss, so the cell transparently
+        re-simulates."""
+        self._count("integrity_quarantined")
+        _log.warning(
+            "cache entry %s failed sha256 verification for %s; "
+            "quarantining to .corrupt and re-running",
+            path.name,
+            label,
+        )
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _key(spec: ExperimentSpec, noise: Optional[NoiseStack], reps: int) -> str:
         payload = {
@@ -218,6 +261,9 @@ class ResultCache:
             data = json.loads(path.read_text())
         except json.JSONDecodeError:
             data = None
+        if data is not None and not self._verify_sealed(data):
+            self._quarantine_corrupt(path, spec.label())
+            return None
         if data is not None and data.get("key_version") != _KEY_VERSION:
             self._count("stale")
             _log.warning(
@@ -263,7 +309,7 @@ class ResultCache:
         JSON float round-trip is exact (``repr`` shortest-round-trip),
         so a later hit is bit-identical to this result.
         """
-        envelope = json.dumps(
+        envelope = self._seal(
             {
                 "key_version": _KEY_VERSION,
                 "times": rs.times.tolist(),
@@ -286,10 +332,13 @@ class ResultCache:
 
     def stats(self) -> dict:
         """Counters: ``hits``, ``misses``, ``corrupt``, ``stale``,
-        ``partial``.  ``corrupt`` counts torn entries salvaged (evicted
-        on discovery and transparently re-run); ``stale`` counts
-        key-version evictions; ``partial`` counts results quarantined
-        instead of cached because a skip policy left failed reps.
+        ``partial``, ``integrity_quarantined``.  ``corrupt`` counts torn
+        entries salvaged (evicted on discovery and transparently
+        re-run); ``stale`` counts key-version evictions; ``partial``
+        counts results quarantined instead of cached because a skip
+        policy left failed reps; ``integrity_quarantined`` counts
+        entries whose recorded sha256 seal failed verification (moved
+        aside to ``.corrupt`` and re-run).
 
         The counts live in the telemetry counter registry; this view
         preserves the pre-telemetry return shape exactly."""
@@ -300,6 +349,7 @@ class ResultCache:
             "corrupt": int(counts.get("corrupt", 0)),
             "stale": int(counts.get("stale", 0)),
             "partial": int(counts.get("partial", 0)),
+            "integrity_quarantined": int(counts.get("integrity_quarantined", 0)),
         }
 
     def _count(self, counter: str) -> None:

@@ -21,6 +21,31 @@ profile    injected fault
 ``all``    a deterministic mix of the above
 ========== ==========================================================
 
+**Service-tier profiles** exercise the campaign service's self-healing
+machinery (:mod:`repro.service`) instead of the rep path:
+
+================ ====================================================
+profile          injected fault
+================ ====================================================
+``kill-worker``  ``os._exit`` a *service* worker right after it leases
+                 a job (lease release / poison detection / supervisor
+                 restart); only fires in processes that declared
+                 themselves via :func:`mark_service_worker`
+``corrupt-store``flip one byte mid-file after a completed store write
+                 (sha256 verification, ``.corrupt`` quarantine,
+                 re-simulation)
+``torn-fifo``    drop/tear notify-fifo wakeup writes (latency, never
+                 correctness — waiters re-check on their poll timeout)
+``busy-storm``   synthetic SQLITE_BUSY on queue write transactions
+                 (bounded seeded-backoff retry; never past the retry
+                 budget, so storms degrade to waits, not errors)
+================ ====================================================
+
+Service faults are keyed on job keys / per-process draw counters, so
+they are deterministic per (chaos seed, workload) like everything else
+here; ``all`` deliberately excludes them — killing service workers is
+opt-in per profile.
+
 Faults are pure functions of ``(chaos seed, experiment seed, rep
 index, attempt)`` — independent of worker count, chunking, or timing —
 and by default fire only on a rep's *first* attempt, so every injected
@@ -49,7 +74,11 @@ __all__ = ["ChaosError", "ChaosSpec", "get_chaos", "parse_chaos", "CHAOS_PROFILE
 
 _log = logging.getLogger(__name__)
 
-CHAOS_PROFILES = ("raise", "timeout", "crash", "corrupt", "all")
+#: profiles targeting the rep execution / cache-write paths
+_REP_PROFILES = ("raise", "timeout", "crash", "corrupt", "all")
+#: profiles targeting the campaign service tier
+_SERVICE_PROFILES = ("kill-worker", "corrupt-store", "torn-fifo", "busy-storm")
+CHAOS_PROFILES = _REP_PROFILES + _SERVICE_PROFILES
 
 #: exit code of chaos-crashed workers (recognisable in pool post-mortems)
 CRASH_EXIT_CODE = 87
@@ -60,6 +89,12 @@ _DEFAULT_RATE = 0.25
 #: set by the pool-worker chunk entry point: ``crash`` may only
 #: ``os._exit`` a process whose death the parent can recover from
 _IN_WORKER = False
+
+#: set by the *service* worker entry point (``repro-noise service
+#: start`` / supervisor children): ``kill-worker`` may only take down a
+#: process whose lease the queue can recover — never a test runner or
+#: an in-process client that merely opened a JobQueue
+_IN_SERVICE_WORKER = False
 
 
 class ChaosError(RuntimeError):
@@ -75,6 +110,20 @@ def mark_worker(active: bool = True) -> None:
 def in_worker() -> bool:
     """Whether this process may be killed by the ``crash`` profile."""
     return _IN_WORKER
+
+
+def mark_service_worker(active: bool = True) -> None:
+    """Declare this process a service worker (kill-worker faults become
+    real).  Distinct from :func:`mark_worker`: a service worker hosts
+    its own pool workers, and only the outer process's death exercises
+    lease release and supervisor restarts."""
+    global _IN_SERVICE_WORKER
+    _IN_SERVICE_WORKER = active
+
+
+def in_service_worker() -> bool:
+    """Whether this process may be killed by ``kill-worker``."""
+    return _IN_SERVICE_WORKER
 
 
 @dataclass(frozen=True)
@@ -117,6 +166,8 @@ class ChaosSpec:
         that survives (or retries past) an injected fault produces a
         result bit-identical to an undisturbed run.
         """
+        if self.profile in _SERVICE_PROFILES:
+            return  # service faults never fire inside the rep path
         if attempt > 0 and not self.persist:
             return
         mode = self._mode(spec_seed, index)
@@ -150,8 +201,12 @@ class ChaosSpec:
         reader finds a truncated entry and must salvage (evict + re-run).
         Only the first write of a path is eligible, so the re-written
         entry stands and chaos runs converge.
+
+        The ``corrupt-store`` service profile flips one mid-file byte
+        instead of truncating — the entry stays parseable JSON-shaped
+        noise, so only sha256 verification can catch it.
         """
-        if self.profile not in ("corrupt", "all"):
+        if self.profile not in ("corrupt", "all", "corrupt-store"):
             return False
         path = Path(path)
         seen = _corrupted_paths()
@@ -162,13 +217,79 @@ class ChaosSpec:
             return False
         try:
             raw = path.read_bytes()
-            path.write_bytes(raw[: max(1, len(raw) // 2)])
+            if self.profile == "corrupt-store":
+                if len(raw) < 4:
+                    return False
+                mid = len(raw) // 2
+                flipped = bytes([raw[mid] ^ 0x20])  # case-flip: stays printable
+                path.write_bytes(raw[:mid] + flipped + raw[mid + 1:])
+            else:
+                path.write_bytes(raw[: max(1, len(raw) // 2)])
         except OSError:
             return False
         group = _telemetry.get_group("chaos")
         group.inc("injected_faults")
         group.inc("corrupt_files")
         _log.warning("chaos: tore freshly written file %s", path)
+        return True
+
+    # ------------------------------------------------------------------
+    # service-tier faults
+    # ------------------------------------------------------------------
+    def maybe_kill_worker(self, key: str, attempt: int) -> None:
+        """Maybe ``os._exit`` a *service* worker that just leased ``key``.
+
+        Keyed on the job key, so the same cells are poisonous on every
+        run; fires only on the job's first lease unless ``!`` persist —
+        a persistent ``kill-worker!`` at rate 1.0 is the canonical
+        poison job (kills every worker that touches it until the queue
+        quarantines it).  No-op outside processes marked via
+        :func:`mark_service_worker`.
+        """
+        if self.profile != "kill-worker" or not in_service_worker():
+            return
+        if attempt > 1 and not self.persist:
+            return
+        if self._draw("kill-worker", key) >= self.rate:
+            return
+        group = _telemetry.get_group("chaos")
+        group.inc("injected_faults")
+        group.inc("killed_workers")
+        _log.warning(
+            "chaos: killing service worker %d holding %s", os.getpid(), key
+        )
+        os._exit(CRASH_EXIT_CODE)
+
+    def torn_fifo_fault(self) -> bool:
+        """Whether to drop this notify-fifo wakeup write (torn write).
+
+        Deterministic per process in draw order; a dropped wakeup is
+        the worst a real torn fifo write can do (readers drain bytes,
+        they never parse them), so correctness is untouched and waiters
+        fall back to their poll timeout.
+        """
+        if self.profile != "torn-fifo":
+            return False
+        n = _service_draws("fifo")
+        if self._draw("torn-fifo", n) >= self.rate:
+            return False
+        group = _telemetry.get_group("chaos")
+        group.inc("injected_faults")
+        group.inc("torn_fifo_writes")
+        return True
+
+    def busy_storm_fault(self) -> bool:
+        """Whether to inject a synthetic SQLITE_BUSY into this queue
+        write attempt.  The caller keeps storms inside its bounded
+        retry budget, so the worst case is backoff latency."""
+        if self.profile != "busy-storm":
+            return False
+        n = _service_draws("busy")
+        if self._draw("busy-storm", n) >= self.rate:
+            return False
+        group = _telemetry.get_group("chaos")
+        group.inc("injected_faults")
+        group.inc("busy_storms")
         return True
 
 
@@ -178,6 +299,16 @@ _CORRUPTED: set = set()
 
 def _corrupted_paths() -> set:
     return _CORRUPTED
+
+
+#: per-process draw counters for service faults without a natural key
+_SERVICE_DRAWS: dict = {}
+
+
+def _service_draws(kind: str) -> int:
+    n = _SERVICE_DRAWS.get(kind, 0)
+    _SERVICE_DRAWS[kind] = n + 1
+    return n
 
 
 # ----------------------------------------------------------------------

@@ -31,22 +31,44 @@ service many clients can share:
   the poll-interval queue tax; waiters keep polling as a fallback, so
   a lost wakeup costs latency, never correctness.
 
+The self-healing tier on top:
+
+* :class:`~repro.service.supervisor.Supervisor` — spawns and monitors
+  a fleet of worker processes: observed crashes release leases
+  immediately (``report_worker_death``), restarts follow seeded
+  exponential backoff with crash-loop parking, and SIGTERM drains
+  gracefully (second signal = fail-fast lease release).
+* **Dead-letter queue** — a job that kills two distinct workers
+  mid-lease is quarantined with structured
+  :class:`~repro.harness.faults.FailureRecord` forensics before it
+  burns the fleet (``repro-noise service dlq list|show|retry|purge``).
+* **Store integrity** — every envelope and chunk entry is sealed with
+  a sha256 at publish and verified on read; corrupt entries are
+  quarantined to ``.corrupt`` and transparently re-simulated.
+* :func:`~repro.service.fsck.fsck` — cross-checks queue↔store
+  invariants (lost results, unmergeable sharded parents, orphan chunk
+  entries, leases held by dead workers) and, with ``repair=True``,
+  re-queues lost work.
+
 Bit-identity is the design constraint throughout: a sweep drained
-through the service — including after a mid-lease worker kill, and
-including cells sharded across several workers — renders
+through the service — including after a mid-lease worker kill, a
+corrupted store entry, and a supervisor-restarted fleet — renders
 byte-identical to the same sweep run in-process.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.fsck import FsckReport, fsck
 from repro.service.notify import NotifyChannel, Subscription, notify_enabled
-from repro.service.queue import Job, JobQueue
+from repro.service.queue import Job, JobQueue, WorkerInfo
 from repro.service.scheduler import Scheduler, SchedulerWeights
 from repro.service.store import SharedResultStore
+from repro.service.supervisor import Supervisor, WorkerSlot
 from repro.service.worker import Worker
 
 __all__ = [
     "Job",
     "JobQueue",
+    "WorkerInfo",
     "NotifyChannel",
     "Subscription",
     "notify_enabled",
@@ -54,5 +76,9 @@ __all__ = [
     "SchedulerWeights",
     "SharedResultStore",
     "ServiceClient",
+    "Supervisor",
+    "WorkerSlot",
     "Worker",
+    "FsckReport",
+    "fsck",
 ]

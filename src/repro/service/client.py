@@ -235,6 +235,13 @@ class ServiceClient:
         if rs is not None:
             return rs
         job = self.queue.job(key)
+        if job is not None and job.status == "quarantined":
+            raise RuntimeError(
+                f"cell {spec.label()} (key {key}) is quarantined in the "
+                f"dead-letter queue: {job.error} — inspect with "
+                f"`repro-noise service dlq show {key}`, revive with "
+                f"`dlq retry` once the cause is fixed"
+            )
         detail = f": {job.error}" if job is not None and job.error else ""
         raise RuntimeError(
             f"cell {spec.label()} (key {key}) completed without a store entry{detail}"
@@ -368,13 +375,19 @@ class ServiceClient:
         finally:
             subscription.close()
 
-    def status(self) -> dict:
-        """Queue counts, per-sweep progress, and store statistics."""
+    def status(self, lost_after_s: Optional[float] = None) -> dict:
+        """Queue counts, per-sweep progress, worker fleet liveness (with
+        the heartbeat-derived ``lost`` state), DLQ summary, and store
+        statistics."""
+        from repro.service.queue import DEFAULT_LOST_AFTER_S, _STATUSES
+
+        if lost_after_s is None:
+            lost_after_s = DEFAULT_LOST_AFTER_S
         counts = self.queue.counts()
         sweeps = []
         for sweep_id in self.queue.sweep_ids():
             record = self.queue.sweep(sweep_id)
-            states = dict.fromkeys(("queued", "leased", "sharded", "done", "failed"), 0)
+            states = dict.fromkeys(_STATUSES, 0)
             for key in record["keys"]:
                 job = self.queue.job(key)
                 if job is not None:
@@ -387,7 +400,28 @@ class ServiceClient:
                     **states,
                 }
             )
-        return {"jobs": counts, "sweeps": sweeps, "store": self.store.stats()}
+        now = time.time()
+        workers = [
+            {
+                "id": info.id,
+                "pid": info.pid,
+                "state": info.derived_state(now, lost_after_s),
+                "heartbeat_age_s": round(info.heartbeat_age(now), 1),
+                "jobs_done": info.jobs_done,
+            }
+            for info in self.queue.workers()
+        ]
+        dlq = [
+            {"key": job.key, "label": job.label, "error": job.error}
+            for job in self.queue.dlq_list()
+        ]
+        return {
+            "jobs": counts,
+            "sweeps": sweeps,
+            "workers": workers,
+            "dlq": dlq,
+            "store": self.store.stats(),
+        }
 
 
 def _revive_noise(payload):

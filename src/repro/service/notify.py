@@ -97,12 +97,16 @@ class Subscription:
         return True
 
     def close(self) -> None:
+        """Idempotent teardown; the fifo is unlinked even if closing
+        the descriptor raises, so no exit path can leak an endpoint."""
         if self._fd is not None:
+            fd, self._fd = self._fd, None
             try:
-                os.close(self._fd)
+                os.close(fd)
             finally:
-                self._fd = None
-        self._path.unlink(missing_ok=True)
+                self._path.unlink(missing_ok=True)
+        else:
+            self._path.unlink(missing_ok=True)
 
     def __enter__(self) -> "Subscription":
         return self
@@ -184,8 +188,18 @@ class NotifyChannel:
 
     def notify(self) -> int:
         """Write a wake byte to every live subscriber; returns how many
-        were reached.  Never raises: delivery is best-effort by design."""
+        were reached.  Never raises: delivery is best-effort by design.
+
+        The ``torn-fifo`` chaos profile drops whole notifications here —
+        the worst a torn fifo write can do, and exactly the lost-wakeup
+        case the design already absorbs (waiters re-check on their poll
+        timeout)."""
         if not self.enabled:
+            return 0
+        from repro.harness.chaos import get_chaos
+
+        chaos = get_chaos()
+        if chaos is not None and chaos.torn_fifo_fault():
             return 0
         try:
             paths = list(self.root.glob("*.fifo"))

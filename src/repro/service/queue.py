@@ -33,6 +33,26 @@ attempt cap is exhausted.  Expiry, like every other transition, runs
 inside a ``BEGIN IMMEDIATE`` transaction, so exactly one worker can
 hold a job at a time.
 
+**Dead-letter path.**  Every lease lost to a dead or vanished worker is
+recorded as a *death* on the job (worker id, pid, attempt, timestamp).
+A job whose leases have now killed :data:`POISON_DEATHS` *distinct*
+workers is presumed poisonous and moved to status ``quarantined`` —
+before it burns the rest of its attempt budget taking out the fleet —
+with a structured :class:`~repro.harness.faults.FailureRecord` plus the
+full death forensics in its ``failure`` column.  Terminal failures
+(attempt cap exhausted) carry the same structured record in ``failed``.
+Quarantined jobs are surfaced via ``repro-noise service dlq
+list|show|retry|purge``; :meth:`JobQueue.dlq_retry` revives a job with
+a fresh budget and cleared forensics, and the revived run is
+bit-identical to a clean one (seeding is content-derived).
+
+Workers register themselves in a ``workers`` table and heartbeat it
+while alive, so ``service status`` can derive a ``lost`` state from
+heartbeat age instead of showing a crashed worker as active until its
+lease expires.  A supervisor that *observes* a child die calls
+:meth:`JobQueue.report_worker_death` to release the corpse's leases
+immediately instead of waiting out the expiry.
+
 Durability follows the journal's conventions: WAL mode, a generous
 busy timeout, and every state change committed before the call
 returns.  On top of SQLite's own busy timeout, every write transaction
@@ -61,14 +81,18 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro import telemetry as _telemetry
+from repro.harness.faults import FailureRecord
 from repro.service.notify import NotifyChannel
 
 __all__ = [
     "Job",
     "JobQueue",
+    "WorkerInfo",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_LEASE_S",
     "DEFAULT_RETENTION_S",
+    "DEFAULT_LOST_AFTER_S",
+    "POISON_DEATHS",
 ]
 
 #: lease dispatches (not rep retries) a job gets before it is failed
@@ -77,6 +101,11 @@ DEFAULT_MAX_ATTEMPTS = 3
 DEFAULT_LEASE_S = 60.0
 #: default retention of finished (done/failed) job rows for prune()
 DEFAULT_RETENTION_S = 7 * 86400.0
+#: heartbeat age past which a registered worker is derived as ``lost``
+DEFAULT_LOST_AFTER_S = 10.0
+#: distinct workers a job may kill mid-lease before it is presumed
+#: poisonous and quarantined to the dead-letter queue
+POISON_DEATHS = 2
 #: bounded retries of a write transaction on SQLITE_BUSY, on top of the
 #: connection's own 30s busy timeout
 _BUSY_RETRIES = 5
@@ -105,7 +134,6 @@ CREATE TABLE IF NOT EXISTS jobs (
     chunk_stop    INTEGER
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
-CREATE INDEX IF NOT EXISTS idx_jobs_parent ON jobs(parent);
 CREATE TABLE IF NOT EXISTS sweeps (
     id            TEXT PRIMARY KEY,
     title         TEXT,
@@ -119,6 +147,14 @@ CREATE TABLE IF NOT EXISTS sweep_jobs (
     key       TEXT NOT NULL,
     PRIMARY KEY (sweep_id, position)
 );
+CREATE TABLE IF NOT EXISTS workers (
+    id            TEXT PRIMARY KEY,
+    pid           INTEGER,
+    started_at    REAL NOT NULL,
+    heartbeat_at  REAL NOT NULL,
+    state         TEXT NOT NULL DEFAULT 'idle',
+    jobs_done     INTEGER NOT NULL DEFAULT 0
+);
 """
 
 #: columns added after the first released schema; applied by ALTER
@@ -127,9 +163,11 @@ _MIGRATIONS = (
     ("parent", "TEXT"),
     ("chunk_start", "INTEGER"),
     ("chunk_stop", "INTEGER"),
+    ("deaths", "TEXT"),
+    ("failure", "TEXT"),
 )
 
-_STATUSES = ("queued", "leased", "sharded", "done", "failed")
+_STATUSES = ("queued", "leased", "sharded", "done", "failed", "quarantined")
 
 
 def _chunk_key(key: str, start: int, stop: int) -> str:
@@ -166,6 +204,15 @@ class Job:
     #: for the scheduler's finish-in-flight-cells-first bonus (never
     #: persisted — it is a property of the queue snapshot, not the job)
     siblings_active: int = field(default=0, compare=False)
+    #: workers that died (or vanished) while holding this job's lease:
+    #: ``[{"worker", "pid", "attempt", "at", "detail"}, ...]``
+    deaths: list = field(default_factory=list)
+    #: structured dead-letter forensics for failed/quarantined jobs
+    failure: Optional[dict] = None
+
+    @property
+    def distinct_death_workers(self) -> int:
+        return len({d.get("worker") for d in self.deaths})
 
     @classmethod
     def from_row(cls, row: sqlite3.Row) -> "Job":
@@ -189,7 +236,36 @@ class Job:
             parent=row["parent"],
             chunk_start=row["chunk_start"],
             chunk_stop=row["chunk_stop"],
+            deaths=json.loads(row["deaths"]) if row["deaths"] else [],
+            failure=json.loads(row["failure"]) if row["failure"] else None,
         )
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker, with a heartbeat-derived liveness state.
+
+    ``state`` is what the worker last declared (``idle`` / ``busy`` /
+    ``stopped`` / ``dead``); :meth:`JobQueue.workers` derives ``lost``
+    for declared-alive workers whose heartbeat is older than the
+    threshold — a crashed worker shows as lost immediately, not as
+    active until its lease expires.
+    """
+
+    id: str
+    pid: Optional[int]
+    started_at: float
+    heartbeat_at: float
+    state: str
+    jobs_done: int
+
+    def heartbeat_age(self, now: float) -> float:
+        return max(0.0, now - self.heartbeat_at)
+
+    def derived_state(self, now: float, lost_after_s: float = DEFAULT_LOST_AFTER_S) -> str:
+        if self.state in ("idle", "busy") and self.heartbeat_age(now) > lost_after_s:
+            return "lost"
+        return self.state
 
 
 class JobQueue:
@@ -244,6 +320,11 @@ class JobQueue:
         for name, decl in _MIGRATIONS:
             if name not in cols:
                 self._conn.execute(f"ALTER TABLE jobs ADD COLUMN {name} {decl}")
+        # After the columns exist (the index of a migrated column cannot
+        # be part of _SCHEMA: it would fail on a pre-migration file).
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_jobs_parent ON jobs(parent)"
+        )
 
     def close(self) -> None:
         with self._lock:
@@ -275,10 +356,23 @@ class JobQueue:
         whole transaction (bounded, seeded backoff) when SQLite reports
         the database busy/locked despite the connection's own timeout.
         ``body`` must be a pure function of the connection state — it
-        re-reads whatever it needs on every attempt."""
+        re-reads whatever it needs on every attempt.
+
+        The ``busy-storm`` chaos profile injects synthetic
+        busy errors here (never past the retry budget, so chaos storms
+        degrade to backoff waits exactly like real lock contention)."""
+        from repro.harness.chaos import get_chaos
+
+        chaos = get_chaos()
         attempt = 0
         while True:
             try:
+                if (
+                    chaos is not None
+                    and attempt < self.busy_retries
+                    and chaos.busy_storm_fault()
+                ):
+                    raise sqlite3.OperationalError("database is locked (chaos busy storm)")
                 with self._lock:
                     self._conn.execute("BEGIN IMMEDIATE")
                     try:
@@ -303,7 +397,16 @@ class JobQueue:
         counts = self._counters.as_dict()
         return {
             key: int(counts.get(key, 0))
-            for key in ("busy_retries", "pruned", "expired_requeues")
+            for key in (
+                "busy_retries",
+                "pruned",
+                "expired_requeues",
+                "worker_deaths",
+                "quarantined",
+                "released",
+                "merge_requeues",
+                "dlq_retried",
+            )
         }
 
     def data_version(self) -> int:
@@ -491,35 +594,131 @@ class JobQueue:
     # lease lifecycle
     # ------------------------------------------------------------------
     def _expire_stale(self, conn: sqlite3.Connection, now: float) -> int:
-        """Sweep expired leases back to queued (or failed). Caller holds
-        the transaction.  Returns how many became leasable again."""
+        """Sweep expired leases back to queued (or failed/quarantined).
+        Caller holds the transaction.  Returns how many became leasable
+        again.
+
+        An expired lease means its holder stopped renewing — dead, or
+        stalled long enough to be indistinguishable from dead — so every
+        expiry is recorded as a *death* on the job and fed through
+        poison detection."""
         rows = conn.execute(
-            "SELECT key, attempts, max_attempts, lease_owner, parent FROM jobs"
-            " WHERE status = 'leased' AND lease_expires < ?",
+            "SELECT * FROM jobs WHERE status = 'leased' AND lease_expires < ?",
             (now,),
         ).fetchall()
         requeued = 0
         for row in rows:
-            if row["attempts"] >= row["max_attempts"]:
-                error = (
-                    f"lease expired after {row['attempts']} attempt(s); "
-                    f"last owner {row['lease_owner']}"
-                )
-                conn.execute(
-                    "UPDATE jobs SET status = 'failed', finished_at = ?,"
-                    " error = ? WHERE key = ?",
-                    (now, error, row["key"]),
-                )
-                if row["parent"] is not None:
-                    self._fail_parent_of(conn, row["parent"], row["key"], error, now)
-            else:
-                conn.execute(
-                    "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
-                    " lease_expires = NULL WHERE key = ?",
-                    (row["key"],),
-                )
+            outcome = self._record_death(
+                conn, row, now, detail="lease expired (worker presumed dead)"
+            )
+            if outcome == "requeued":
                 requeued += 1
         return requeued
+
+    @staticmethod
+    def _worker_pid(conn: sqlite3.Connection, worker_id) -> Optional[int]:
+        row = conn.execute(
+            "SELECT pid FROM workers WHERE id = ?", (worker_id,)
+        ).fetchone()
+        return row["pid"] if row is not None else None
+
+    def _record_death(
+        self,
+        conn: sqlite3.Connection,
+        row: sqlite3.Row,
+        now: float,
+        detail: str,
+        pid: Optional[int] = None,
+    ) -> str:
+        """One dead worker's leased job: append the death record, then
+        quarantine (poison), fail terminally (attempt cap), or requeue.
+        Caller holds the transaction.  Returns the outcome, one of
+        ``"quarantined"`` / ``"failed"`` / ``"requeued"``."""
+        owner = row["lease_owner"]
+        if pid is None:
+            pid = self._worker_pid(conn, owner)
+        deaths = json.loads(row["deaths"]) if row["deaths"] else []
+        deaths.append(
+            {
+                "worker": owner,
+                "pid": pid,
+                "attempt": row["attempts"],
+                "at": now,
+                "detail": detail,
+            }
+        )
+        deaths_json = json.dumps(deaths)
+        self._counters.inc("worker_deaths")
+        distinct = {d.get("worker") for d in deaths}
+        if len(distinct) >= POISON_DEATHS:
+            error = (
+                f"poison: killed {len(distinct)} distinct worker(s) mid-lease"
+                f" ({', '.join(sorted(str(w) for w in distinct))})"
+            )
+            self._to_dlq(conn, row, now, deaths_json, error, reason="poison")
+            return "quarantined"
+        if row["attempts"] >= row["max_attempts"]:
+            error = (
+                f"lease expired after {row['attempts']} attempt(s); "
+                f"last owner {owner}"
+            )
+            self._to_dlq(
+                conn, row, now, deaths_json, error,
+                reason="attempts-exhausted", status="failed",
+            )
+            return "failed"
+        conn.execute(
+            "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
+            " lease_expires = NULL, deaths = ? WHERE key = ?",
+            (deaths_json, row["key"]),
+        )
+        return "requeued"
+
+    def _to_dlq(
+        self,
+        conn: sqlite3.Connection,
+        row: sqlite3.Row,
+        now: float,
+        deaths_json: str,
+        error: str,
+        reason: str,
+        status: str = "quarantined",
+    ) -> None:
+        """Park a job terminally with structured dead-letter forensics:
+        a :class:`FailureRecord` plus the spec/chunk/death history that
+        ``dlq show`` renders.  Caller holds the transaction."""
+        record = FailureRecord(
+            index=row["chunk_start"] if row["chunk_start"] is not None else -1,
+            phase="service",
+            error="PoisonJob" if reason == "poison" else "LeaseExhausted",
+            message=error[:500],
+            traceback_digest="-",
+            attempts=row["attempts"],
+            wall_time=max(0.0, now - (row["started_at"] or now)),
+        )
+        failure = {
+            "reason": reason,
+            "record": record.to_dict(),
+            "label": row["label"],
+            "spec": json.loads(row["spec"]),
+            "chunk": (
+                [row["chunk_start"], row["chunk_stop"]]
+                if row["chunk_start"] is not None
+                else None
+            ),
+            "deaths": json.loads(deaths_json) if deaths_json else [],
+            "at": now,
+        }
+        conn.execute(
+            "UPDATE jobs SET status = ?, finished_at = ?, error = ?,"
+            " deaths = ?, failure = ?, lease_owner = NULL, lease_expires = NULL"
+            " WHERE key = ?",
+            (status, now, error, deaths_json, json.dumps(failure), row["key"]),
+        )
+        if status == "quarantined":
+            self._counters.inc("quarantined")
+        if row["parent"] is not None:
+            self._fail_parent_of(conn, row["parent"], row["key"], error, now)
 
     @staticmethod
     def _fail_parent_of(
@@ -714,13 +913,14 @@ class JobQueue:
 
     def fail(self, key: str, owner: str, error: str, retryable: bool = True) -> bool:
         """Record a failed execution: requeue if attempts remain (and the
-        failure is retryable), else fail terminally.  A terminal chunk
-        failure propagates to its parent cell and queued siblings."""
+        failure is retryable), else fail terminally with a structured
+        :class:`FailureRecord` in the ``failure`` column.  A terminal
+        chunk failure propagates to its parent cell and queued siblings."""
         now = time.time()
 
         def body(conn: sqlite3.Connection) -> Optional[bool]:
             row = conn.execute(
-                "SELECT attempts, max_attempts, parent FROM jobs WHERE key = ? AND"
+                "SELECT * FROM jobs WHERE key = ? AND"
                 " status = 'leased' AND lease_owner = ?",
                 (key, owner),
             ).fetchone()
@@ -733,10 +933,32 @@ class JobQueue:
                     (error, key),
                 )
                 return True  # requeued
+            record = FailureRecord(
+                index=row["chunk_start"] if row["chunk_start"] is not None else -1,
+                phase="service",
+                error="JobFailed",
+                message=error[:500],
+                traceback_digest="-",
+                attempts=row["attempts"],
+                wall_time=max(0.0, now - (row["started_at"] or now)),
+            )
+            failure = {
+                "reason": "execution" if retryable else "terminal",
+                "record": record.to_dict(),
+                "label": row["label"],
+                "spec": json.loads(row["spec"]),
+                "chunk": (
+                    [row["chunk_start"], row["chunk_stop"]]
+                    if row["chunk_start"] is not None
+                    else None
+                ),
+                "deaths": json.loads(row["deaths"]) if row["deaths"] else [],
+                "at": now,
+            }
             conn.execute(
                 "UPDATE jobs SET status = 'failed', finished_at = ?,"
-                " error = ? WHERE key = ?",
-                (now, error, key),
+                " error = ?, failure = ? WHERE key = ?",
+                (now, error, json.dumps(failure), key),
             )
             if row["parent"] is not None:
                 self._fail_parent_of(conn, row["parent"], key, error, now)
@@ -750,6 +972,219 @@ class JobQueue:
         else:
             self.notify_complete.notify()
         return True
+
+    def report_worker_death(
+        self, owner: str, pid: Optional[int] = None, detail: str = "worker died"
+    ) -> list[str]:
+        """A supervisor observed ``owner`` die: release its leases *now*
+        (recording a death on each, with poison detection) instead of
+        waiting out the lease expiry, and tombstone its registry row.
+        Returns the keys whose leases were released."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> tuple[list[str], int]:
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE status = 'leased' AND lease_owner = ?",
+                (owner,),
+            ).fetchall()
+            requeued = 0
+            for row in rows:
+                if self._record_death(conn, row, now, detail, pid=pid) == "requeued":
+                    requeued += 1
+            conn.execute(
+                "UPDATE workers SET state = 'dead', heartbeat_at = ? WHERE id = ?",
+                (now, owner),
+            )
+            return [r["key"] for r in rows], requeued
+
+        keys, requeued = self._write_txn(body)
+        if requeued:
+            self.notify_submit.notify()
+        if len(keys) > requeued:
+            self.notify_complete.notify()  # something went terminal/DLQ
+        return keys
+
+    def release(self, key: str, owner: str) -> bool:
+        """Voluntarily hand back a healthy lease (graceful drain): the
+        job returns to ``queued`` with the attempt refunded — a clean
+        shutdown must not burn the job's attempt budget or count as a
+        death.  ``False`` if the lease was already lost."""
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'queued', lease_owner = NULL,"
+                " lease_expires = NULL, attempts = MAX(0, attempts - 1)"
+                " WHERE key = ? AND status = 'leased' AND lease_owner = ?",
+                (key, owner),
+            )
+            return cur.rowcount > 0
+
+        released = self._write_txn(body)
+        if released:
+            self._counters.inc("released")
+            self.notify_submit.notify()
+        return released
+
+    def requeue_children(self, parent: str, keys: Sequence[str]) -> int:
+        """Self-healing merge: re-queue specific chunk children of a
+        still-``sharded`` parent whose store entries went missing or
+        corrupt (the merger re-simulates them instead of failing the
+        cell).  Attempt budgets still apply — children already at their
+        cap are left alone, so a truly broken cell cannot loop forever.
+        Returns how many became leasable again."""
+        if not keys:
+            return 0
+
+        def body(conn: sqlite3.Connection) -> int:
+            prow = conn.execute(
+                "SELECT status FROM jobs WHERE key = ?", (parent,)
+            ).fetchone()
+            if prow is None or prow["status"] != "sharded":
+                return 0
+            marks = ",".join("?" for _ in keys)
+            cur = conn.execute(
+                f"UPDATE jobs SET status = 'queued', lease_owner = NULL,"
+                f" lease_expires = NULL, finished_at = NULL, error = NULL"
+                f" WHERE parent = ? AND key IN ({marks})"
+                f" AND status = 'done' AND attempts < max_attempts",
+                (parent, *keys),
+            )
+            return cur.rowcount
+
+        requeued = self._write_txn(body)
+        if requeued:
+            self._counters.inc("merge_requeues", requeued)
+            self.notify_submit.notify()
+        return requeued
+
+    # ------------------------------------------------------------------
+    # worker registry
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str, pid: Optional[int] = None) -> None:
+        """Record a worker's existence (idempotent; re-registration
+        resets its heartbeat and state)."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "INSERT INTO workers (id, pid, started_at, heartbeat_at, state)"
+                " VALUES (?, ?, ?, ?, 'idle')"
+                " ON CONFLICT(id) DO UPDATE SET pid = excluded.pid,"
+                " started_at = excluded.started_at,"
+                " heartbeat_at = excluded.heartbeat_at, state = 'idle'",
+                (worker_id, pid if pid is not None else os.getpid(), now, now),
+            )
+
+        self._write_txn(body)
+
+    def worker_heartbeat(
+        self, worker_id: str, state: str = "idle", jobs_done: Optional[int] = None
+    ) -> None:
+        """Refresh a worker's liveness stamp and declared state."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> None:
+            if jobs_done is None:
+                conn.execute(
+                    "UPDATE workers SET heartbeat_at = ?, state = ? WHERE id = ?",
+                    (now, state, worker_id),
+                )
+            else:
+                conn.execute(
+                    "UPDATE workers SET heartbeat_at = ?, state = ?, jobs_done = ?"
+                    " WHERE id = ?",
+                    (now, state, jobs_done, worker_id),
+                )
+
+        self._write_txn(body)
+
+    def deregister_worker(self, worker_id: str, state: str = "stopped") -> None:
+        """Mark a worker's registry row terminal (``stopped`` on clean
+        exit, ``dead`` when reported by a supervisor).  The row is kept
+        — it is the pid provenance for death forensics."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> None:
+            conn.execute(
+                "UPDATE workers SET heartbeat_at = ?, state = ? WHERE id = ?",
+                (now, state, worker_id),
+            )
+
+        self._write_txn(body)
+
+    def workers(self) -> list[WorkerInfo]:
+        """All registered workers, most recent heartbeat first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM workers ORDER BY heartbeat_at DESC, id"
+            ).fetchall()
+        return [
+            WorkerInfo(
+                id=r["id"],
+                pid=r["pid"],
+                started_at=r["started_at"],
+                heartbeat_at=r["heartbeat_at"],
+                state=r["state"],
+                jobs_done=r["jobs_done"],
+            )
+            for r in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # dead-letter queue
+    # ------------------------------------------------------------------
+    def dlq_list(self) -> list[Job]:
+        """Quarantined jobs, oldest quarantine first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE status = 'quarantined'"
+                " ORDER BY finished_at, key"
+            ).fetchall()
+        return [Job.from_row(r) for r in rows]
+
+    def dlq_retry(self, key: str) -> bool:
+        """Revive a quarantined (or terminally failed) job with a fresh
+        attempt budget and cleared forensics.  The revived run is
+        bit-identical to a clean one — seeding is content-derived, so
+        quarantine history cannot leak into results.  ``False`` if the
+        key is unknown or not in a dead-letter state."""
+        now = time.time()
+
+        def body(conn: sqlite3.Connection) -> bool:
+            cur = conn.execute(
+                "UPDATE jobs SET status = 'queued', attempts = 0, error = NULL,"
+                " deaths = NULL, failure = NULL, lease_owner = NULL,"
+                " lease_expires = NULL, finished_at = NULL, submitted_at = ?"
+                " WHERE key = ? AND status IN ('quarantined', 'failed')",
+                (now, key),
+            )
+            if cur.rowcount == 0:
+                return False
+            # A revived cell runs whole even if its doomed attempt was
+            # sharded — stale chunk children must not linger as work.
+            conn.execute("DELETE FROM jobs WHERE parent = ?", (key,))
+            return True
+
+        revived = self._write_txn(body)
+        if revived:
+            self._counters.inc("dlq_retried")
+            self.notify_submit.notify()
+        return revived
+
+    def dlq_purge(self, key: Optional[str] = None) -> int:
+        """Drop quarantined rows (one key, or all); returns the count.
+        Purging abandons the work — collect will re-simulate in-process
+        or a resubmission will start a fresh job."""
+        def body(conn: sqlite3.Connection) -> int:
+            if key is not None:
+                return conn.execute(
+                    "DELETE FROM jobs WHERE key = ? AND status = 'quarantined'",
+                    (key,),
+                ).rowcount
+            return conn.execute(
+                "DELETE FROM jobs WHERE status = 'quarantined'"
+            ).rowcount
+
+        return self._write_txn(body)
 
     # ------------------------------------------------------------------
     # retention
@@ -825,7 +1260,7 @@ class JobQueue:
         return [Job.from_row(r) for r in rows]
 
     def counts(self) -> dict:
-        """Job counts by status (all five statuses always present)."""
+        """Job counts by status (every known status always present)."""
         with self._lock:
             rows = self._conn.execute(
                 "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"

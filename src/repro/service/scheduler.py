@@ -8,6 +8,7 @@ ranking is reproducible from the queue database alone::
           - expected_s * w.runtime
           + (1 if store had the key at submit) * w.cache_hit
           + (1 if a chunk of an in-flight cell)  * w.shard_progress
+          - distinct_dead_workers * w.hazard
 
 * **priority** — client-assigned urgency, the dominant term;
 * **aging** — seconds since submission, so starved low-priority work
@@ -23,7 +24,11 @@ ranking is reproducible from the queue database alone::
   or done belongs to a cell that is *partially computed*: finishing it
   releases a whole merged result, while starting a fresh cell merely
   begins another.  Preferring in-flight cells bounds the number of
-  half-done parents and cuts sweep tail latency.
+  half-done parents and cuts sweep tail latency;
+* **hazard** — a job that has already killed a worker mid-lease
+  (recorded in its death history) is demoted below fresh work: if it
+  is poisonous, healthy cells finish first and fewer workers die
+  confirming it before the dead-letter quarantine trips.
 
 Ties break deterministically by submission time then key, so two
 schedulers over the same snapshot produce the same order.  Scheduling
@@ -62,6 +67,12 @@ class SchedulerWeights:
     #: five priority units, so only an explicitly urgent fresh cell
     #: preempts completing a half-done one.
     shard_progress: float = 500.0
+    #: penalty per *distinct worker* a job has already killed mid-lease
+    #: — suspected-poisonous work runs after healthy work, so a bad cell
+    #: takes out the fleet as late and as rarely as possible.  Scaled
+    #: like ``shard_progress`` so one death roughly cancels the
+    #: in-flight bonus and outweighs five priority units.
+    hazard: float = 500.0
 
 
 class Scheduler:
@@ -83,6 +94,7 @@ class Scheduler:
                 if job.parent is not None and job.siblings_active > 0
                 else 0.0
             )
+            - job.distinct_death_workers * w.hazard
         )
 
     def rank(self, jobs: list["Job"], now: float) -> list["Job"]:

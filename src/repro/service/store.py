@@ -34,6 +34,14 @@ rep *i* was seeded from its spawn key regardless of which worker ran
 it, and partial results (skip-policy failures inside a chunk)
 quarantine exactly as they would in-process.  Chunk files are deleted
 after a successful merge (``chunk_merges`` counts them).
+
+Every envelope — primary and chunk — is sealed with a sha256 of its
+own payload at publish time and verified on read (see
+:meth:`~repro.harness.cache.ResultCache._seal`): a bit-flipped entry is
+moved aside to ``<name>.corrupt``, counted as
+``integrity_quarantined``, and transparently re-simulated.  A corrupt
+*chunk* is treated as missing, so the merge aborts cleanly and the
+slice re-runs instead of poisoning the merged cell.
 """
 
 from __future__ import annotations
@@ -158,7 +166,7 @@ class SharedResultStore(ResultCache):
             )
         from repro.harness.cache import _KEY_VERSION
 
-        envelope = json.dumps(
+        envelope = self._seal(
             {
                 "key_version": _KEY_VERSION,
                 "parent": key,
@@ -184,6 +192,12 @@ class SharedResultStore(ResultCache):
         try:
             data = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
+            return None
+        if not self._verify_sealed(data):
+            # A bit-flipped slice must never enter a merge: quarantine
+            # it like a primary entry; the caller treats it as missing
+            # and the chunk re-simulates.
+            self._quarantine_corrupt(path, f"{key}[{start}:{stop}]")
             return None
         if (
             data.get("key_version") != _KEY_VERSION

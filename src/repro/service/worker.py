@@ -40,20 +40,26 @@ from __future__ import annotations
 
 import logging
 import os
+import signal
 import threading
+import time
 from typing import Optional
 
 from repro import telemetry as _telemetry
+from repro.harness.chaos import get_chaos
 from repro.harness.chunkrunner import DEFAULT_RUNNER
 from repro.harness.experiment import ExperimentSpec
 from repro.noise.base import NoiseStack
-from repro.service.queue import DEFAULT_LEASE_S, Job, JobQueue
+from repro.service.queue import DEFAULT_LEASE_S, Job, JobQueue, _chunk_key
 from repro.service.scheduler import Scheduler
 from repro.service.store import SharedResultStore
 
 __all__ = ["Worker"]
 
 _log = logging.getLogger(__name__)
+
+#: minimum interval between worker-registry heartbeat writes
+_REGISTRY_BEAT_S = 2.0
 
 
 class Worker:
@@ -80,10 +86,77 @@ class Worker:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self._stop = threading.Event()
         self._counters = _telemetry.new_group("service_worker")
+        #: the job currently held, for fail-fast lease release
+        self._active: Optional[Job] = None
+        self._jobs_done = 0
+        self._last_registry_beat = 0.0
 
     def stop(self) -> None:
         """Ask the run loop to exit after the current job."""
         self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """Graceful-drain signal protocol for standalone worker
+        processes (``repro-noise service start``):
+
+        * first ``SIGTERM``/``SIGINT``: stop leasing, finish the
+          current job, release cleanly and exit;
+        * second signal: fail fast — release the held lease (attempt
+          refunded) and exit *now*.
+
+        The fail-fast release runs on a spawned thread over a **fresh
+        queue connection**: the signal handler interrupts the main
+        thread, which may hold the existing connection's non-reentrant
+        lock mid-transaction — touching it from the handler could
+        deadlock the very shutdown it implements.
+        """
+        def handler(signum, frame):
+            if not self._stop.is_set():
+                _log.warning(
+                    "%s: %s received, draining (finish current job, then exit;"
+                    " signal again to fail fast)",
+                    self.worker_id,
+                    signal.Signals(signum).name,
+                )
+                self._stop.set()
+                return
+            _log.warning(
+                "%s: second %s, failing fast (releasing lease)",
+                self.worker_id,
+                signal.Signals(signum).name,
+            )
+            threading.Thread(
+                target=self._fail_fast_release, daemon=True, name="fail-fast"
+            ).start()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+
+    def _fail_fast_release(self) -> None:
+        try:
+            queue = JobQueue(self.queue.path)
+            try:
+                active = self._active
+                if active is not None:
+                    queue.release(active.key, self.worker_id)
+                queue.deregister_worker(self.worker_id, "stopped")
+            finally:
+                queue.close()
+        except Exception:  # pragma: no cover - nothing left to save
+            pass
+        finally:
+            os._exit(0)
+
+    def _registry_beat(self, state: str, force: bool = False) -> None:
+        """Throttled liveness stamp in the queue's workers table."""
+        now = time.monotonic()
+        if not force and now - self._last_registry_beat < _REGISTRY_BEAT_S:
+            return
+        self._last_registry_beat = now
+        try:
+            self.queue.worker_heartbeat(self.worker_id, state, self._jobs_done)
+        except Exception:  # pragma: no cover - queue file vanished
+            _log.debug("registry heartbeat failed for %s", self.worker_id)
 
     def stats(self) -> dict:
         counts = self._counters.as_dict()
@@ -94,6 +167,7 @@ class Worker:
                 "jobs_failed",
                 "chunks_done",
                 "merges",
+                "merge_retries",
                 "lease_losses",
                 "renewals",
                 "notify_wakes",
@@ -109,6 +183,7 @@ class Worker:
             while not lost.wait(interval):
                 if self.queue.renew(job.key, self.worker_id, self.lease_s):
                     self._counters.inc("renewals")
+                    self._registry_beat("busy")
                 else:
                     self._counters.inc("lease_losses")
                     lost.set()
@@ -246,6 +321,24 @@ class Worker:
                     type(exc).__name__,
                     exc,
                 )
+                # Self-healing first: a merge usually fails because a
+                # slice's store entry went missing or flunked integrity
+                # verification — re-queue exactly those chunks (bounded
+                # by their attempt caps) so the cell re-simulates the
+                # lost slices instead of failing outright.
+                missing = [
+                    _chunk_key(parent, start, stop)
+                    for start, stop in chunks
+                    if self.store.load_chunk(parent, start, stop) is None
+                ]
+                if missing and self.queue.requeue_children(parent, missing):
+                    self._counters.inc("merge_retries")
+                    _log.warning(
+                        "re-queued %d lost chunk(s) of %s for re-simulation",
+                        len(missing),
+                        parent,
+                    )
+                    return True
                 self.queue.fail_parent(parent, f"merge failed: {type(exc).__name__}: {exc}")
                 return False
         return True
@@ -265,6 +358,8 @@ class Worker:
         the timeouts that fell back to a plain re-check.
         """
         done = 0
+        chaos = get_chaos()
+        self.queue.register_worker(self.worker_id, os.getpid())
         subscription = self.queue.notify_submit.subscribe(
             probe=self.queue.data_version
         )
@@ -281,17 +376,34 @@ class Worker:
                 if not leased:
                     if drain and self.queue.drained():
                         break
+                    self._registry_beat("idle")
                     if subscription.wait(self.poll_s):
                         self._counters.inc("notify_wakes")
                     else:
                         self._counters.inc("idle_waits")
                     continue
                 for job in leased:
-                    if job.parent is not None:
-                        self.run_chunk_job(job)
-                    else:
-                        self.run_job(job)
+                    if chaos is not None:
+                        # kill-worker chaos strikes in the most hostile
+                        # window: the lease is held and nothing is in
+                        # the store yet.
+                        chaos.maybe_kill_worker(job.key, job.attempts)
+                    self._active = job
+                    self._registry_beat("busy", force=True)
+                    try:
+                        if job.parent is not None:
+                            self.run_chunk_job(job)
+                        else:
+                            self.run_job(job)
+                    finally:
+                        self._active = None
                     done += 1
+                    self._jobs_done = done
+                    self._registry_beat("idle", force=True)
         finally:
             subscription.close()
+            try:
+                self.queue.deregister_worker(self.worker_id, "stopped")
+            except Exception:  # pragma: no cover - queue file vanished
+                pass
         return done

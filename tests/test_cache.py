@@ -92,7 +92,7 @@ class TestCache:
         np.testing.assert_array_equal(first.times, rs.times)
         # The re-run rewrote a valid entry: next lookup is a clean hit.
         again = cache.get_or_run(spec())
-        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 1, "stale": 0, "partial": 0}
+        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 1, "stale": 0, "partial": 0, "integrity_quarantined": 0}
         np.testing.assert_array_equal(first.times, again.times)
 
     def test_entries_record_key_version(self, tmp_path):
@@ -112,6 +112,7 @@ class TestCache:
         data = json.loads(entry.read_text())
         data["key_version"] = 1  # pre-refactor schema
         data["times"] = [0.0] * len(data["times"])  # must NOT be served
+        data.pop("sha256", None)  # entries that old never carried a seal
         entry.write_text(json.dumps(data))
         rs = cache.get_or_run(spec())
         assert cache.stats()["stale"] == 1
@@ -119,7 +120,7 @@ class TestCache:
         np.testing.assert_array_equal(first.times, rs.times)
         # the eviction re-ran and rewrote a current entry: clean hit next
         again = cache.get_or_run(spec())
-        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 0, "stale": 1, "partial": 0}
+        assert cache.stats() == {"hits": 1, "misses": 2, "corrupt": 0, "stale": 1, "partial": 0, "integrity_quarantined": 0}
         np.testing.assert_array_equal(first.times, again.times)
 
     def test_missing_key_version_treated_as_stale(self, tmp_path):
@@ -128,6 +129,7 @@ class TestCache:
         (entry,) = tmp_path.glob("*.json")
         data = json.loads(entry.read_text())
         del data["key_version"]
+        data.pop("sha256", None)
         entry.write_text(json.dumps(data))
         cache.get_or_run(spec())
         assert cache.stats()["stale"] == 1
@@ -140,14 +142,14 @@ class TestCache:
         cache.get_or_run(spec(), noise=stack)
         cache.get_or_run(spec(noise=stack))          # via the spec field
         cache.get_or_run(spec(), noise_config=tiny_config())  # legacy alias
-        assert cache.stats() == {"hits": 2, "misses": 1, "corrupt": 0, "stale": 0, "partial": 0}
+        assert cache.stats() == {"hits": 2, "misses": 1, "corrupt": 0, "stale": 0, "partial": 0, "integrity_quarantined": 0}
 
     def test_stats_dict(self, tmp_path):
         cache = ResultCache(tmp_path)
-        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0, "stale": 0, "partial": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0, "stale": 0, "partial": 0, "integrity_quarantined": 0}
         cache.get_or_run(spec())
         cache.get_or_run(spec())
-        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0, "stale": 0, "partial": 0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0, "stale": 0, "partial": 0, "integrity_quarantined": 0}
 
     def test_on_run_with_cache_enabled_rejected(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -60,7 +60,7 @@ class TestJobQueue:
     def test_submit_lease_complete(self, tmp_path):
         q = JobQueue(tmp_path / "q.sqlite")
         assert submit(q, "a") is True
-        assert q.counts() == {"queued": 1, "leased": 0, "sharded": 0, "done": 0, "failed": 0}
+        assert q.counts() == {"queued": 1, "leased": 0, "sharded": 0, "done": 0, "failed": 0, "quarantined": 0}
         (job,) = q.lease("w1")
         assert job.key == "a" and job.attempts == 1 and job.spec == {"k": "a"}
         assert q.counts()["leased"] == 1
@@ -81,7 +81,7 @@ class TestJobQueue:
         q.fail(job.key, "w1", "boom", retryable=False)
         assert q.counts()["failed"] == 1
         assert submit(q, "a") is True  # revived
-        assert q.counts() == {"queued": 1, "leased": 0, "sharded": 0, "done": 0, "failed": 0}
+        assert q.counts() == {"queued": 1, "leased": 0, "sharded": 0, "done": 0, "failed": 0, "quarantined": 0}
 
     def test_fail_retryable_requeues_until_attempt_cap(self, tmp_path):
         q = JobQueue(tmp_path / "q.sqlite")
@@ -457,3 +457,103 @@ class TestKilledWorker:
             model=("omp", "sycl"),
         ).render()
         assert service_render == in_process
+
+
+# ----------------------------------------------------------------------
+class TestWorkerLiveness:
+    def test_status_derives_lost_from_heartbeat_age(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        client = ServiceClient(queue, store)
+        queue.register_worker("fresh", pid=1)
+        queue.register_worker("crashed", pid=2)
+        queue.register_worker("retired", pid=3)
+        queue.deregister_worker("retired", "stopped")
+        with queue._lock:  # age only the crashed worker's heartbeat
+            queue._conn.execute(
+                "UPDATE workers SET heartbeat_at = heartbeat_at - 600"
+                " WHERE id = 'crashed'"
+            )
+        states = {w["id"]: w["state"] for w in client.status()["workers"]}
+        assert states == {"fresh": "idle", "crashed": "lost", "retired": "stopped"}
+        # The threshold is a parameter, not a constant baked into status.
+        states = {
+            w["id"]: w["state"]
+            for w in client.status(lost_after_s=3600.0)["workers"]
+        }
+        assert states["crashed"] == "idle"
+
+    def test_worker_registers_beats_and_deregisters(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        Worker(queue, store, worker_id="w", poll_s=0.01).run(drain=True)
+        (info,) = queue.workers()
+        assert info.id == "w" and info.state == "stopped"
+        assert info.derived_state(time.time()) == "stopped"  # never lost
+
+
+# ----------------------------------------------------------------------
+class TestNotifyLeakHygiene:
+    """Every wait/run exit path must unlink its fifo endpoint: leaked
+    fifos turn each later notify() into wasted opens and (eventually)
+    reap scans, so hygiene is a regression guarantee, not a nicety."""
+
+    @staticmethod
+    def fifos(queue):
+        notify_root = queue.path.parent / f"{queue.path.name}.notify"
+        return sorted(notify_root.rglob("*.fifo"))
+
+    def test_client_wait_leaves_no_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        client = ServiceClient(queue, store, poll_s=0.01)
+        client.wait()  # drained queue: immediate return
+        assert self.fifos(queue) == []
+
+    def test_client_wait_timeout_leaves_no_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        client = ServiceClient(queue, store, poll_s=0.01)
+        queue.submit("a", spec={"k": "a"}, noise=None, label="a")
+        with pytest.raises(TimeoutError):
+            client.wait(timeout=0.05)
+        assert self.fifos(queue) == []
+
+    def test_worker_run_leaves_no_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        Worker(queue, store, poll_s=0.01).run(drain=True)
+        assert self.fifos(queue) == []
+
+    def test_worker_crash_mid_run_leaves_no_fifo(self, tmp_path):
+        """Even when the run loop dies on an unexpected error, the
+        subscription teardown in the finally block must fire."""
+        queue = JobQueue(tmp_path / "q.sqlite")
+        store = SharedResultStore(tmp_path / "store")
+        worker = Worker(queue, store, poll_s=0.01)
+        worker.queue.lease = lambda *a, **kw: (_ for _ in ()).throw(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            worker.run(drain=True)
+        assert self.fifos(queue) == []
+
+    def test_subscription_close_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        sub = queue.notify_submit.subscribe()
+        sub.close()
+        sub.close()  # second close must not raise or resurrect the fifo
+        assert self.fifos(queue) == []
+
+    def test_close_unlinks_fifo_even_if_os_close_fails(self, tmp_path, monkeypatch):
+        queue = JobQueue(tmp_path / "q.sqlite")
+        sub = queue.notify_submit.subscribe()
+        real_close = os.close
+
+        def bad_close(fd):
+            real_close(fd)
+            raise OSError("synthetic close failure")
+
+        monkeypatch.setattr(os, "close", bad_close)
+        with pytest.raises(OSError, match="synthetic"):
+            sub.close()
+        monkeypatch.undo()
+        assert self.fifos(queue) == []

@@ -81,7 +81,8 @@ class TestShardedQueue:
         q = JobQueue(tmp_path / "q.sqlite")
         assert submit_sharded(q, "a", [(0, 3), (3, 6)]) is True
         assert q.counts() == {
-            "queued": 2, "leased": 0, "sharded": 1, "done": 0, "failed": 0
+            "queued": 2, "leased": 0, "sharded": 1, "done": 0, "failed": 0,
+        "quarantined": 0,
         }
         kids = q.children("a")
         assert [(c.chunk_start, c.chunk_stop) for c in kids] == [(0, 3), (3, 6)]

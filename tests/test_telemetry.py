@@ -194,12 +194,14 @@ class TestStatsShapes:
         cache = ResultCache(root=tmp_path / "c")
         assert cache.stats() == {
             "hits": 0, "misses": 0, "corrupt": 0, "stale": 0, "partial": 0,
+            "integrity_quarantined": 0,
         }
         rs1 = cache.get_or_run(spec(), executor=SerialExecutor())
         rs2 = cache.get_or_run(spec(), executor=SerialExecutor())
         assert np.array_equal(rs1.times, rs2.times)
         assert cache.stats() == {
             "hits": 1, "misses": 1, "corrupt": 0, "stale": 0, "partial": 0,
+            "integrity_quarantined": 0,
         }
         # the historical attribute views stay readable
         assert cache.hits == 1 and cache.misses == 1 and cache.corrupt == 0

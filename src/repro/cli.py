@@ -19,11 +19,16 @@ Subcommands mirror the paper's workflow:
   liveness included), ``drain`` the queue and exit, ``prune`` old
   finished job rows, ``dlq`` to inspect/revive quarantined poison
   jobs, ``fsck`` to cross-check queue↔store invariants and re-queue
-  lost work (see docs/campaign_service.md);
+  lost work, ``monitor`` to serve the read-only HTTP observability
+  endpoint (``/metrics`` Prometheus, ``/status`` JSON, ``/healthz``),
+  ``top`` for a live worker/queue dashboard
+  (see docs/campaign_service.md);
 * ``platforms`` — list platform presets;
 * ``noise``     — list registered noise sources and their parameters;
 * ``telemetry`` — summarize or re-export a telemetry log collected with
-  ``--telemetry DIR`` / ``REPRO_TELEMETRY`` (see docs/observability.md).
+  ``--telemetry DIR`` / ``REPRO_TELEMETRY``, or ``stitch`` per-worker
+  logs with the service queue's lifecycle events into one campaign
+  trace (see docs/observability.md).
 
 ``inject`` and ``pipeline`` accept repeatable ``--noise KIND[:k=v,...]``
 flags composing any registered sources (I/O bursts, memory hogs,
@@ -392,6 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="seed of the supervisor's restart-backoff schedule",
     )
+    sp.add_argument(
+        "--monitor",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with --supervise: serve the read-only monitoring endpoint "
+        "(/metrics, /status, /healthz) on this localhost port for the "
+        "fleet's lifetime (0 picks an ephemeral port)",
+    )
 
     sp = svc.add_parser("submit", help="queue one cell, or a sweep grid")
     _add_service_args(sp)
@@ -422,6 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = svc.add_parser("status", help="queue counts, sweeps, and store stats")
     _add_service_args(sp)
+    sp.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full status document as JSON instead of text",
+    )
+    sp.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep printing: refresh on job completions (fifo wakeups) or "
+        "at most every SECONDS, until interrupted",
+    )
 
     sp = svc.add_parser("watch", help="wait until submitted work completes")
     _add_service_args(sp)
@@ -432,6 +460,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS", help="give up after this long"
+    )
+    sp.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a progress line at most every SECONDS while waiting "
+        "(default: wait silently)",
+    )
+
+    sp = svc.add_parser(
+        "monitor",
+        help="serve the read-only observability endpoint: /metrics "
+        "(Prometheus), /status and /jobs/<key> (JSON), /healthz",
+    )
+    _add_service_args(sp)
+    sp.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1 — the monitor is loopback-"
+        "only by design)",
+    )
+    sp.add_argument(
+        "--port",
+        type=int,
+        default=9177,
+        help="bind port (default: 9177; 0 picks an ephemeral port)",
+    )
+
+    sp = svc.add_parser(
+        "top",
+        help="live dashboard: workers, leases, reps/sec, queue depth, "
+        "DLQ size, campaign progress and ETA",
+    )
+    _add_service_args(sp)
+    sp.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh cadence (completions wake it early via the notify "
+        "fifo; default 2s)",
+    )
+    sp.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (no screen clearing)",
     )
 
     sp = svc.add_parser(
@@ -501,18 +576,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=20, help="timeline bins")
 
     p = sub.add_parser(
-        "telemetry", help="summarize or re-export a collected telemetry log"
+        "telemetry", help="summarize, re-export, or stitch collected telemetry"
     )
     p.add_argument(
         "action",
-        choices=["summarize", "export"],
+        choices=["summarize", "export", "stitch"],
         help="summarize: print a where-did-the-time-go span/counter "
-        "breakdown; export: convert the event log to another format",
+        "breakdown; export: convert the event log to another format; "
+        "stitch: join per-worker telemetry with the service queue's "
+        "lifecycle events into one cross-process Perfetto trace",
     )
     p.add_argument(
-        "path",
+        "paths",
+        nargs="*",
+        metavar="PATH",
         help="telemetry directory from --telemetry/REPRO_TELEMETRY (or the "
-        "events.jsonl file itself)",
+        "events.jsonl file itself); stitch accepts several, one per worker",
+    )
+    p.add_argument(
+        "--queue",
+        default=None,
+        metavar="PATH",
+        help="for `stitch`: the service queue database holding the "
+        "lifecycle events (default: $REPRO_SERVICE_QUEUE or "
+        ".repro_service/queue.sqlite)",
     )
     p.add_argument(
         "--format",
@@ -527,7 +614,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="output file for `export` (default: trace.json / counters.prom "
-        "/ events.jsonl in the working directory)",
+        "/ events.jsonl in the working directory) or `stitch` "
+        "(default: stitched.json)",
     )
 
     return parser
@@ -917,11 +1005,17 @@ def _cmd_service(args) -> int:
             seed=getattr(args, "supervisor_seed", 0),
             drain=getattr(args, "drain", False),
             lease_s=getattr(args, "lease", None),
+            monitor_port=getattr(args, "monitor", None),
         )
         supervisor.install_signal_handlers()
         print(
             f"supervisor {supervisor.id_prefix}: {len(supervisor.slots)} worker(s) "
             f"over {queue.path} -> {store.root}"
+            + (
+                f", monitor on 127.0.0.1:{supervisor.monitor_port}"
+                if supervisor.monitor_port is not None
+                else ""
+            )
         )
         deaths = supervisor.run()
         print(f"supervisor {supervisor.id_prefix}: {supervisor.stats()}")
@@ -974,6 +1068,49 @@ def _cmd_service(args) -> int:
         print(report.summary())
         return 0 if report.clean or report.repaired else 1
 
+    if args.action == "monitor":
+        import time as _time
+
+        from repro.service import MonitorServer
+
+        server = MonitorServer(queue, store, host=args.host, port=args.port)
+        server.start()
+        print(f"monitor: serving {server.url} (read-only; Ctrl-C to stop)")
+        print(f"  metrics: {server.url}/metrics")
+        print(f"  status:  {server.url}/status")
+        print(f"  health:  {server.url}/healthz")
+        try:
+            while True:
+                _time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        print("monitor: stopped")
+        return 0
+
+    if args.action == "top":
+        from repro.service import render_top
+
+        if args.once:
+            print(render_top(queue, store))
+            return 0
+        try:
+            while True:
+                frame = render_top(queue, store)
+                # Clear + home redraw; completions wake the refresh
+                # early through the notify fifo, the interval is only
+                # the fallback cadence.
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                sys.stdout.flush()
+                with queue.notify_complete.subscribe(
+                    probe=queue.data_version
+                ) as subscription:
+                    subscription.wait(timeout=max(0.1, args.interval))
+        except KeyboardInterrupt:
+            print()
+            return 0
+
     if args.action == "submit":
         spec = _spec_from(args)
         sources = _noise_sources_from(args)
@@ -1011,46 +1148,67 @@ def _cmd_service(args) -> int:
         return 0
 
     if args.action == "status":
-        status = client.status()
-        jobs = status["jobs"]
-        print(
-            f"queue {queue.path}: "
-            + ", ".join(
-                f"{jobs[k]} {k}"
-                for k in (
-                    "queued", "leased", "sharded", "done", "failed", "quarantined",
+
+        def _print_status() -> None:
+            status = client.status()
+            if getattr(args, "as_json", False):
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return
+            jobs = status["jobs"]
+            print(
+                f"queue {queue.path}: "
+                + ", ".join(
+                    f"{jobs[k]} {k}"
+                    for k in (
+                        "queued", "leased", "sharded", "done", "failed", "quarantined",
+                    )
                 )
             )
-        )
-        for sw in status["sweeps"]:
-            title = f" ({sw['title']})" if sw["title"] else ""
-            sharded = f", {sw['sharded']} sharded" if sw.get("sharded") else ""
-            quarantined = (
-                f", {sw['quarantined']} quarantined" if sw.get("quarantined") else ""
-            )
+            for sw in status["sweeps"]:
+                title = f" ({sw['title']})" if sw["title"] else ""
+                sharded = f", {sw['sharded']} sharded" if sw.get("sharded") else ""
+                quarantined = (
+                    f", {sw['quarantined']} quarantined" if sw.get("quarantined") else ""
+                )
+                print(
+                    f"  sweep {sw['id']}{title}: {sw['done']}/{sw['cells']} done, "
+                    f"{sw['leased']} leased{sharded}, {sw['failed']} failed"
+                    f"{quarantined}"
+                )
+            for info in status["workers"]:
+                # 'lost' is derived from heartbeat age: a crashed worker
+                # shows up here immediately, not when its lease expires.
+                lease = f" on {info['current_key'][:16]}" if info.get("current_key") else ""
+                print(
+                    f"  worker {info['id']} (pid {info['pid']}): {info['state']}"
+                    f"{lease}, heartbeat {info['heartbeat_age_s']}s ago, "
+                    f"{info['jobs_done']} jobs done"
+                )
+            for entry in status["dlq"]:
+                print(f"  dlq {entry['key']} ({entry['label']}): {entry['error']}")
+            st = status["store"]
             print(
-                f"  sweep {sw['id']}{title}: {sw['done']}/{sw['cells']} done, "
-                f"{sw['leased']} leased{sharded}, {sw['failed']} failed"
-                f"{quarantined}"
+                f"store {store.root}: {st['hits']} hits, {st['misses']} misses, "
+                f"{st['shared_hits']} shared hits, {st['lock_waits']} lock waits, "
+                f"{st['chunk_merges']} chunk merges, "
+                f"{st['integrity_quarantined']} integrity quarantines"
             )
-        for info in status["workers"]:
-            # 'lost' is derived from heartbeat age: a crashed worker
-            # shows up here immediately, not when its lease expires.
-            print(
-                f"  worker {info['id']} (pid {info['pid']}): {info['state']}, "
-                f"heartbeat {info['heartbeat_age_s']}s ago, "
-                f"{info['jobs_done']} jobs done"
-            )
-        for entry in status["dlq"]:
-            print(f"  dlq {entry['key']} ({entry['label']}): {entry['error']}")
-        st = status["store"]
-        print(
-            f"store {store.root}: {st['hits']} hits, {st['misses']} misses, "
-            f"{st['shared_hits']} shared hits, {st['lock_waits']} lock waits, "
-            f"{st['chunk_merges']} chunk merges, "
-            f"{st['integrity_quarantined']} integrity quarantines"
-        )
-        return 0
+
+        interval = getattr(args, "interval", None)
+        if interval is None:
+            _print_status()
+            return 0
+        # Refresh loop: completion wakeups (notify fifo) re-print early,
+        # the interval is only the fallback cadence.
+        try:
+            while True:
+                _print_status()
+                with queue.notify_complete.subscribe(
+                    probe=queue.data_version
+                ) as subscription:
+                    subscription.wait(timeout=max(0.1, interval))
+        except KeyboardInterrupt:
+            return 0
 
     if args.action == "prune":
         pruned = queue.prune(args.older_than)
@@ -1064,8 +1222,23 @@ def _cmd_service(args) -> int:
         if record is None:
             raise SystemExit(f"repro-noise: unknown sweep id {args.sweep_id!r}")
         keys = record["keys"]
+    progress = None
+    if getattr(args, "interval", None) is not None:
+
+        def progress(counts: dict) -> None:
+            pending = counts["queued"] + counts["leased"] + counts["sharded"]
+            print(
+                f"watch: {counts['done']} done, {pending} pending, "
+                f"{counts['failed']} failed, {counts['quarantined']} quarantined"
+            )
+
     try:
-        client.wait(keys, timeout=args.timeout)
+        client.wait(
+            keys,
+            timeout=args.timeout,
+            progress=progress,
+            progress_interval=getattr(args, "interval", None) or 2.0,
+        )
     except TimeoutError as exc:
         raise SystemExit(f"repro-noise: {exc}")
     if args.sweep_id is not None:
@@ -1106,11 +1279,43 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_telemetry(args) -> int:
+    import os
     from pathlib import Path
 
     from repro import telemetry
 
-    path = Path(args.path)
+    if args.action == "stitch":
+        from repro.service import JobQueue, stitch_trace
+
+        queue_path = Path(
+            args.queue
+            or os.environ.get("REPRO_SERVICE_QUEUE", ".repro_service/queue.sqlite")
+        )
+        if not queue_path.exists():
+            raise SystemExit(
+                f"repro-noise: no service queue at {queue_path} (pass --queue, "
+                "or set REPRO_SERVICE_QUEUE)"
+            )
+        queue = JobQueue(queue_path)
+        trace = stitch_trace(queue, telemetry_paths=args.paths)
+        out = Path(args.out) if args.out is not None else Path("stitched.json")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(trace))
+        phases = [
+            e for e in trace["traceEvents"] if (e.get("args") or {}).get("phase")
+        ]
+        print(
+            f"telemetry: stitched {len(trace['traceEvents'])} trace events "
+            f"({len(phases)} lifecycle phases, {len(args.paths)} worker "
+            f"log(s)) to {out}"
+        )
+        return 0
+
+    if len(args.paths) != 1:
+        raise SystemExit(
+            f"repro-noise: telemetry {args.action} takes exactly one PATH"
+        )
+    path = Path(args.paths[0])
     if path.is_dir():
         path = path / "events.jsonl"
     if not path.exists():

@@ -34,7 +34,7 @@ import json
 import logging
 import os
 import time
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro import telemetry as _telemetry
 from repro.harness.chunkrunner import resolved_context, shard_ranges
@@ -345,7 +345,11 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def wait(
-        self, keys: Optional[Sequence[str]] = None, timeout: Optional[float] = None
+        self,
+        keys: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+        progress_interval: float = 2.0,
     ) -> None:
         """Block until the given keys (default: everything) are neither
         queued nor leased.  Raises ``TimeoutError`` on expiry.
@@ -355,8 +359,15 @@ class ServiceClient:
         parks there between checks, with ``poll_s`` as the fallback
         timeout — so completion latency is set by the channel, not the
         poll interval, yet a lost notification only costs one period.
+
+        ``progress`` (when given) is called with the current
+        :meth:`JobQueue.counts` dict at most every
+        ``progress_interval`` seconds — refreshes ride the same notify
+        wakeups, never an extra polling loop (``service watch
+        --interval`` is this callback printing a line).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        next_progress = time.monotonic() + progress_interval
         subscription = self.queue.notify_complete.subscribe(
             probe=self.queue.data_version
         )
@@ -367,9 +378,16 @@ class ServiceClient:
                         f"queue did not drain within {timeout:.1f}s "
                         f"(status: {self.queue.counts()})"
                     )
+                if progress is not None and time.monotonic() >= next_progress:
+                    progress(self.queue.counts())
+                    next_progress = time.monotonic() + progress_interval
                 remaining = self.poll_s
                 if deadline is not None:
                     remaining = min(remaining, max(0.0, deadline - time.monotonic()))
+                if progress is not None:
+                    remaining = min(
+                        remaining, max(0.05, next_progress - time.monotonic())
+                    )
                 if subscription.wait(remaining):
                     self._counters.inc("notify_wakes")
         finally:
@@ -408,6 +426,8 @@ class ServiceClient:
                 "state": info.derived_state(now, lost_after_s),
                 "heartbeat_age_s": round(info.heartbeat_age(now), 1),
                 "jobs_done": info.jobs_done,
+                "current_key": info.current_key,
+                "reps_done": info.reps_done,
             }
             for info in self.queue.workers()
         ]

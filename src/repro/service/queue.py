@@ -53,6 +53,17 @@ lease expires.  A supervisor that *observes* a child die calls
 :meth:`JobQueue.report_worker_death` to release the corpse's leases
 immediately instead of waiting out the expiry.
 
+**Lifecycle events.**  Every transition (submit / lease / renew /
+expire / complete / fail / quarantine / merge / release / retry) is
+appended to an ``events`` table *inside the same write transaction*
+that performs it — no extra transactions, and the timeline can never
+disagree with the jobs table.  Each event carries the worker id, a
+wall-clock stamp and a ``time.perf_counter()`` monotonic stamp (the
+clock telemetry spans use, system-wide on Linux), which is what lets
+``repro-noise telemetry stitch`` attribute a job's wall time to
+queue-wait / run / merge / retry phases alongside worker spans.  Set
+``REPRO_SERVICE_EVENTS=0`` to disable recording entirely.
+
 Durability follows the journal's conventions: WAL mode, a generous
 busy timeout, and every state change committed before the call
 returns.  On top of SQLite's own busy timeout, every write transaction
@@ -110,6 +121,12 @@ POISON_DEATHS = 2
 #: connection's own 30s busy timeout
 _BUSY_RETRIES = 5
 
+_telemetry.set_counter_help(
+    "service_queue",
+    "durable job-queue activity (busy retries, lease expiries, worker "
+    "deaths, dead-letter traffic)",
+)
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     key           TEXT PRIMARY KEY,
@@ -153,8 +170,20 @@ CREATE TABLE IF NOT EXISTS workers (
     started_at    REAL NOT NULL,
     heartbeat_at  REAL NOT NULL,
     state         TEXT NOT NULL DEFAULT 'idle',
-    jobs_done     INTEGER NOT NULL DEFAULT 0
+    jobs_done     INTEGER NOT NULL DEFAULT 0,
+    current_key   TEXT,
+    reps_done     INTEGER NOT NULL DEFAULT 0
 );
+CREATE TABLE IF NOT EXISTS events (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    key     TEXT NOT NULL,
+    event   TEXT NOT NULL,
+    worker  TEXT,
+    at      REAL NOT NULL,
+    mono    REAL NOT NULL,
+    detail  TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_events_key ON events(key);
 """
 
 #: columns added after the first released schema; applied by ALTER
@@ -165,6 +194,15 @@ _MIGRATIONS = (
     ("chunk_stop", "INTEGER"),
     ("deaths", "TEXT"),
     ("failure", "TEXT"),
+)
+
+#: same, for the workers registry table (files from before the
+#: observability plane lack the current-lease / rep-progress columns;
+#: files from before the registry itself get the whole table from
+#: ``_SCHEMA``'s CREATE TABLE IF NOT EXISTS)
+_WORKER_MIGRATIONS = (
+    ("current_key", "TEXT"),
+    ("reps_done", "INTEGER NOT NULL DEFAULT 0"),
 )
 
 _STATUSES = ("queued", "leased", "sharded", "done", "failed", "quarantined")
@@ -258,6 +296,10 @@ class WorkerInfo:
     heartbeat_at: float
     state: str
     jobs_done: int
+    #: key of the lease being executed right now (``None`` when idle)
+    current_key: Optional[str] = None
+    #: cumulative reps executed, for the dashboard's reps/sec column
+    reps_done: int = 0
 
     def heartbeat_age(self, now: float) -> float:
         return max(0.0, now - self.heartbeat_at)
@@ -290,6 +332,10 @@ class JobQueue:
         self.busy_retries = busy_retries
         self._lock = threading.Lock()
         self._counters = _telemetry.get_group("service_queue")
+        #: lifecycle-event recording; ``REPRO_SERVICE_EVENTS=0`` turns
+        #: the append-only events table off entirely (the monitor then
+        #: shows live state but no per-job timeline)
+        self.events_enabled = os.environ.get("REPRO_SERVICE_EVENTS", "1") != "0"
         # Deterministic per-instance backoff jitter: seeded from the
         # queue path and pid so two workers of one stampede desynchronise
         # the same way on every run.
@@ -320,6 +366,10 @@ class JobQueue:
         for name, decl in _MIGRATIONS:
             if name not in cols:
                 self._conn.execute(f"ALTER TABLE jobs ADD COLUMN {name} {decl}")
+        wcols = {r["name"] for r in self._conn.execute("PRAGMA table_info(workers)")}
+        for name, decl in _WORKER_MIGRATIONS:
+            if name not in wcols:
+                self._conn.execute(f"ALTER TABLE workers ADD COLUMN {name} {decl}")
         # After the columns exist (the index of a migrated column cannot
         # be part of _SCHEMA: it would fail on a pre-migration file).
         self._conn.execute(
@@ -391,6 +441,36 @@ class JobQueue:
                 attempt += 1
                 self._counters.inc("busy_retries")
                 time.sleep(self._busy_backoff(attempt))
+
+    def _event(
+        self,
+        conn: sqlite3.Connection,
+        key: str,
+        event: str,
+        worker: Optional[str] = None,
+        at: Optional[float] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Append one lifecycle event.  Caller holds the transaction —
+        events ride inside the state change that caused them, so the
+        timeline can never disagree with the jobs table and recording
+        adds no extra transactions.  ``mono`` is ``time.perf_counter()``
+        (system-wide monotonic), the clock telemetry spans use, so
+        stitched traces align events with worker spans across pids."""
+        if not self.events_enabled:
+            return
+        conn.execute(
+            "INSERT INTO events (key, event, worker, at, mono, detail)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                event,
+                worker,
+                at if at is not None else time.time(),
+                time.perf_counter(),
+                detail,
+            ),
+        )
 
     def stats(self) -> dict:
         """Queue-level telemetry counters (shared registry view)."""
@@ -470,6 +550,7 @@ class JobQueue:
                 # runs whole, so its stale chunk children must not linger
                 # as leasable work.
                 conn.execute("DELETE FROM jobs WHERE parent = ?", (key,))
+                self._event(conn, key, "submit", worker=client, at=now)
             return cur.rowcount > 0
 
         created = self._write_txn(body)
@@ -558,6 +639,15 @@ class JobQueue:
                     for start, stop in spans
                 ],
             )
+            self._event(
+                conn, key, "submit", worker=client, at=now,
+                detail=f"sharded into {len(spans)} chunk(s)",
+            )
+            for start, stop in spans:
+                self._event(
+                    conn, _chunk_key(key, start, stop), "submit",
+                    worker=client, at=now, detail=f"chunk [{start}:{stop})",
+                )
             return True
 
         created = self._write_txn(body)
@@ -649,6 +739,7 @@ class JobQueue:
         )
         deaths_json = json.dumps(deaths)
         self._counters.inc("worker_deaths")
+        self._event(conn, row["key"], "expire", worker=owner, at=now, detail=detail)
         distinct = {d.get("worker") for d in deaths}
         if len(distinct) >= POISON_DEATHS:
             error = (
@@ -717,21 +808,33 @@ class JobQueue:
         )
         if status == "quarantined":
             self._counters.inc("quarantined")
+        self._event(
+            conn,
+            row["key"],
+            "quarantine" if status == "quarantined" else "fail",
+            worker=row["lease_owner"],
+            at=now,
+            detail=f"{reason}: {error[:200]}",
+        )
         if row["parent"] is not None:
             self._fail_parent_of(conn, row["parent"], row["key"], error, now)
 
-    @staticmethod
     def _fail_parent_of(
-        conn: sqlite3.Connection, parent: str, chunk_key: str, error: str, now: float
+        self, conn: sqlite3.Connection, parent: str, chunk_key: str, error: str, now: float
     ) -> None:
         """A chunk failed terminally: fail its parent cell and every
         still-queued sibling (leased siblings finish harmlessly — their
         chunk entries are ignored once the parent is failed)."""
-        conn.execute(
+        cur = conn.execute(
             "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
             " WHERE key = ? AND status = 'sharded'",
             (now, f"chunk {chunk_key} failed: {error}", parent),
         )
+        if cur.rowcount:
+            self._event(
+                conn, parent, "fail", at=now,
+                detail=f"terminal: chunk {chunk_key} failed",
+            )
         conn.execute(
             "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
             " WHERE parent = ? AND status = 'queued'",
@@ -790,6 +893,10 @@ class JobQueue:
                 job.lease_owner = owner
                 job.lease_expires = now + lease_s
                 job.attempts += 1
+                self._event(
+                    conn, job.key, "lease", worker=owner, at=now,
+                    detail=f"attempt {job.attempts}",
+                )
             return claimed, requeued
 
         claimed, requeued = self._write_txn(body)
@@ -808,6 +915,8 @@ class JobQueue:
                 " status = 'leased' AND lease_owner = ?",
                 (now + lease_s, key, owner),
             )
+            if cur.rowcount > 0:
+                self._event(conn, key, "renew", worker=owner, at=now)
             return cur.rowcount > 0
 
         return self._write_txn(body)
@@ -822,6 +931,8 @@ class JobQueue:
                 " WHERE key = ? AND status = 'leased' AND lease_owner = ?",
                 (now, key, owner),
             )
+            if cur.rowcount > 0:
+                self._event(conn, key, "complete", worker=owner, at=now)
             return cur.rowcount > 0
 
         done = self._write_txn(body)
@@ -854,6 +965,7 @@ class JobQueue:
                 " WHERE key = ?",
                 (now, key),
             )
+            self._event(conn, key, "complete", worker=owner, at=now)
             parent = row["parent"]
             prow = conn.execute(
                 "SELECT status FROM jobs WHERE key = ?", (parent,)
@@ -880,6 +992,8 @@ class JobQueue:
                 " WHERE key = ? AND status = 'sharded'",
                 (now, key),
             )
+            if cur.rowcount > 0:
+                self._event(conn, key, "merge", at=now)
             return cur.rowcount > 0
 
         done = self._write_txn(body)
@@ -899,6 +1013,7 @@ class JobQueue:
                 (now, error, key),
             )
             if cur.rowcount:
+                self._event(conn, key, "fail", at=now, detail=f"terminal: {error[:200]}")
                 conn.execute(
                     "UPDATE jobs SET status = 'failed', finished_at = ?, error = ?"
                     " WHERE parent = ? AND status = 'queued'",
@@ -932,6 +1047,10 @@ class JobQueue:
                     " lease_expires = NULL, error = ? WHERE key = ?",
                     (error, key),
                 )
+                self._event(
+                    conn, key, "fail", worker=owner, at=now,
+                    detail=f"retryable: {error[:200]}",
+                )
                 return True  # requeued
             record = FailureRecord(
                 index=row["chunk_start"] if row["chunk_start"] is not None else -1,
@@ -959,6 +1078,10 @@ class JobQueue:
                 "UPDATE jobs SET status = 'failed', finished_at = ?,"
                 " error = ?, failure = ? WHERE key = ?",
                 (now, error, json.dumps(failure), key),
+            )
+            self._event(
+                conn, key, "fail", worker=owner, at=now,
+                detail=f"terminal: {error[:200]}",
             )
             if row["parent"] is not None:
                 self._fail_parent_of(conn, row["parent"], key, error, now)
@@ -1016,6 +1139,8 @@ class JobQueue:
                 " WHERE key = ? AND status = 'leased' AND lease_owner = ?",
                 (key, owner),
             )
+            if cur.rowcount > 0:
+                self._event(conn, key, "release", worker=owner)
             return cur.rowcount > 0
 
         released = self._write_txn(body)
@@ -1048,6 +1173,11 @@ class JobQueue:
                 f" AND status = 'done' AND attempts < max_attempts",
                 (parent, *keys),
             )
+            if cur.rowcount:
+                self._event(
+                    conn, parent, "retry",
+                    detail=f"merge re-queued {cur.rowcount} lost chunk(s)",
+                )
             return cur.rowcount
 
         requeued = self._write_txn(body)
@@ -1077,23 +1207,34 @@ class JobQueue:
         self._write_txn(body)
 
     def worker_heartbeat(
-        self, worker_id: str, state: str = "idle", jobs_done: Optional[int] = None
+        self,
+        worker_id: str,
+        state: str = "idle",
+        jobs_done: Optional[int] = None,
+        current_key: Optional[str] = None,
+        reps_done: Optional[int] = None,
     ) -> None:
-        """Refresh a worker's liveness stamp and declared state."""
+        """Refresh a worker's liveness stamp and declared state.
+
+        ``current_key`` is the lease the worker is executing right now
+        (``None`` clears it — an idle worker holds nothing) and
+        ``reps_done`` its cumulative rep count; together they power the
+        dashboard's current-lease and reps/sec columns."""
         now = time.time()
 
         def body(conn: sqlite3.Connection) -> None:
-            if jobs_done is None:
-                conn.execute(
-                    "UPDATE workers SET heartbeat_at = ?, state = ? WHERE id = ?",
-                    (now, state, worker_id),
-                )
-            else:
-                conn.execute(
-                    "UPDATE workers SET heartbeat_at = ?, state = ?, jobs_done = ?"
-                    " WHERE id = ?",
-                    (now, state, jobs_done, worker_id),
-                )
+            sets = ["heartbeat_at = ?", "state = ?", "current_key = ?"]
+            params: list = [now, state, current_key]
+            if jobs_done is not None:
+                sets.append("jobs_done = ?")
+                params.append(jobs_done)
+            if reps_done is not None:
+                sets.append("reps_done = ?")
+                params.append(reps_done)
+            conn.execute(
+                f"UPDATE workers SET {', '.join(sets)} WHERE id = ?",
+                (*params, worker_id),
+            )
 
         self._write_txn(body)
 
@@ -1125,6 +1266,8 @@ class JobQueue:
                 heartbeat_at=r["heartbeat_at"],
                 state=r["state"],
                 jobs_done=r["jobs_done"],
+                current_key=r["current_key"],
+                reps_done=r["reps_done"] or 0,
             )
             for r in rows
         ]
@@ -1162,6 +1305,7 @@ class JobQueue:
             # A revived cell runs whole even if its doomed attempt was
             # sharded — stale chunk children must not linger as work.
             conn.execute("DELETE FROM jobs WHERE parent = ?", (key,))
+            self._event(conn, key, "retry", at=now, detail="dlq retry: fresh budget")
             return True
 
         revived = self._write_txn(body)
@@ -1223,6 +1367,12 @@ class JobQueue:
                 pruned += conn.execute(
                     "DELETE FROM jobs WHERE key = ? OR parent = ?", (key, key)
                 ).rowcount
+                # The timeline goes with the job (chunk events share the
+                # parent's key prefix) — events never outlive their rows.
+                conn.execute(
+                    "DELETE FROM events WHERE key = ? OR key LIKE ?",
+                    (key, f"{key}:%"),
+                )
             return pruned
 
         pruned = self._write_txn(body)
@@ -1259,16 +1409,52 @@ class JobQueue:
             ).fetchall()
         return [Job.from_row(r) for r in rows]
 
-    def counts(self) -> dict:
-        """Job counts by status (every known status always present)."""
+    def counts(self, cells_only: bool = False) -> dict:
+        """Job counts by status (every known status always present).
+        ``cells_only`` drops chunk sub-jobs — the campaign-progress
+        denominator counts cells, not slices."""
+        sql = "SELECT status, COUNT(*) AS n FROM jobs"
+        if cells_only:
+            sql += " WHERE parent IS NULL"
         with self._lock:
-            rows = self._conn.execute(
-                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
-            ).fetchall()
+            rows = self._conn.execute(sql + " GROUP BY status").fetchall()
         out = dict.fromkeys(_STATUSES, 0)
         for row in rows:
             out[row["status"]] = row["n"]
         return out
+
+    def events(
+        self,
+        key: Optional[str] = None,
+        since_seq: int = 0,
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        """Lifecycle events in commit order, each
+        ``{"seq", "key", "event", "worker", "at", "mono", "detail"}``.
+        ``key`` filters to one job; ``since_seq`` resumes an earlier
+        read (pass the last seq seen)."""
+        sql = "SELECT * FROM events WHERE seq > ?"
+        params: list = [since_seq]
+        if key is not None:
+            sql += " AND key = ?"
+            params.append(key)
+        sql += " ORDER BY seq"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [dict(r) for r in rows]
+
+    def event_counts(self) -> dict:
+        """Total recorded events per transition type — the fleet-wide
+        counters the monitor exports (unlike :meth:`stats`, these are
+        derived from the shared database, not this process's memory)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT event, COUNT(*) AS n FROM events GROUP BY event"
+            ).fetchall()
+        return {r["event"]: r["n"] for r in rows}
 
     def drained(self, keys: Optional[Sequence[str]] = None) -> bool:
         """No queued or leased work left (optionally among ``keys`` —

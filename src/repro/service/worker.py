@@ -61,6 +61,12 @@ _log = logging.getLogger(__name__)
 #: minimum interval between worker-registry heartbeat writes
 _REGISTRY_BEAT_S = 2.0
 
+_telemetry.set_counter_help(
+    "service_worker",
+    "lease-execute loop activity (jobs, chunks, merges, lease losses, "
+    "notify wakeups)",
+)
+
 
 class Worker:
     """Lease-execute-complete loop over a queue + shared store."""
@@ -89,6 +95,7 @@ class Worker:
         #: the job currently held, for fail-fast lease release
         self._active: Optional[Job] = None
         self._jobs_done = 0
+        self._reps_done = 0
         self._last_registry_beat = 0.0
 
     def stop(self) -> None:
@@ -148,13 +155,22 @@ class Worker:
             os._exit(0)
 
     def _registry_beat(self, state: str, force: bool = False) -> None:
-        """Throttled liveness stamp in the queue's workers table."""
+        """Throttled liveness stamp in the queue's workers table,
+        carrying the current lease and rep progress for ``service
+        top``'s current-lease / reps-per-second columns."""
         now = time.monotonic()
         if not force and now - self._last_registry_beat < _REGISTRY_BEAT_S:
             return
         self._last_registry_beat = now
+        active = self._active
         try:
-            self.queue.worker_heartbeat(self.worker_id, state, self._jobs_done)
+            self.queue.worker_heartbeat(
+                self.worker_id,
+                state,
+                self._jobs_done,
+                current_key=active.key if active is not None else None,
+                reps_done=self._reps_done,
+            )
         except Exception:  # pragma: no cover - queue file vanished
             _log.debug("registry heartbeat failed for %s", self.worker_id)
 
@@ -399,6 +415,10 @@ class Worker:
                         self._active = None
                     done += 1
                     self._jobs_done = done
+                    if job.chunk_start is not None:
+                        self._reps_done += job.chunk_stop - job.chunk_start
+                    else:
+                        self._reps_done += int(job.spec.get("reps") or 0)
                     self._registry_beat("idle", force=True)
         finally:
             subscription.close()

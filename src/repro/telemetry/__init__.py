@@ -24,6 +24,7 @@ from repro.telemetry.core import (
     Span,
     absorb_worker,
     configure,
+    counter_help,
     counters_snapshot,
     current_span_id,
     drain_events,
@@ -34,6 +35,7 @@ from repro.telemetry.core import (
     refresh_from_env,
     reset,
     set_base_parent,
+    set_counter_help,
     span,
     telemetry_dir,
     worker_capture_begin,
@@ -64,6 +66,8 @@ __all__ = [
     "new_group",
     "get_group",
     "counters_snapshot",
+    "set_counter_help",
+    "counter_help",
     "worker_capture_begin",
     "worker_capture_end",
     "absorb_worker",

@@ -65,6 +65,8 @@ __all__ = [
     "new_group",
     "get_group",
     "counters_snapshot",
+    "set_counter_help",
+    "counter_help",
     "worker_capture_begin",
     "worker_capture_end",
     "absorb_worker",
@@ -326,6 +328,26 @@ def get_group(namespace: str) -> CounterGroup:
             group = _shared_groups[namespace] = CounterGroup(namespace)
             _groups.add(group)
         return group
+
+
+#: per-namespace HELP strings for the Prometheus exposition; populated
+#: by the subsystems that own each namespace (anything unregistered
+#: falls back to a generic line)
+_counter_help: dict[str, str] = {}
+
+
+def set_counter_help(namespace: str, text: str) -> None:
+    """Register the ``# HELP`` line for a counter namespace."""
+    with _groups_lock:
+        _counter_help[namespace] = text
+
+
+def counter_help(namespace: str) -> str:
+    """The registered HELP text for ``namespace`` (generic fallback)."""
+    with _groups_lock:
+        return _counter_help.get(
+            namespace, f"repro {namespace} counters, one series per counter label"
+        )
 
 
 def counters_snapshot() -> dict[str, dict[str, float]]:

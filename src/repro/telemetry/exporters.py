@@ -11,8 +11,9 @@ counter aggregates of :mod:`repro.telemetry.core`:
   with a ``traceEvents`` key): load it in ``chrome://tracing`` or
   `Perfetto <https://ui.perfetto.dev>`_ to see the campaign →
   experiment → chunk → rep timeline across worker pids.
-* ``counters.prom`` — Prometheus text-exposition snapshot
-  (``repro_<namespace>_<name>_total`` counter series).
+* ``counters.prom`` — Prometheus text-exposition snapshot: one counter
+  family per namespace (``repro_<namespace>_total``) with the group's
+  counter keys as ``counter`` labels.
 
 :func:`summarize_text` renders the where-did-the-time-go breakdown the
 ``repro-noise telemetry summarize`` subcommand prints.
@@ -21,6 +22,7 @@ counter aggregates of :mod:`repro.telemetry.core`:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Iterable, Optional
 
@@ -31,6 +33,8 @@ __all__ = [
     "load_events_jsonl",
     "chrome_trace",
     "write_chrome_trace",
+    "metric_name",
+    "render_value",
     "prometheus_text",
     "summarize_text",
     "export_all",
@@ -164,18 +168,54 @@ def write_chrome_trace(path: Path, events: Optional[Iterable[dict]] = None) -> P
 # ----------------------------------------------------------------------
 # Prometheus text snapshot
 # ----------------------------------------------------------------------
+_METRIC_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(namespace: str) -> str:
+    """Sanitize a counter namespace into a legal Prometheus metric name
+    (dots, dashes, anything else exotic become underscores; a leading
+    digit gets an underscore prefix)."""
+    name = _METRIC_BAD.sub("_", namespace)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return f"repro_{name}_total"
+
+
+def _label_escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_value(value) -> str:
+    """Render a sample value (floats trimmed, ints verbatim)."""
+    if isinstance(value, float):
+        return f"{value:.6f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
 def prometheus_text(counters: Optional[dict] = None) -> str:
-    """Render counters in the Prometheus text exposition format."""
+    """Render counters in the Prometheus text exposition format.
+
+    One metric *family* per counter namespace — sanitized to
+    ``repro_<namespace>_total`` with ``# HELP``/``# TYPE`` header lines
+    — and one sample per counter, its key rendered as a ``counter``
+    label rather than flattened into the metric name.  That keeps a
+    group's counters queryable as one family (``sum by (counter)``)
+    and keeps arbitrary counter keys (dots, dashes) out of the metric
+    name where they would be illegal.
+    """
     if counters is None:
         counters = core.counters_snapshot()
     lines = []
     for namespace in sorted(counters):
+        metric = metric_name(namespace)
+        lines.append(f"# HELP {metric} {core.counter_help(namespace)}")
+        lines.append(f"# TYPE {metric} counter")
         for name in sorted(counters[namespace]):
-            metric = f"repro_{namespace}_{name}_total".replace(".", "_").replace("-", "_")
             value = counters[namespace][name]
-            lines.append(f"# TYPE {metric} counter")
-            rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
-            lines.append(f"{metric} {rendered}")
+            lines.append(
+                f'{metric}{{counter="{_label_escape(str(name))}"}} {render_value(value)}'
+            )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -84,3 +84,65 @@ class TestV7Migration:
         assert job.failure["reason"] == "poison"
         assert queue.dlq_retry("oldqueued") is True
         assert queue.job("oldqueued").status == "queued"
+
+
+class TestV7ObservabilityMigration:
+    """The PR-10 additions (events table, worker registry columns)
+    also apply to a first-release queue file, idempotently."""
+
+    def table_columns(self, path, table):
+        conn = sqlite3.connect(path)
+        try:
+            return {r[1] for r in conn.execute(f"PRAGMA table_info({table})")}
+        finally:
+            conn.close()
+
+    def test_open_creates_events_table_and_worker_columns(self, tmp_path):
+        path = make_v7_queue(tmp_path)
+        queue = JobQueue(path)
+        assert queue.events() == []  # table exists and is empty
+        cols = self.table_columns(path, "workers")
+        assert {"current_key", "reps_done"} <= cols
+
+    def test_observability_migration_is_idempotent(self, tmp_path):
+        path = make_v7_queue(tmp_path)
+        for _ in range(3):
+            JobQueue(path).close()
+        cols = self.table_columns(path, "workers")
+        assert sum(1 for c in cols if c == "current_key") == 1
+        assert sum(1 for c in cols if c == "reps_done") == 1
+        conn = sqlite3.connect(path)
+        try:
+            tables = [
+                r[0]
+                for r in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                    " AND name='events'"
+                )
+            ]
+        finally:
+            conn.close()
+        assert tables == ["events"]
+
+    def test_old_rows_gain_lifecycle_events_going_forward(self, tmp_path):
+        """Pre-event-era jobs have no history, but new transitions on
+        them are recorded from the first post-upgrade write on."""
+        path = make_v7_queue(tmp_path)
+        queue = JobQueue(path)
+        assert queue.events("oldqueued") == []
+        (job,) = queue.lease("new-worker")
+        queue.complete(job.key, "new-worker")
+        assert [e["event"] for e in queue.events("oldqueued")] == [
+            "lease",
+            "complete",
+        ]
+
+    def test_migrated_registry_accepts_lease_telemetry(self, tmp_path):
+        path = make_v7_queue(tmp_path)
+        queue = JobQueue(path)
+        queue.register_worker("w1", pid=99)
+        queue.worker_heartbeat(
+            "w1", state="busy", current_key="oldqueued", reps_done=5
+        )
+        (info,) = queue.workers()
+        assert info.current_key == "oldqueued" and info.reps_done == 5

@@ -12,6 +12,7 @@ chaos-disturbed run.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 import numpy as np
@@ -343,8 +344,32 @@ class TestExporters:
     def test_prometheus_text_format(self):
         _, counters = self._sample_events()
         text = telemetry.prometheus_text(counters)
-        assert "# TYPE repro_engine_runs_total counter" in text
-        assert "repro_engine_runs_total 2" in text
+        assert "# HELP repro_engine_total " in text
+        assert "# TYPE repro_engine_total counter" in text
+        assert 'repro_engine_total{counter="runs"} 2' in text
+
+    def test_prometheus_text_sanitizes_names_and_labels(self):
+        counters = {"my.dotted-ns": {"odd-key.name": 1.5}}
+        text = telemetry.prometheus_text(counters)
+        assert "# TYPE repro_my_dotted_ns_total counter" in text
+        # the counter key survives verbatim as a label, not a name part
+        assert 'repro_my_dotted_ns_total{counter="odd-key.name"} 1.5' in text
+        # every non-comment line's metric name is scrape-legal
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), name
+
+    def test_prometheus_text_help_registry(self):
+        telemetry.set_counter_help("engine", "simulated engine activity")
+        try:
+            text = telemetry.prometheus_text({"engine": {"runs": 1}})
+            assert "# HELP repro_engine_total simulated engine activity" in text
+        finally:
+            telemetry.set_counter_help(
+                "engine", "repro engine counters, one series per counter label"
+            )
 
     def test_summarize_text_renders_span_table(self):
         events, counters = self._sample_events()

@@ -48,7 +48,11 @@ Scenarios::
                                         the poll fallback) and intra-cell
                                         sharding (the cell split into
                                         chunk sub-jobs drained by two
-                                        worker processes); committed
+                                        worker processes) and the
+                                        monitoring tax (submit→complete
+                                        latency with a MonitorServer
+                                        scraping /metrics continuously
+                                        vs no monitor at all); committed
                                         baseline:
                                         benchmarks/out/bench_service.json
 
@@ -313,6 +317,86 @@ def bench_notify_latency(notify: bool, rounds: int = 5) -> dict:
             os.environ["REPRO_NOTIFY"] = prev
 
 
+def bench_monitor_overhead(monitor: bool, rounds: int = 5) -> dict:
+    """Monitoring-tax probe: the notify-latency scenario re-run with a
+    :class:`~repro.service.monitor.MonitorServer` scraping ``/metrics``
+    continuously (``monitor=True``) vs no monitor at all.
+
+    The delta bounds what a live observability plane adds to the
+    submit→complete path.  It is expected to be ~zero: every endpoint
+    is read-only, so a scrape costs the worker at most a short turn on
+    the queue's connection lock.
+    """
+    import shutil
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.service import JobQueue, MonitorServer, ServiceClient, SharedResultStore, Worker
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench_monitor_"))
+    scrapes = 0
+    try:
+        queue = JobQueue(tmp / "queue.sqlite")
+        store = SharedResultStore(tmp / "store")
+        client = ServiceClient(queue, store)
+        worker = Worker(queue, store, executor=SerialExecutor(), poll_s=0.5)
+        thread = threading.Thread(target=worker.run, kwargs={"drain": False})
+        thread.start()
+        server = None
+        stop_scrape = threading.Event()
+        scraper = None
+        if monitor:
+            server = MonitorServer(queue, store).start()
+
+            def scrape_loop():
+                nonlocal scrapes
+                while not stop_scrape.is_set():
+                    with urllib.request.urlopen(
+                        f"{server.url}/metrics", timeout=5
+                    ) as resp:
+                        resp.read()
+                    scrapes += 1
+                    stop_scrape.wait(0.02)
+
+            scraper = threading.Thread(target=scrape_loop)
+            scraper.start()
+        complete_lat = []
+        try:
+            for i in range(rounds):
+                time.sleep(0.3)  # let the worker park idle
+                tiny = ExperimentSpec(
+                    platform="intel-9700kf",
+                    workload="nbody",
+                    reps=1,
+                    seed=9100 + i,
+                    tracing=False,
+                )
+                key = client.submit(tiny)
+                client.wait([key], timeout=120)
+                job = queue.job(key)
+                complete_lat.append(job.finished_at - job.submitted_at)
+        finally:
+            worker.stop()
+            queue.notify_submit.notify()  # unpark an idle fifo wait
+            thread.join(timeout=30)
+            if scraper is not None:
+                stop_scrape.set()
+                scraper.join(timeout=10)
+            if server is not None:
+                server.stop()
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        return {
+            "monitor": monitor,
+            "rounds": rounds,
+            "scrapes": scrapes,
+            "submit_to_complete_s": round(mean(complete_lat), 6),
+            "submit_to_complete_min_s": round(min(complete_lat), 6),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 _BENCH_WORKER = """\
 import sys
 sys.path.insert(0, {src!r})
@@ -511,6 +595,7 @@ def main(argv=None) -> int:
                 transport = width_transport
     latency = None
     shard_probe = None
+    monitor_probe = None
     if mode == "service":
         # End-to-end through the durable queue + lease worker + shared
         # store; the gap to serial is the service tax per cell.
@@ -538,6 +623,12 @@ def main(argv=None) -> int:
                 "noisy host?",
                 file=sys.stderr,
             )
+        # Monitoring-tax probe: the same idle-worker tiny-cell latency
+        # with a MonitorServer scraping /metrics continuously vs none.
+        monitor_probe = {
+            "off": bench_monitor_overhead(monitor=False),
+            "on": bench_monitor_overhead(monitor=True),
+        }
         try:
             shard_probe = bench_shard(
                 spec,
@@ -577,6 +668,15 @@ def main(argv=None) -> int:
             f"\n  notify off: submit->lease {latency['poll']['submit_to_lease_s']*1e3:7.2f} ms, "
             f"submit->complete {latency['poll']['submit_to_complete_s']*1e3:7.2f} ms"
         )
+    if monitor_probe is not None:
+        text += (
+            "\nmonitoring tax (same probe, /metrics scraped continuously):"
+            f"\n  monitor off: submit->complete "
+            f"{monitor_probe['off']['submit_to_complete_s']*1e3:7.2f} ms"
+            f"\n  monitor on:  submit->complete "
+            f"{monitor_probe['on']['submit_to_complete_s']*1e3:7.2f} ms "
+            f"({monitor_probe['on']['scrapes']} scrapes served)"
+        )
     if shard_probe is not None:
         text += (
             f"\nsharding: {shard_probe['chunks']} chunks x {shard_probe['shard']} reps "
@@ -612,6 +712,8 @@ def main(argv=None) -> int:
             record["points"] = points
         if latency is not None:
             record["latency"] = latency
+        if monitor_probe is not None:
+            record["monitor"] = monitor_probe
         if shard_probe is not None:
             record["shard"] = shard_probe
     if args.json:
